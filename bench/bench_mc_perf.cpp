@@ -1,0 +1,101 @@
+// Infrastructure benchmark (google-benchmark): cost of the verification
+// primitives — DBM algebra, symbolic successor generation, reachability,
+// and the end-to-end delay queries on the case-study models.
+#include <benchmark/benchmark.h>
+
+#include "core/analysis.h"
+#include "core/transform.h"
+#include "dbm/dbm.h"
+#include "gpca/pump_model.h"
+#include "mc/query.h"
+#include "mc/reach.h"
+
+using namespace psv;
+
+namespace {
+
+void BM_DbmCanonicalize(benchmark::State& state) {
+  const int clocks = static_cast<int>(state.range(0));
+  dbm::Dbm d = dbm::Dbm::universal(clocks);
+  for (int i = 1; i <= clocks; ++i) d.constrain(i, 0, dbm::bound_le(100 + i));
+  for (benchmark::State::StateIterator::value_type _ : state) {
+    (void)_;
+    dbm::Dbm copy = d;
+    copy.up();
+    copy.constrain(1, 0, dbm::bound_le(50));
+    copy.canonicalize();
+    benchmark::DoNotOptimize(copy.empty());
+  }
+}
+BENCHMARK(BM_DbmCanonicalize)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_DbmInclusion(benchmark::State& state) {
+  const int clocks = static_cast<int>(state.range(0));
+  dbm::Dbm a = dbm::Dbm::zero(clocks);
+  a.up();
+  dbm::Dbm b = a;
+  b.constrain(1, 0, dbm::bound_le(10));
+  for (benchmark::State::StateIterator::value_type _ : state) {
+    (void)_;
+    benchmark::DoNotOptimize(a.includes(b));
+    benchmark::DoNotOptimize(b.includes(a));
+  }
+}
+BENCHMARK(BM_DbmInclusion)->Arg(4)->Arg(16);
+
+void BM_PimReachability(benchmark::State& state) {
+  gpca::PumpModelOptions opt;
+  opt.include_empty_syringe = state.range(0) == 1;
+  ta::Network pim = gpca::build_pump_pim(opt);
+  for (benchmark::State::StateIterator::value_type _ : state) {
+    (void)_;
+    mc::Reachability engine(pim, mc::at(pim, "M", "Infusing"));
+    benchmark::DoNotOptimize(engine.run().reachable);
+  }
+}
+BENCHMARK(BM_PimReachability)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_PimMaxDelay(benchmark::State& state) {
+  gpca::PumpModelOptions opt;
+  opt.include_empty_syringe = false;
+  ta::Network pim = gpca::build_pump_pim(opt);
+  core::PimInfo info = gpca::pump_pim_info(pim);
+  for (benchmark::State::StateIterator::value_type _ : state) {
+    (void)_;
+    core::PimVerification v =
+        core::verify_pim_requirement(pim, info, gpca::req1(opt), 100000);
+    benchmark::DoNotOptimize(v.max_delay);
+  }
+}
+BENCHMARK(BM_PimMaxDelay)->Unit(benchmark::kMillisecond);
+
+void BM_PsmTransform(benchmark::State& state) {
+  gpca::PumpModelOptions opt;
+  ta::Network pim = gpca::build_pump_pim(opt);
+  core::PimInfo info = gpca::pump_pim_info(pim);
+  core::ImplementationScheme scheme = gpca::board_scheme(opt);
+  for (benchmark::State::StateIterator::value_type _ : state) {
+    (void)_;
+    core::PsmArtifacts psm = core::transform(pim, info, scheme);
+    benchmark::DoNotOptimize(psm.psm.num_automata());
+  }
+}
+BENCHMARK(BM_PsmTransform)->Unit(benchmark::kMicrosecond);
+
+void BM_PsmFullExploration(benchmark::State& state) {
+  gpca::PumpModelOptions opt;
+  opt.include_empty_syringe = false;
+  ta::Network pim = gpca::build_pump_pim(opt);
+  core::PimInfo info = gpca::pump_pim_info(pim);
+  core::PsmArtifacts psm = core::transform(pim, info, gpca::board_scheme(opt));
+  for (benchmark::State::StateIterator::value_type _ : state) {
+    (void)_;
+    mc::Reachability engine(psm.psm, mc::when(ta::var_eq(psm.input("BolusReq").missed, 1)));
+    benchmark::DoNotOptimize(engine.run().reachable);
+  }
+}
+BENCHMARK(BM_PsmFullExploration)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// C99 source emission for Code(PIM).
+//
+// Produces a self-contained, dependency-free C translation unit with the
+// same step-function contract as codegen::StepProgram (and the same
+// determinization policy), suitable for dropping onto an embedded platform:
+//
+//   void   <prefix>_init(<prefix>_state_t*, int64_t now_us);
+//   int    <prefix>_step(<prefix>_state_t*, int64_t now_us,
+//                        const int* inputs, int n_inputs,
+//                        int* outputs, int max_outputs);
+//
+// Inputs and outputs are enum-coded; enum tables and location names are
+// emitted alongside.
+#pragma once
+
+#include <string>
+
+#include "core/pim.h"
+#include "ta/model.h"
+
+namespace psv::codegen {
+
+/// Options for the C emitter.
+struct CEmitOptions {
+  /// Identifier prefix for all emitted symbols.
+  std::string prefix = "psv";
+  /// Emit a main() exercising one simulated invocation loop (for demos).
+  bool emit_demo_main = false;
+};
+
+/// Emit a C99 translation unit implementing Code(PIM) for the software
+/// automaton of `pim`.
+std::string emit_c(const ta::Network& pim, const core::PimInfo& info,
+                   const CEmitOptions& options = {});
+
+}  // namespace psv::codegen

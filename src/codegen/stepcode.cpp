@@ -1,0 +1,145 @@
+#include "codegen/stepcode.h"
+
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace psv::codegen {
+
+namespace {
+constexpr std::int64_t kUsPerMs = 1000;
+constexpr int kMaxChainedTransitions = 64;
+}  // namespace
+
+StepProgram::StepProgram(const ta::Network& pim, const core::PimInfo& info)
+    : pim_(pim), software_(pim.automaton(info.software)) {
+  chan_base_.reserve(pim.channels().size());
+  chan_is_input_.reserve(pim.channels().size());
+  for (const auto& ch : pim.channels()) {
+    const bool is_input = starts_with(ch.name, core::kInputPrefix);
+    chan_is_input_.push_back(is_input);
+    chan_base_.push_back(ch.name.substr(2));
+  }
+  reset(0);
+}
+
+void StepProgram::reset(std::int64_t now_us) {
+  location_ = software_.initial();
+  clock_reset_us_.assign(static_cast<std::size_t>(pim_.num_clocks()), now_us);
+  vars_ = pim_.initial_vars();
+  invocations_ = 0;
+}
+
+std::string StepProgram::location() const { return software_.location(location_).name; }
+
+std::int64_t StepProgram::clock_value_us(const std::string& clock_name,
+                                         std::int64_t now_us) const {
+  const auto id = pim_.clock_by_name(clock_name);
+  PSV_REQUIRE(id.has_value(), "no clock named '" + clock_name + "'");
+  return now_us - clock_reset_us_[static_cast<std::size_t>(*id)];
+}
+
+std::int64_t StepProgram::next_deadline_us(std::int64_t now_us) const {
+  std::int64_t best = -1;
+  for (int ei : software_.edges_from(location_)) {
+    const ta::Edge& e = software_.edges()[static_cast<std::size_t>(ei)];
+    if (e.sync.dir == ta::SyncDir::kReceive) continue;
+    if (!e.guard.data.eval(vars_)) continue;
+    // The edge becomes enabled once all its lower bounds are met; upper
+    // bounds that are already violated make it permanently disabled.
+    std::int64_t ready_at = now_us;
+    bool feasible = true;
+    for (const ta::ClockConstraint& cc : e.guard.clocks) {
+      const std::int64_t reset = clock_reset_us_[static_cast<std::size_t>(cc.clock)];
+      const std::int64_t bound_at = reset + static_cast<std::int64_t>(cc.bound) * kUsPerMs;
+      switch (cc.op) {
+        case ta::CmpOp::kGe:
+        case ta::CmpOp::kEq:
+          ready_at = std::max(ready_at, bound_at);
+          break;
+        case ta::CmpOp::kGt:
+          ready_at = std::max(ready_at, bound_at + 1);
+          break;
+        case ta::CmpOp::kLt:
+        case ta::CmpOp::kLe:
+          if (now_us > bound_at) feasible = false;
+          break;
+        case ta::CmpOp::kNe:
+          break;
+      }
+    }
+    if (!feasible || ready_at <= now_us) continue;
+    if (best < 0 || ready_at < best) best = ready_at;
+  }
+  return best;
+}
+
+bool StepProgram::clock_guard_holds(const ta::Guard& guard, std::int64_t now_us) const {
+  for (const ta::ClockConstraint& cc : guard.clocks) {
+    const std::int64_t value = now_us - clock_reset_us_[static_cast<std::size_t>(cc.clock)];
+    const std::int64_t bound = static_cast<std::int64_t>(cc.bound) * kUsPerMs;
+    bool ok = true;
+    switch (cc.op) {
+      case ta::CmpOp::kLt: ok = value < bound; break;
+      case ta::CmpOp::kLe: ok = value <= bound; break;
+      // Invocations sample time, so an equality guard fires at the first
+      // invocation past the bound (standard code-generation treatment).
+      case ta::CmpOp::kEq: ok = value >= bound; break;
+      case ta::CmpOp::kGe: ok = value >= bound; break;
+      case ta::CmpOp::kGt: ok = value > bound; break;
+      case ta::CmpOp::kNe: ok = value != bound; break;
+    }
+    if (!ok) return false;
+  }
+  return guard.data.eval(vars_);
+}
+
+void StepProgram::fire(const ta::Edge& edge, std::int64_t now_us, StepResult& result) {
+  for (const ta::Assignment& a : edge.update.assignments)
+    vars_[static_cast<std::size_t>(a.var)] = a.value.eval(vars_);
+  for (const ta::ClockReset& r : edge.update.resets)
+    clock_reset_us_[static_cast<std::size_t>(r.clock)] =
+        now_us - static_cast<std::int64_t>(r.value) * kUsPerMs;
+  location_ = edge.dst;
+  ++result.transitions;
+}
+
+StepResult StepProgram::step(std::int64_t now_us, const std::vector<std::string>& inputs) {
+  StepResult result;
+  ++invocations_;
+
+  // (2) read inputs, in delivery order; unusable inputs are discarded.
+  for (const std::string& input : inputs) {
+    bool consumed = false;
+    for (int ei : software_.edges_from(location_)) {
+      const ta::Edge& e = software_.edges()[static_cast<std::size_t>(ei)];
+      if (e.sync.dir != ta::SyncDir::kReceive) continue;
+      if (chan_base_[static_cast<std::size_t>(e.sync.chan)] != input) continue;
+      if (!clock_guard_holds(e.guard, now_us)) continue;
+      fire(e, now_us, result);
+      consumed = true;
+      break;
+    }
+    if (!consumed) result.discarded.push_back(input);
+  }
+
+  // (3)+(4) compute transitions and write outputs: chain enabled internal
+  // and output edges until quiescent.
+  for (int iter = 0; iter < kMaxChainedTransitions; ++iter) {
+    const ta::Edge* chosen = nullptr;
+    for (int ei : software_.edges_from(location_)) {
+      const ta::Edge& e = software_.edges()[static_cast<std::size_t>(ei)];
+      if (e.sync.dir == ta::SyncDir::kReceive) continue;
+      if (!clock_guard_holds(e.guard, now_us)) continue;
+      chosen = &e;
+      break;
+    }
+    if (chosen == nullptr) return result;
+    if (chosen->sync.dir == ta::SyncDir::kSend)
+      result.outputs.push_back(chan_base_[static_cast<std::size_t>(chosen->sync.chan)]);
+    fire(*chosen, now_us, result);
+  }
+  PSV_FAIL("generated code exceeded " + std::to_string(kMaxChainedTransitions) +
+           " chained transitions in one invocation; the model has a zero-time loop");
+}
+
+}  // namespace psv::codegen

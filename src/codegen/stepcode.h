@@ -1,0 +1,85 @@
+// Code(PIM): the platform-independent code generated from the software
+// automaton of a PIM.
+//
+// Mirrors the contract of TIMES-generated code described in the paper's
+// §II-A: the code is passive and repeatedly (1) waits to be invoked by the
+// platform, (2) reads inputs, (3) computes transitions using the inputs and
+// the clocks' values, (4) writes outputs. StepProgram implements exactly
+// the steps (2)-(4) as a deterministic step function; the platform (real
+// board or psv::sim simulator) provides the invocation loop and the I/O
+// plumbing.
+//
+// Determinization (what a code generator does to a nondeterministic TA):
+//   * edges are examined in declaration order; the first enabled edge fires;
+//   * a guard window [a, b] fires at the first invocation where the clock
+//     has passed `a` (equality constraints fire at >=, since invocations
+//     sample time);
+//   * inputs that match no enabled receive edge are read and discarded.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/pim.h"
+#include "ta/model.h"
+
+namespace psv::codegen {
+
+/// Result of one invocation of the generated code.
+struct StepResult {
+  /// Base names of outputs written this invocation (e.g. "StartInfusion").
+  std::vector<std::string> outputs;
+  /// Number of transitions taken (input, internal and output edges).
+  int transitions = 0;
+  /// Inputs that were read but matched no enabled edge.
+  std::vector<std::string> discarded;
+};
+
+/// Executable image of Code(PIM).
+///
+/// Time is supplied by the caller in microseconds (the platform's clock);
+/// model clock constraints (milliseconds) are scaled internally.
+class StepProgram {
+ public:
+  /// Compile the software automaton of `pim` into a step program.
+  StepProgram(const ta::Network& pim, const core::PimInfo& info);
+
+  /// (Re-)initialize: initial location, all clocks restarted at `now_us`.
+  void reset(std::int64_t now_us = 0);
+
+  /// One invocation: consume `inputs` (base names, in delivery order), then
+  /// fire enabled internal/output transitions. Deterministic.
+  StepResult step(std::int64_t now_us, const std::vector<std::string>& inputs);
+
+  /// Name of the current control location.
+  std::string location() const;
+
+  /// Current value of a model clock in microseconds.
+  std::int64_t clock_value_us(const std::string& clock_name, std::int64_t now_us) const;
+
+  /// Earliest future instant at which a currently-disabled internal/output
+  /// transition becomes enabled (its lower clock bounds are met), or -1 if
+  /// none. Aperiodic platforms use this to arm a re-invocation timer —
+  /// without it, time-guarded outputs would never fire (the runtime
+  /// equivalent of TIMES' deadline timer).
+  std::int64_t next_deadline_us(std::int64_t now_us) const;
+
+  /// Number of invocations executed since reset.
+  std::int64_t invocations() const { return invocations_; }
+
+ private:
+  bool clock_guard_holds(const ta::Guard& guard, std::int64_t now_us) const;
+  void fire(const ta::Edge& edge, std::int64_t now_us, StepResult& result);
+
+  const ta::Network& pim_;
+  const ta::Automaton& software_;
+  std::vector<std::string> chan_base_;   ///< per channel: base name
+  std::vector<bool> chan_is_input_;      ///< per channel: m_* vs c_*
+  ta::LocId location_ = 0;
+  std::vector<std::int64_t> clock_reset_us_;  ///< per network clock
+  std::vector<std::int64_t> vars_;
+  std::int64_t invocations_ = 0;
+};
+
+}  // namespace psv::codegen

@@ -1,0 +1,78 @@
+// Delay-bound analysis — the paper's §V (Lemmas 1 and 2).
+//
+// Two independent routes to the platform-specific delay bounds:
+//   * analytic (Lemma 1): closed-form worst cases from the scheme's
+//     parameters — detection + processing + invocation wait for the
+//     Input-Delay, device processing for the Output-Delay;
+//   * verified: exact maxima model-checked on the PSM via the injected
+//     probe clocks (t_mi_X, t_oc_Y, t_mc).
+// Lemma 2 combines them into the relaxed end-to-end bound
+//     delta'_mc = delta_mi + delta_oc + delta_io_internal.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/transform.h"
+#include "mc/query.h"
+
+namespace psv::core {
+
+/// One delay figure computed both ways.
+struct DelayBound {
+  std::string name;            ///< e.g. "Input-Delay(BolusReq)"
+  std::int64_t analytic = 0;   ///< Lemma-1 closed form
+  std::int64_t verified = 0;   ///< exact model-checked maximum
+  bool verified_bounded = false;
+};
+
+/// Complete §V analysis for one timing requirement.
+struct BoundAnalysis {
+  std::vector<DelayBound> input_delays;   ///< per monitored variable
+  std::vector<DelayBound> output_delays;  ///< per controlled variable
+  /// Maximum internal delay of the PIM for the requirement's input/output
+  /// pair (the PIM's own verified M-C bound).
+  std::int64_t io_internal = 0;
+  /// Lemma 2: input bound + output bound + io_internal for the
+  /// requirement's pair.
+  std::int64_t lemma2_total = 0;
+  /// Exact model-checked worst-case M-C delay of the PSM.
+  std::int64_t verified_mc_delay = 0;
+  bool verified_mc_bounded = false;
+
+  std::string to_string() const;
+};
+
+/// Lemma-1 closed form for the Input-Delay of one monitored variable:
+///   [polling_interval]            (polled detection)
+/// + delay_max                     (Input-Device processing)
+/// + invocation wait               (period + read stage, or the cycle
+///                                  remainder under aperiodic invocation)
+std::int64_t analytic_input_delay_bound(const ImplementationScheme& scheme,
+                                        const std::string& input_base);
+
+/// Lemma-1 closed form for the Output-Delay of one controlled variable:
+/// the Output-Device processing bound (delivery itself is immediate; the
+/// model checker additionally covers backlog interleavings).
+std::int64_t analytic_output_delay_bound(const ImplementationScheme& scheme,
+                                         const std::string& output_base);
+
+/// Run the full §V analysis: analytic bounds for every variable, verified
+/// bounds via the PSM probes, the PIM's internal bound, and the Lemma-2
+/// total for `req`. `psm` is copied internally for M-C instrumentation.
+BoundAnalysis analyze_bounds(const PsmArtifacts& psm, std::int64_t pim_internal_bound,
+                             const TimingRequirement& req,
+                             std::int64_t search_limit = 1'000'000,
+                             mc::ExploreOptions explore = {});
+
+/// Check P(delta) against the PSM: does the M-C delay always stay within
+/// `delta`? (Used for both the original and the relaxed requirement.)
+struct PsmRequirementCheck {
+  bool holds = false;
+  std::int64_t checked_bound = 0;
+};
+PsmRequirementCheck check_psm_requirement(const PsmArtifacts& psm, const TimingRequirement& req,
+                                          std::int64_t delta, mc::ExploreOptions explore = {});
+
+}  // namespace psv::core

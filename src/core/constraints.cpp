@@ -1,0 +1,131 @@
+#include "core/constraints.h"
+
+#include <sstream>
+
+namespace psv::core {
+
+bool ConstraintReport::all_hold() const {
+  for (const auto& c : checks)
+    if (!c.holds) return false;
+  return true;
+}
+
+std::vector<ConstraintCheck> ConstraintReport::with_id(const std::string& id) const {
+  std::vector<ConstraintCheck> out;
+  for (const auto& c : checks)
+    if (c.id == id) out.push_back(c);
+  return out;
+}
+
+std::string ConstraintReport::to_string() const {
+  std::ostringstream os;
+  for (const auto& c : checks)
+    os << "  [" << (c.holds ? "ok" : "VIOLATED") << "] " << c.name
+       << (c.detail.empty() ? "" : " — " + c.detail) << "\n";
+  return os.str();
+}
+
+namespace {
+
+/// Reachability of a sticky flag == 1.
+ConstraintCheck flag_check(const PsmArtifacts& psm, const std::string& id,
+                           const std::string& name, ta::VarId flag, mc::ExploreOptions explore) {
+  ConstraintCheck check;
+  check.id = id;
+  check.name = name;
+  mc::ReachResult r = mc::reachable(psm.psm, mc::when(ta::var_eq(flag, 1)), explore);
+  check.holds = !r.reachable;
+  if (r.reachable) {
+    check.detail = "violation reachable in " + std::to_string(r.trace.steps.size() - 1) + " steps";
+  } else {
+    check.detail = "verified (" + std::to_string(r.stats.states_stored) + " states)";
+  }
+  return check;
+}
+
+}  // namespace
+
+namespace {
+
+struct FlagSpec {
+  std::string id;
+  std::string name;
+  ta::VarId var = -1;
+};
+
+std::vector<FlagSpec> constraint_flags(const PsmArtifacts& psm) {
+  std::vector<FlagSpec> flags;
+  for (const InputArtifacts& in : psm.inputs) {
+    flags.push_back({"C1", "C1: detection of all m_" + in.base + " signals", in.missed});
+    if (in.overflow >= 0) {
+      flags.push_back({"C2", "C2: no input buffer overflow for " + in.base, in.overflow});
+    } else {
+      flags.push_back({"C2", "C2: no unread shared-slot overwrite for " + in.base, in.lost});
+    }
+  }
+  for (const OutputArtifacts& outv : psm.outputs)
+    flags.push_back({"C3", "C3: no output buffer overflow for " + outv.base, outv.overflow});
+  if (psm.c4_violation >= 0)
+    flags.push_back(
+        {"C4", "C4: no internal transition while an input is pending", psm.c4_violation});
+  return flags;
+}
+
+}  // namespace
+
+ConstraintReport check_constraints(const PsmArtifacts& psm, bool include_deadlock_check,
+                                   mc::ExploreOptions explore) {
+  ConstraintReport report;
+  const std::vector<FlagSpec> flags = constraint_flags(psm);
+
+  if (include_deadlock_check) {
+    // One exploration answers everything: the deadlock search walks the
+    // full (subsumption-reduced) state space, and the visitor checks every
+    // sticky flag along the way. Flags are discrete, so visiting the
+    // reduced space is exact for them. Only a timelock aborts early; then
+    // the per-flag results are not definitive and we fall back to
+    // individual reachability checks.
+    std::vector<bool> seen(flags.size(), false);
+    mc::Reachability engine(psm.psm, mc::StateFormula{}, explore);
+    mc::DeadlockResult dl = engine.find_deadlock([&flags, &seen](const mc::SymState& s) {
+      for (std::size_t i = 0; i < flags.size(); ++i)
+        seen[i] = seen[i] || s.vars[static_cast<std::size_t>(flags[i].var)] == 1;
+    });
+    const bool full_space_visited = !(dl.found && dl.timelock);
+    if (full_space_visited) {
+      for (std::size_t i = 0; i < flags.size(); ++i) {
+        ConstraintCheck check;
+        check.id = flags[i].id;
+        check.name = flags[i].name;
+        check.holds = !seen[i];
+        check.detail = seen[i] ? "violation reachable"
+                               : "verified (" + std::to_string(dl.stats.states_stored) +
+                                     " states, shared exploration)";
+        report.checks.push_back(std::move(check));
+      }
+    } else {
+      for (const FlagSpec& f : flags)
+        report.checks.push_back(flag_check(psm, f.id, f.name, f.var, explore));
+    }
+
+    ConstraintCheck dlc;
+    dlc.id = "C3";
+    dlc.name = "C3: environment accepts outputs / scheme schedulable (no timelock)";
+    dlc.holds = !dl.found || !dl.timelock;
+    if (dl.found && dl.timelock) {
+      dlc.detail = "timelock reachable in " + std::to_string(dl.trace.steps.size() - 1) + " steps";
+    } else if (dl.found) {
+      dlc.detail = "quiescent state exists (time diverges; not a timelock)";
+    } else {
+      dlc.detail = "verified (" + std::to_string(dl.stats.states_stored) + " states)";
+    }
+    report.checks.push_back(std::move(dlc));
+    return report;
+  }
+
+  for (const FlagSpec& f : flags)
+    report.checks.push_back(flag_check(psm, f.id, f.name, f.var, explore));
+  return report;
+}
+
+}  // namespace psv::core

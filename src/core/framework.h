@@ -1,0 +1,51 @@
+// End-to-end facade of the platform-specific timing verification framework.
+//
+// run_framework() performs the complete pipeline of the paper:
+//   1. verify the requirement on the PIM (PIM |= P(delta_mc)),
+//   2. transform the PIM into a PSM under the implementation scheme,
+//   3. discharge the boundedness constraints C1-C4 on the PSM,
+//   4. compute the delay bounds (Lemma 1, Lemma 2, exact model checking),
+//   5. check the original requirement P(delta_mc) and the relaxed
+//      requirement P(delta'_mc) on the PSM.
+#pragma once
+
+#include <string>
+
+#include "core/analysis.h"
+#include "core/constraints.h"
+#include "core/pim.h"
+#include "core/scheme.h"
+#include "core/schedulability.h"
+#include "core/transform.h"
+
+namespace psv::core {
+
+/// Pipeline knobs.
+struct FrameworkOptions {
+  std::int64_t search_limit = 1'000'000;  ///< delay-search ceiling [ms]
+  mc::ExploreOptions explore;
+  TransformOptions transform;
+  bool run_constraint_checks = true;
+};
+
+/// Everything the pipeline produced.
+struct FrameworkResult {
+  TimingRequirement requirement;
+  PimVerification pim;                   ///< step 1
+  SchedulabilityReport schedulability;   ///< step 2 pre-check (analytic §V)
+  PsmArtifacts psm;                      ///< step 2
+  ConstraintReport constraints;          ///< step 3
+  BoundAnalysis bounds;                  ///< step 4
+  bool psm_meets_original = false;  ///< PSM |= P(delta_mc)
+  bool psm_meets_relaxed = false;   ///< PSM |= P(delta'_mc), Lemma 2 total
+
+  /// Multi-line human-readable report.
+  std::string summary() const;
+};
+
+/// Run the full pipeline. Throws psv::Error on malformed inputs.
+FrameworkResult run_framework(const ta::Network& pim, const PimInfo& info,
+                              const ImplementationScheme& scheme, const TimingRequirement& req,
+                              FrameworkOptions options = {});
+
+}  // namespace psv::core

@@ -1,0 +1,129 @@
+#include "core/schedulability.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace psv::core {
+
+bool SchedulabilityReport::ok() const {
+  for (const auto& f : findings)
+    if (f.severity == SchedulabilityFinding::Severity::kError) return false;
+  return true;
+}
+
+std::string SchedulabilityReport::to_string() const {
+  if (findings.empty()) return "  all analytic schedulability conditions hold\n";
+  std::ostringstream os;
+  for (const auto& f : findings) {
+    os << "  ["
+       << (f.severity == SchedulabilityFinding::Severity::kError ? "error" : "warning") << " "
+       << f.constraint << "] " << f.message << "\n";
+  }
+  return os.str();
+}
+
+std::int64_t worst_case_admission(const InputSpec& spec) {
+  std::int64_t t = spec.delay_max;
+  if (spec.read == ReadMechanism::kPolling) t += spec.polling_interval;
+  return t;
+}
+
+std::vector<EmissionWindow> emission_windows(const ta::Network& pim, const PimInfo& info) {
+  std::vector<EmissionWindow> out;
+  const ta::Automaton& m = pim.automaton(info.software);
+  for (const ta::Edge& e : m.edges()) {
+    if (e.sync.dir != ta::SyncDir::kSend) continue;
+    const std::string chan = pim.channel_name(e.sync.chan);
+    if (!starts_with(chan, kOutputPrefix)) continue;
+
+    // Deadline: the tightest invariant upper bound at the source location
+    // over clocks the guard constrains from below (or any invariant clock
+    // when the edge is unguarded).
+    std::int64_t lower = 0;
+    for (const ta::ClockConstraint& cc : e.guard.clocks)
+      if (cc.op == ta::CmpOp::kGe || cc.op == ta::CmpOp::kGt || cc.op == ta::CmpOp::kEq)
+        lower = std::max<std::int64_t>(lower, cc.bound);
+    std::int64_t deadline = -1;
+    for (const ta::ClockConstraint& inv : m.location(e.src).invariant)
+      deadline = deadline < 0 ? inv.bound : std::min<std::int64_t>(deadline, inv.bound);
+
+    EmissionWindow w;
+    w.output = chan.substr(2);
+    w.location = m.location(e.src).name;
+    w.width = deadline < 0 ? -1 : deadline - lower;
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+SchedulabilityReport check_schedulability(const ta::Network& pim, const PimInfo& info,
+                                          const ImplementationScheme& scheme) {
+  SchedulabilityReport report;
+  auto error = [&report](const std::string& constraint, const std::string& msg) {
+    report.findings.push_back(
+        {SchedulabilityFinding::Severity::kError, constraint, msg});
+  };
+  auto warning = [&report](const std::string& constraint, const std::string& msg) {
+    report.findings.push_back(
+        {SchedulabilityFinding::Severity::kWarning, constraint, msg});
+  };
+
+  const IoSpec& io = scheme.io;
+
+  for (const std::string& base : info.inputs) {
+    const InputSpec& spec = scheme.input(base);
+    const std::int64_t admission = worst_case_admission(spec);
+
+    // C1: one signal must be fully admitted before the next can arrive.
+    if (spec.min_interarrival > 0) {
+      if (admission > spec.min_interarrival)
+        error("C1", "input '" + base + "': worst-case detection+processing (" +
+                        std::to_string(admission) + "ms) exceeds the minimum inter-arrival (" +
+                        std::to_string(spec.min_interarrival) +
+                        "ms); signals can be missed");
+    } else {
+      warning("C1", "input '" + base +
+                        "': no inter-arrival assumption declared; Constraint 1 can only be "
+                        "discharged by model checking the environment");
+    }
+
+    // C2: the FIFO must absorb the burst between two consecutive reads.
+    if (io.transfer == TransferKind::kBuffer && spec.min_interarrival > 0) {
+      const std::int64_t read_gap =
+          io.invocation == InvocationKind::kPeriodic
+              ? io.period + io.read_stage_max
+              : io.read_stage_max + io.compute_stage_max + io.write_stage_max;
+      // Admissions possible within one read gap (+1 for boundary arrival).
+      const std::int64_t burst = read_gap / spec.min_interarrival + 1;
+      if (burst > io.buffer_size)
+        error("C2", "input '" + base + "': up to " + std::to_string(burst) +
+                        " arrivals can pile up between reads (read gap " +
+                        std::to_string(read_gap) + "ms / inter-arrival " +
+                        std::to_string(spec.min_interarrival) + "ms) but the buffer holds " +
+                        std::to_string(io.buffer_size));
+    }
+  }
+
+  // Emission windows: a write stage occurs at most period + stage offsets
+  // after the window opens; narrower windows risk missing the software's
+  // deadline entirely (timelock in the PSM).
+  if (io.invocation == InvocationKind::kPeriodic) {
+    const std::int64_t write_latency =
+        io.period + io.read_stage_max + io.compute_stage_max + io.write_stage_max;
+    for (const EmissionWindow& w : emission_windows(pim, info)) {
+      if (w.width < 0) continue;
+      if (w.width < write_latency)
+        error("emission", "output '" + w.output + "' from location '" + w.location +
+                              "': emission window " + std::to_string(w.width) +
+                              "ms is narrower than the worst-case write-stage latency " +
+                              std::to_string(write_latency) +
+                              "ms; the deadline can be missed (PSM timelock)");
+    }
+  }
+
+  return report;
+}
+
+}  // namespace psv::core

@@ -1,0 +1,65 @@
+// Analytic pre-checks for the §V boundedness constraints.
+//
+// The paper states closed-form *conditions on the implementation scheme*
+// under which the constraints C1-C3 can hold at all:
+//   (C1) the Input-Device keeps up with the environment: worst-case
+//        detection + processing of one signal finishes before the next can
+//        arrive (min inter-arrival);
+//   (C2) the code drains the input FIFO fast enough: the worst-case burst
+//        admitted by the inter-arrival assumption between two consecutive
+//        read stages fits the buffer;
+//   (emission) every output guard window of the software is wide enough
+//        for a write stage to fall inside it — otherwise the PSM (and the
+//        real system) can miss the software's deadline entirely, which the
+//        model checker reports as a timelock.
+//
+// These are *necessary-style* quick checks run before the (authoritative)
+// model checking in core/constraints; they give immediate, parameter-level
+// diagnostics ("polling interval 240 exceeds the 100ms inter-arrival").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pim.h"
+#include "core/scheme.h"
+#include "ta/model.h"
+
+namespace psv::core {
+
+/// One analytic finding.
+struct SchedulabilityFinding {
+  enum class Severity { kError, kWarning };
+  Severity severity = Severity::kError;
+  std::string constraint;  ///< "C1", "C2", "emission"
+  std::string message;
+};
+
+/// Result of the analytic pre-check.
+struct SchedulabilityReport {
+  std::vector<SchedulabilityFinding> findings;
+
+  bool ok() const;  ///< no kError findings
+  std::string to_string() const;
+};
+
+/// Worst-case time from a signal's arrival until its processed value sits
+/// in the io-boundary buffer (detection + processing; no invocation wait).
+std::int64_t worst_case_admission(const InputSpec& spec);
+
+/// Width of the software's emission window for every output edge:
+/// (smallest invariant upper bound at the source location) minus (largest
+/// lower-bound guard on the edge). Edges without an invariant are
+/// unconstrained (window = infinity, reported as -1).
+struct EmissionWindow {
+  std::string output;    ///< base name
+  std::string location;  ///< source location in M
+  std::int64_t width = -1;  ///< -1 = unbounded
+};
+std::vector<EmissionWindow> emission_windows(const ta::Network& pim, const PimInfo& info);
+
+/// Run all analytic pre-checks of the scheme against the PIM.
+SchedulabilityReport check_schedulability(const ta::Network& pim, const PimInfo& info,
+                                          const ImplementationScheme& scheme);
+
+}  // namespace psv::core

@@ -1,0 +1,177 @@
+#include "core/scheme.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace psv::core {
+
+std::string to_string(SignalType v) {
+  switch (v) {
+    case SignalType::kPulse: return "pulse";
+    case SignalType::kSustainedDuration: return "sustained-duration";
+    case SignalType::kSustainedUntilRead: return "sustained-until-read";
+  }
+  PSV_ASSERT(false, "unknown SignalType");
+}
+
+std::string to_string(ReadMechanism v) {
+  switch (v) {
+    case ReadMechanism::kInterrupt: return "interrupt";
+    case ReadMechanism::kPolling: return "polling";
+  }
+  PSV_ASSERT(false, "unknown ReadMechanism");
+}
+
+std::string to_string(InvocationKind v) {
+  switch (v) {
+    case InvocationKind::kPeriodic: return "periodic";
+    case InvocationKind::kAperiodic: return "aperiodic";
+  }
+  PSV_ASSERT(false, "unknown InvocationKind");
+}
+
+std::string to_string(TransferKind v) {
+  switch (v) {
+    case TransferKind::kBuffer: return "buffers";
+    case TransferKind::kSharedVariable: return "shared-variable";
+  }
+  PSV_ASSERT(false, "unknown TransferKind");
+}
+
+std::string to_string(ReadPolicy v) {
+  switch (v) {
+    case ReadPolicy::kReadOne: return "read-one";
+    case ReadPolicy::kReadAll: return "read-all";
+  }
+  PSV_ASSERT(false, "unknown ReadPolicy");
+}
+
+const InputSpec& ImplementationScheme::input(const std::string& base_name) const {
+  auto it = inputs.find(base_name);
+  PSV_REQUIRE(it != inputs.end(),
+              "scheme '" + name + "' has no input spec for '" + base_name + "'");
+  return it->second;
+}
+
+const OutputSpec& ImplementationScheme::output(const std::string& base_name) const {
+  auto it = outputs.find(base_name);
+  PSV_REQUIRE(it != outputs.end(),
+              "scheme '" + name + "' has no output spec for '" + base_name + "'");
+  return it->second;
+}
+
+std::string ImplementationScheme::describe() const {
+  std::ostringstream os;
+  os << "implementation scheme " << name << " = {MC, IO}\n";
+  for (const auto& [key, spec] : inputs) {
+    os << "  MC(m_" << key << ") = <(" << to_string(spec.signal) << ", " << to_string(spec.read);
+    if (spec.read == ReadMechanism::kPolling)
+      os << ", polling-interval=" << spec.polling_interval;
+    os << "); (delay_min=" << spec.delay_min << ", delay_max=" << spec.delay_max;
+    if (spec.min_interarrival > 0) os << ", min-interarrival=" << spec.min_interarrival;
+    if (spec.signal == SignalType::kSustainedDuration)
+      os << ", sustain=" << spec.sustain_duration;
+    os << ")>\n";
+  }
+  for (const auto& [key, spec] : outputs) {
+    os << "  MC(c_" << key << ") = <(delay_min=" << spec.delay_min
+       << ", delay_max=" << spec.delay_max << ")>\n";
+  }
+  os << "  IO = <(" << to_string(io.transfer) << ", " << to_string(io.read_policy);
+  if (io.transfer == TransferKind::kBuffer) os << "; buffer-size=" << io.buffer_size;
+  os << "), invoke=(" << to_string(io.invocation);
+  if (io.invocation == InvocationKind::kPeriodic) os << "; period=" << io.period;
+  os << "), stages=(read<=" << io.read_stage_max << ", compute<=" << io.compute_stage_max
+     << ", write<=" << io.write_stage_max << ")>\n";
+  return os.str();
+}
+
+std::string SchemeValidation::to_string() const {
+  std::ostringstream os;
+  for (const auto& e : errors) os << "error: " << e << "\n";
+  return os.str();
+}
+
+SchemeValidation validate_scheme(const ImplementationScheme& scheme,
+                                 const std::vector<std::string>& input_names,
+                                 const std::vector<std::string>& output_names) {
+  SchemeValidation v;
+  auto err = [&v](const std::string& m) { v.errors.push_back(m); };
+
+  for (const std::string& n : input_names)
+    if (!scheme.inputs.contains(n)) err("no input spec for monitored variable '" + n + "'");
+  for (const std::string& n : output_names)
+    if (!scheme.outputs.contains(n)) err("no output spec for controlled variable '" + n + "'");
+  for (const auto& [key, spec] : scheme.inputs) {
+    if (std::find(input_names.begin(), input_names.end(), key) == input_names.end())
+      err("input spec '" + key + "' does not match any PIM input");
+    if (spec.delay_min < 0 || spec.delay_min > spec.delay_max)
+      err("input '" + key + "': need 0 <= delay_min <= delay_max");
+    if (spec.read == ReadMechanism::kPolling) {
+      if (spec.signal == SignalType::kPulse)
+        err("input '" + key +
+            "': pulse signals have no sustained duration and cannot be read by polling "
+            "(use an interrupt)");
+      if (spec.polling_interval <= 0)
+        err("input '" + key + "': polling requires a positive polling interval");
+      if (spec.signal == SignalType::kSustainedDuration &&
+          spec.sustain_duration < spec.polling_interval)
+        err("input '" + key +
+            "': a sustained-duration signal shorter than the polling interval can be missed "
+            "(sustain_duration < polling_interval)");
+    }
+    if (spec.signal == SignalType::kSustainedDuration && spec.sustain_duration <= 0)
+      err("input '" + key + "': sustained-duration signals need a positive duration");
+  }
+  for (const auto& [key, spec] : scheme.outputs) {
+    if (std::find(output_names.begin(), output_names.end(), key) == output_names.end())
+      err("output spec '" + key + "' does not match any PIM output");
+    if (spec.delay_min < 0 || spec.delay_min > spec.delay_max)
+      err("output '" + key + "': need 0 <= delay_min <= delay_max");
+  }
+
+  const IoSpec& io = scheme.io;
+  if (io.invocation == InvocationKind::kPeriodic && io.period <= 0)
+    err("periodic invocation requires a positive period");
+  if (io.transfer == TransferKind::kBuffer && io.buffer_size <= 0)
+    err("buffer transfer requires a positive buffer size");
+  if (io.read_stage_max < 0 || io.compute_stage_max < 0 || io.write_stage_max < 0)
+    err("invocation stage bounds must be non-negative");
+  if (io.invocation == InvocationKind::kPeriodic &&
+      io.read_stage_max + io.compute_stage_max + io.write_stage_max > io.period)
+    err("invocation stages (read+compute+write = " +
+        std::to_string(io.read_stage_max + io.compute_stage_max + io.write_stage_max) +
+        ") exceed the invocation period (" + std::to_string(io.period) +
+        "); the task set is not schedulable");
+  return v;
+}
+
+ImplementationScheme example_is1(const std::vector<std::string>& input_names,
+                                 const std::vector<std::string>& output_names) {
+  ImplementationScheme is;
+  is.name = "IS1";
+  for (const std::string& n : input_names) {
+    InputSpec spec;
+    spec.signal = SignalType::kPulse;
+    spec.read = ReadMechanism::kInterrupt;
+    spec.delay_min = 1;
+    spec.delay_max = 3;
+    is.inputs.emplace(n, spec);
+  }
+  for (const std::string& n : output_names) {
+    OutputSpec spec;
+    spec.delay_min = 1;
+    spec.delay_max = 3;
+    is.outputs.emplace(n, spec);
+  }
+  is.io.invocation = InvocationKind::kPeriodic;
+  is.io.period = 100;
+  is.io.transfer = TransferKind::kBuffer;
+  is.io.read_policy = ReadPolicy::kReadAll;
+  is.io.buffer_size = 5;
+  return is;
+}
+
+}  // namespace psv::core

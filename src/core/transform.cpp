@@ -1,0 +1,228 @@
+// Orchestrator and software-side builders (MIO, ENVMC) of the PIM -> PSM
+// transformation. Platform-side builders live in transform_platform.cpp.
+#include "core/transform.h"
+
+#include <algorithm>
+
+#include "core/transform_detail.h"
+#include "ta/validate.h"
+#include "util/error.h"
+#include "util/strings.h"
+
+namespace psv::core {
+
+const InputArtifacts& PsmArtifacts::input(const std::string& base) const {
+  for (const auto& in : inputs)
+    if (in.base == base) return in;
+  PSV_FAIL("PSM has no input artifact named '" + base + "'");
+}
+
+const OutputArtifacts& PsmArtifacts::output(const std::string& base) const {
+  for (const auto& outv : outputs)
+    if (outv.base == base) return outv;
+  PSV_FAIL("PSM has no output artifact named '" + base + "'");
+}
+
+namespace detail {
+
+void declare_platform_objects(BuildContext& ctx) {
+  ta::Network& psm = ctx.out.psm;
+  const IoSpec& io = ctx.scheme.io;
+
+  ctx.software_chan_map.assign(ctx.pim.channels().size(), -1);
+
+  for (const std::string& base : ctx.info.inputs) {
+    const InputSpec& spec = ctx.scheme.input(base);
+    InputArtifacts in;
+    in.base = base;
+    in.ifmi_name = "IFMI_" + base;
+    in.m_chan = *psm.channel_by_name(std::string(kInputPrefix) + base);
+    in.i_chan = psm.add_channel(std::string(kProgInPrefix) + base, ta::ChanKind::kBinary);
+    ctx.software_chan_map[static_cast<std::size_t>(in.m_chan)] = in.i_chan;
+    in.proc_clock = psm.add_clock("h_" + base);
+    in.delay_clock = psm.add_clock("t_mi_" + base);
+    if (spec.read == ReadMechanism::kPolling) {
+      in.poll_clock = psm.add_clock("p_" + base);
+      in.latch = psm.add_var("pend_" + base, 0, 0, 1);
+    }
+    if (spec.signal == SignalType::kSustainedDuration &&
+        spec.read == ReadMechanism::kPolling) {
+      in.hold_clock = psm.add_clock("s_" + base);
+      in.holder_name = "HOLD_" + base;
+    }
+    if (io.transfer == TransferKind::kBuffer) {
+      in.queue = psm.add_var("qin_" + base, 0, 0, io.buffer_size);
+      in.overflow = psm.add_var("ovf_in_" + base, 0, 0, 1);
+    } else {
+      in.fresh = psm.add_var("fresh_" + base, 0, 0, 1);
+      in.lost = psm.add_var("lost_" + base, 0, 0, 1);
+    }
+    in.missed = psm.add_var("missed_" + base, 0, 0, 1);
+    in.pending = psm.add_var("in_pend_" + base, 0, 0, 1);
+    ctx.out.inputs.push_back(in);
+  }
+
+  for (const std::string& base : ctx.info.outputs) {
+    OutputArtifacts outv;
+    outv.base = base;
+    outv.ifoc_name = "IFOC_" + base;
+    outv.c_chan = *psm.channel_by_name(std::string(kOutputPrefix) + base);
+    outv.o_chan = psm.add_channel(std::string(kProgOutPrefix) + base, ta::ChanKind::kBinary);
+    ctx.software_chan_map[static_cast<std::size_t>(outv.c_chan)] = outv.o_chan;
+    outv.push_chan = psm.add_channel("push_" + base, ta::ChanKind::kBinary);
+    outv.proc_clock = psm.add_clock("g_" + base);
+    outv.delay_clock = psm.add_clock("t_oc_" + base);
+    // Output transfer uses the Output-Device backlog; shared-variable
+    // transfer behaves as a single overwritable slot (capacity 1).
+    const std::int32_t capacity =
+        io.transfer == TransferKind::kBuffer ? io.buffer_size : 1;
+    outv.queue = psm.add_var("qout_" + base, 0, 0, capacity);
+    outv.overflow = psm.add_var("ovf_out_" + base, 0, 0, 1);
+    outv.pending = psm.add_var("out_pend_" + base, 0, 0, 1);
+    ctx.out.outputs.push_back(outv);
+  }
+
+  if (io.invocation == InvocationKind::kPeriodic) {
+    ctx.out.period_clock = psm.add_clock("w_exe");
+  } else {
+    ctx.out.invoke_chan = psm.add_channel("invoke", ta::ChanKind::kBinary);
+  }
+  ctx.out.stage_clock = psm.add_clock("e_exe");
+
+  if (ctx.options.instrument_constraint4)
+    ctx.out.c4_violation = psm.add_var("c4_violation", 0, 0, 1);
+
+  // Location mirror of MIO (see PsmArtifacts::mio_loc). Declared here so
+  // both build_mio (writers) and build_exeio (readers) can reference it.
+  const ta::Automaton& software = ctx.pim.automaton(ctx.info.software);
+  ctx.out.mio_loc =
+      psm.add_var("mio_loc", software.initial(), 0,
+                  static_cast<std::int64_t>(software.locations().size()) - 1);
+}
+
+ta::IntExpr pending_inputs_sum(const BuildContext& ctx) {
+  ta::IntExpr sum = ta::IntExpr::constant(0);
+  for (const InputArtifacts& in : ctx.out.inputs) {
+    const ta::VarId counter = in.queue >= 0 ? in.queue : in.fresh;
+    sum = sum + ta::IntExpr::var(counter);
+  }
+  return sum;
+}
+
+void build_envmc(BuildContext& ctx) {
+  const ta::Automaton& env = ctx.pim.automaton(ctx.info.environment);
+  ta::Automaton envmc(ctx.out.env_name);
+  for (const ta::Location& loc : env.locations()) envmc.add_location(loc.name, loc.kind, loc.invariant);
+  envmc.set_initial(env.initial());
+  // Channel ids are preserved by construction (PIM channels are copied into
+  // the PSM first, in order), so edges copy verbatim.
+  for (const ta::Edge& e : env.edges()) envmc.add_edge(e);
+  ctx.out.psm.add_automaton(std::move(envmc));
+}
+
+void build_mio(BuildContext& ctx) {
+  const ta::Automaton& m = ctx.pim.automaton(ctx.info.software);
+  ta::Automaton mio(ctx.out.mio_name);
+  for (const ta::Location& loc : m.locations()) mio.add_location(loc.name, loc.kind, loc.invariant);
+  mio.set_initial(m.initial());
+
+  const ta::IntExpr pending_sum = pending_inputs_sum(ctx);
+
+  // Every location-changing edge maintains the mio_loc mirror variable.
+  auto with_mirror = [&ctx](ta::Edge edge) {
+    if (edge.src != edge.dst)
+      edge.update.assignments.push_back(
+          {ctx.out.mio_loc, ta::IntExpr::constant(edge.dst)});
+    return edge;
+  };
+
+  for (const ta::Edge& e : m.edges()) {
+    ta::Edge copy = e;
+    if (e.sync.dir != ta::SyncDir::kNone) {
+      const ta::ChanId mapped = ctx.software_chan_map[static_cast<std::size_t>(e.sync.chan)];
+      PSV_ASSERT(mapped >= 0, "software channel has no renamed counterpart");
+      copy.sync.chan = mapped;
+      copy.note = e.note.empty() ? "renamed from " + ctx.pim.channel_name(e.sync.chan) : e.note;
+      mio.add_edge(with_mirror(std::move(copy)));
+      continue;
+    }
+    // Internal edge. Optionally split for Constraint-4 instrumentation:
+    // firing while an input waits at the io-boundary is flagged.
+    if (ctx.options.instrument_constraint4) {
+      ta::Edge calm = copy;
+      calm.guard.data =
+          calm.guard.data && ta::BoolExpr::cmp(ta::CmpOp::kEq, pending_sum, ta::IntExpr::constant(0));
+      calm.note = "internal (no input pending)";
+      mio.add_edge(with_mirror(std::move(calm)));
+      ta::Edge racing = copy;
+      racing.guard.data = racing.guard.data &&
+                          ta::BoolExpr::cmp(ta::CmpOp::kGt, pending_sum, ta::IntExpr::constant(0));
+      racing.update.assignments.push_back({ctx.out.c4_violation, ta::IntExpr::constant(1)});
+      racing.note = "internal while input pending (Constraint 4)";
+      mio.add_edge(with_mirror(std::move(racing)));
+    } else {
+      mio.add_edge(with_mirror(std::move(copy)));
+    }
+  }
+
+  // Input-enabling: at every location without an explicit receive on i_X,
+  // add a discarding self-loop. Generated code reads every delivered input;
+  // inputs that do not match an enabled transition are dropped (§III-B).
+  for (const InputArtifacts& in : ctx.out.inputs) {
+    for (ta::LocId l = 0; l < static_cast<ta::LocId>(mio.locations().size()); ++l) {
+      bool has_receive = false;
+      for (int ei : mio.edges_from(l)) {
+        const ta::Edge& e = mio.edges()[static_cast<std::size_t>(ei)];
+        if (e.sync.dir == ta::SyncDir::kReceive && e.sync.chan == in.i_chan) has_receive = true;
+      }
+      if (!has_receive) {
+        ta::Edge drop;
+        drop.src = l;
+        drop.dst = l;
+        drop.sync = ta::SyncLabel::receive(in.i_chan);
+        drop.note = "input-enabled (discard unusable input)";
+        mio.add_edge(std::move(drop));
+      }
+    }
+  }
+
+  ctx.out.psm.add_automaton(std::move(mio));
+}
+
+}  // namespace detail
+
+PsmArtifacts transform(const ta::Network& pim, const PimInfo& info,
+                       const ImplementationScheme& scheme, TransformOptions options) {
+  const SchemeValidation sv = validate_scheme(scheme, info.inputs, info.outputs);
+  PSV_REQUIRE(sv.ok(), "implementation scheme '" + scheme.name +
+                           "' is invalid for this PIM:\n" + sv.to_string());
+
+  PsmArtifacts out;
+  out.scheme = scheme;
+  out.psm = ta::Network(pim.name() + "_psm_" + scheme.name);
+
+  // Copy PIM declarations first so all PIM-side ids are preserved and the
+  // copied automata need no expression rewriting.
+  for (const auto& c : pim.clocks()) out.psm.add_clock(c.name);
+  for (const auto& v : pim.vars()) out.psm.add_var(v.name, v.init, v.min, v.max);
+  for (const auto& ch : pim.channels()) {
+    // Environment input signals become broadcast: a button press happens
+    // whether or not the platform is ready (missed inputs are then
+    // observable). Output delivery stays binary (blocking pickup).
+    const bool is_input = starts_with(ch.name, kInputPrefix);
+    out.psm.add_channel(ch.name, is_input ? ta::ChanKind::kBroadcast : ta::ChanKind::kBinary);
+  }
+
+  detail::BuildContext ctx{pim, info, scheme, options, out, {}};
+  detail::declare_platform_objects(ctx);
+  detail::build_envmc(ctx);
+  detail::build_mio(ctx);
+  for (const InputArtifacts& in : out.inputs) detail::build_ifmi(ctx, in);
+  for (const OutputArtifacts& outv : out.outputs) detail::build_ifoc(ctx, outv);
+  detail::build_exeio(ctx);
+
+  ta::validate_or_throw(out.psm);
+  return out;
+}
+
+}  // namespace psv::core

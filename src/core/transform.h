@@ -1,0 +1,107 @@
+// Modular PIM -> PSM transformation (the paper's §IV).
+//
+// Given a platform-independent model M || ENV and an implementation scheme
+// IS, construct the platform-specific model
+//
+//     PSM = MIO || IFMI_1 .. IFMI_k || IFOC_1 .. IFOC_j || EXEIO || ENVMC
+//
+// where
+//   * MIO    is M with channels renamed m_X -> i_X and c_Y -> o_Y, made
+//            input-enabled (generated code reads unconditionally and
+//            discards inputs it cannot use);
+//   * ENVMC  is ENV unchanged (its m_* channels become broadcast so that
+//            physical events occur whether or not the platform is ready);
+//   * IFMI_X models the Input-Device for monitored variable X: interrupt or
+//            polling detection, processing delay [delay_min, delay_max],
+//            and delivery into a bounded FIFO or shared slot (Fig. 5-1);
+//   * IFOC_Y models the Output-Device: backlog queue, processing delay, and
+//            delivery of c_Y to the environment (Fig. 5-2);
+//   * EXEIO  models the invocation cycle of Code(PIM): Waiting -> Read ->
+//            Compute -> Write -> Waiting, gated periodically or
+//            aperiodically (Fig. 6).
+//
+// The construction also injects the measurement probes used by the delay
+// analysis (§V): per-input clocks t_mi_X (Input-Delay), per-output clocks
+// t_oc_Y (Output-Delay), and sticky flags for missed inputs, buffer
+// overflows and Constraint-4 violations.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pim.h"
+#include "core/scheme.h"
+#include "ta/model.h"
+
+namespace psv::core {
+
+/// Handles into the PSM for one monitored variable X.
+struct InputArtifacts {
+  std::string base;            ///< base name, e.g. "BolusReq"
+  ta::ChanId m_chan = -1;      ///< broadcast channel m_X (environment signal)
+  ta::ChanId i_chan = -1;      ///< binary channel i_X (code reads input)
+  ta::ClockId proc_clock = -1; ///< h_X: Input-Device processing timer
+  ta::ClockId poll_clock = -1; ///< p_X: polling timer (polling only)
+  ta::ClockId hold_clock = -1; ///< s_X: signal hold timer (sustained-duration)
+  ta::ClockId delay_clock = -1;///< t_mi_X: Input-Delay probe
+  ta::VarId queue = -1;        ///< qin_X: FIFO fill (buffer transfer)
+  ta::VarId fresh = -1;        ///< fresh_X: slot flag (shared-variable transfer)
+  ta::VarId latch = -1;        ///< pend_X: latched signal level (polling)
+  ta::VarId overflow = -1;     ///< ovf_in_X: sticky input-buffer overflow
+  ta::VarId lost = -1;         ///< lost_X: sticky shared-slot overwrite
+  ta::VarId missed = -1;       ///< missed_X: sticky Constraint-1 violation
+  ta::VarId pending = -1;      ///< in_pend_X: Input-Delay probe armed
+  std::string ifmi_name;       ///< "IFMI_<X>"
+  std::string holder_name;     ///< "HOLD_<X>" (sustained-duration only)
+};
+
+/// Handles into the PSM for one controlled variable Y.
+struct OutputArtifacts {
+  std::string base;             ///< base name, e.g. "StartInfusion"
+  ta::ChanId c_chan = -1;       ///< binary channel c_Y (delivery to ENV)
+  ta::ChanId o_chan = -1;       ///< binary channel o_Y (code writes output)
+  ta::ChanId push_chan = -1;    ///< internal handoff EXEIO -> IFOC
+  ta::ClockId proc_clock = -1;  ///< g_Y: Output-Device processing timer
+  ta::ClockId delay_clock = -1; ///< t_oc_Y: Output-Delay probe
+  ta::VarId queue = -1;         ///< qout_Y: Output-Device backlog
+  ta::VarId overflow = -1;      ///< ovf_out_Y: sticky output-buffer overflow
+  ta::VarId pending = -1;       ///< out_pend_Y: Output-Delay probe armed
+  std::string ifoc_name;        ///< "IFOC_<Y>"
+};
+
+/// Options controlling optional parts of the construction.
+struct TransformOptions {
+  /// Split MIO's internal edges to flag transitions taken while an input is
+  /// waiting at the io-boundary (Constraint 4 instrumentation).
+  bool instrument_constraint4 = true;
+};
+
+/// The constructed PSM plus all instrumentation handles.
+struct PsmArtifacts {
+  ta::Network psm;
+  std::vector<InputArtifacts> inputs;
+  std::vector<OutputArtifacts> outputs;
+  std::string mio_name = "MIO";
+  std::string env_name = "ENVMC";
+  std::string exe_name = "EXEIO";
+  ta::ClockId period_clock = -1;  ///< w (periodic invocation)
+  ta::ClockId stage_clock = -1;   ///< e (invocation stage timer)
+  ta::ChanId invoke_chan = -1;    ///< aperiodic invocation handoff
+  ta::VarId c4_violation = -1;    ///< sticky Constraint-4 flag
+  /// Mirror of MIO's control location (generated code is deterministic and
+  /// eager: EXEIO's write stage may only end once MIO cannot emit, which
+  /// requires observing MIO's location in guards).
+  ta::VarId mio_loc = -1;
+  ImplementationScheme scheme;    ///< the scheme the PSM was built for
+
+  const InputArtifacts& input(const std::string& base) const;
+  const OutputArtifacts& output(const std::string& base) const;
+};
+
+/// Transform `pim` (analyzed as `info`) under `scheme` into a PSM.
+/// Throws psv::Error when the scheme fails validation against the PIM or
+/// the PIM violates a transformation restriction.
+PsmArtifacts transform(const ta::Network& pim, const PimInfo& info,
+                       const ImplementationScheme& scheme, TransformOptions options = {});
+
+}  // namespace psv::core

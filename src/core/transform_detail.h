@@ -1,0 +1,47 @@
+// Shared state between the transformation's builder translation units.
+// Internal header — not part of the public API.
+#pragma once
+
+#include "core/transform.h"
+
+namespace psv::core::detail {
+
+/// Mutable context threaded through the PSM builders.
+struct BuildContext {
+  const ta::Network& pim;
+  const PimInfo& info;
+  const ImplementationScheme& scheme;
+  const TransformOptions& options;
+  PsmArtifacts& out;  ///< psm network and artifact handles under construction
+
+  /// Map from PIM channel id to PSM channel id for the renamed software
+  /// vocabulary: m_X -> i_X and c_Y -> o_Y (indexed by PIM channel id).
+  std::vector<ta::ChanId> software_chan_map;
+};
+
+/// Declare clocks/vars/channels for every input and output and fill the
+/// artifact handle structs (declarations only; automata come later).
+void declare_platform_objects(BuildContext& ctx);
+
+/// Copy ENV verbatim into the PSM as ENVMC.
+void build_envmc(BuildContext& ctx);
+
+/// Copy M into the PSM as MIO: rename channels, add input-enabling
+/// self-loops, optionally instrument Constraint 4.
+void build_mio(BuildContext& ctx);
+
+/// Per-input Input-Device automata (IFMI_X, plus HOLD_X for
+/// sustained-duration signals).
+void build_ifmi(BuildContext& ctx, const InputArtifacts& in);
+
+/// Per-output Output-Device automata (IFOC_Y).
+void build_ifoc(BuildContext& ctx, const OutputArtifacts& outv);
+
+/// The code-execution automaton (EXEIO).
+void build_exeio(BuildContext& ctx);
+
+/// Sum of all pending-input counters (queue fills or fresh flags); used by
+/// read-stage exit guards and Constraint-4 instrumentation.
+ta::IntExpr pending_inputs_sum(const BuildContext& ctx);
+
+}  // namespace psv::core::detail

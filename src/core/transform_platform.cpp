@@ -1,0 +1,637 @@
+// Platform-side builders of the PIM -> PSM transformation: the Input-Device
+// interface automata (IFMI_X, Fig. 5-1), the Output-Device interface
+// automata (IFOC_Y, Fig. 5-2) and the code-execution automaton (EXEIO,
+// Fig. 6).
+#include <algorithm>
+
+#include "core/transform_detail.h"
+#include "util/error.h"
+
+namespace psv::core::detail {
+
+namespace {
+
+using ta::Automaton;
+using ta::cc_eq;
+using ta::cc_ge;
+using ta::cc_gt;
+using ta::cc_le;
+using ta::cc_lt;
+using ta::ChanKind;
+using ta::Edge;
+using ta::IntExpr;
+using ta::LocId;
+using ta::LocKind;
+using ta::SyncLabel;
+using ta::var_eq;
+using ta::var_gt;
+using ta::var_lt;
+
+/// incr/decr helpers for counter variables.
+ta::Assignment incr(ta::VarId v) { return {v, IntExpr::var(v) + IntExpr::constant(1)}; }
+ta::Assignment decr(ta::VarId v) { return {v, IntExpr::var(v) - IntExpr::constant(1)}; }
+ta::Assignment set_flag(ta::VarId v, std::int64_t value) { return {v, IntExpr::constant(value)}; }
+
+/// The two "insert processed input" edges of IFMI (paper Fig. 5-1): enqueue
+/// when a slot is free, flag overflow / overwrite otherwise. Under
+/// aperiodic invocation a successful insert additionally notifies EXEIO via
+/// the invoke channel (instant handoff through a committed location).
+void add_insert_edges(const BuildContext& ctx, Automaton& aut, const InputArtifacts& in,
+                      LocId from, LocId to, const InputSpec& spec,
+                      const std::vector<ta::Assignment>& extra_updates,
+                      const std::vector<ta::ClockReset>& extra_resets) {
+  const bool buffered = in.queue >= 0;
+  const ta::VarId counter = buffered ? in.queue : in.fresh;
+  const std::int32_t capacity =
+      buffered ? ctx.scheme.io.buffer_size : 1;
+  const bool aperiodic = ctx.scheme.io.invocation == InvocationKind::kAperiodic;
+
+  LocId insert_target = to;
+  if (aperiodic) {
+    const LocId notify = aut.add_location("Notify_" + aut.locations()[static_cast<std::size_t>(from)].name,
+                                          LocKind::kCommitted);
+    Edge wake;
+    wake.src = notify;
+    wake.dst = to;
+    wake.sync = SyncLabel::send(ctx.out.invoke_chan);
+    wake.note = "aperiodic invocation request";
+    aut.add_edge(std::move(wake));
+    insert_target = notify;
+  }
+
+  Edge ok;
+  ok.src = from;
+  ok.dst = insert_target;
+  ok.guard.clocks.push_back(cc_ge(in.proc_clock, spec.delay_min));
+  ok.guard.data = var_lt(counter, capacity);
+  ok.update.assignments.push_back(buffered ? incr(counter) : set_flag(counter, 1));
+  for (const auto& a : extra_updates) ok.update.assignments.push_back(a);
+  for (const auto& r : extra_resets) ok.update.resets.push_back(r);
+  ok.note = buffered ? "processed input -> enqueue" : "processed input -> shared slot";
+  aut.add_edge(std::move(ok));
+
+  Edge full;
+  full.src = from;
+  full.dst = to;
+  full.guard.clocks.push_back(cc_ge(in.proc_clock, spec.delay_min));
+  full.guard.data = var_eq(counter, capacity);
+  if (buffered) {
+    full.update.assignments.push_back(set_flag(in.overflow, 1));
+    full.note = "buffer full -> input dropped (overflow)";
+  } else {
+    full.update.assignments.push_back(set_flag(in.lost, 1));
+    full.note = "unread slot overwritten (input lost)";
+  }
+  for (const auto& a : extra_updates) full.update.assignments.push_back(a);
+  for (const auto& r : extra_resets) full.update.resets.push_back(r);
+  aut.add_edge(std::move(full));
+}
+
+/// Receiving edges that latch the environment signal into `in.latch` and arm
+/// the Input-Delay probe. Added as self-loops on `loc` (used by the polling
+/// variants, where signal arrival does not change the device's control
+/// state).
+void add_latch_edges(Automaton& aut, const InputArtifacts& in, LocId loc) {
+  Edge first;
+  first.src = loc;
+  first.dst = loc;
+  first.sync = SyncLabel::receive(in.m_chan);
+  first.guard.data = var_eq(in.latch, 0) && var_eq(in.pending, 0);
+  first.update.assignments.push_back(set_flag(in.latch, 1));
+  first.update.assignments.push_back(set_flag(in.pending, 1));
+  first.update.resets.push_back({in.delay_clock, 0});
+  first.note = "signal latched; Input-Delay probe armed";
+  aut.add_edge(std::move(first));
+
+  Edge tracked;
+  tracked.src = loc;
+  tracked.dst = loc;
+  tracked.sync = SyncLabel::receive(in.m_chan);
+  tracked.guard.data = var_eq(in.latch, 0) && var_eq(in.pending, 1);
+  tracked.update.assignments.push_back(set_flag(in.latch, 1));
+  tracked.note = "signal latched (probe already tracking an older input)";
+  aut.add_edge(std::move(tracked));
+
+  Edge missed;
+  missed.src = loc;
+  missed.dst = loc;
+  missed.sync = SyncLabel::receive(in.m_chan);
+  missed.guard.data = var_eq(in.latch, 1);
+  missed.update.assignments.push_back(set_flag(in.missed, 1));
+  missed.note = "signal arrived while latch busy (Constraint 1 violation)";
+  aut.add_edge(std::move(missed));
+}
+
+/// IFMI for interrupt-driven inputs (the paper's Fig. 5-1 shape):
+///   Idle --m_X?--> Processing[h<=delay_max] --h>=delay_min--> Idle {insert}
+/// plus missed-input detection while the service routine is busy.
+void build_ifmi_interrupt(BuildContext& ctx, const InputArtifacts& in, const InputSpec& spec) {
+  Automaton aut(in.ifmi_name);
+  const LocId idle = aut.add_location("Idle");
+  const LocId processing =
+      aut.add_location("Processing", LocKind::kNormal, {cc_le(in.proc_clock, spec.delay_max)});
+
+  Edge take_fresh;
+  take_fresh.src = idle;
+  take_fresh.dst = processing;
+  take_fresh.sync = SyncLabel::receive(in.m_chan);
+  take_fresh.guard.data = var_eq(in.pending, 0);
+  take_fresh.update.assignments.push_back(set_flag(in.pending, 1));
+  take_fresh.update.resets.push_back({in.proc_clock, 0});
+  take_fresh.update.resets.push_back({in.delay_clock, 0});
+  take_fresh.note = "interrupt service begins; Input-Delay probe armed";
+  aut.add_edge(std::move(take_fresh));
+
+  Edge take_tracked;
+  take_tracked.src = idle;
+  take_tracked.dst = processing;
+  take_tracked.sync = SyncLabel::receive(in.m_chan);
+  take_tracked.guard.data = var_eq(in.pending, 1);
+  take_tracked.update.resets.push_back({in.proc_clock, 0});
+  take_tracked.note = "interrupt service begins (probe busy with older input)";
+  aut.add_edge(std::move(take_tracked));
+
+  add_insert_edges(ctx, aut, in, processing, idle, spec, {}, {});
+
+  Edge missed;
+  missed.src = processing;
+  missed.dst = processing;
+  missed.sync = SyncLabel::receive(in.m_chan);
+  missed.update.assignments.push_back(set_flag(in.missed, 1));
+  missed.note = "signal during service routine is lost (Constraint 1 violation)";
+  aut.add_edge(std::move(missed));
+
+  ctx.out.psm.add_automaton(std::move(aut));
+}
+
+/// IFMI for polled inputs. The environment signal sets a latch (hardware
+/// latch for sustained-until-read signals; the HOLD_X automaton manages the
+/// level for sustained-duration signals); every polling_interval the device
+/// samples the latch and processes a set signal.
+void build_ifmi_polling(BuildContext& ctx, const InputArtifacts& in, const InputSpec& spec) {
+  Automaton aut(in.ifmi_name);
+  const LocId wait =
+      aut.add_location("Wait", LocKind::kNormal, {cc_le(in.poll_clock, spec.polling_interval)});
+  const LocId processing =
+      aut.add_location("Processing", LocKind::kNormal, {cc_le(in.proc_clock, spec.delay_max)});
+
+  const bool latch_owned_here = spec.signal == SignalType::kSustainedUntilRead;
+  if (latch_owned_here) {
+    // Latch edges live on the device for hardware-latched signals; a
+    // sustained-duration signal's level is managed by HOLD_X instead.
+    add_latch_edges(aut, in, wait);
+    add_latch_edges(aut, in, processing);
+  }
+
+  Edge poll_hit;
+  poll_hit.src = wait;
+  poll_hit.dst = processing;
+  poll_hit.guard.clocks.push_back(cc_eq(in.poll_clock, spec.polling_interval));
+  poll_hit.guard.data = var_eq(in.latch, 1);
+  poll_hit.update.assignments.push_back(set_flag(in.latch, 0));
+  poll_hit.update.resets.push_back({in.poll_clock, 0});
+  poll_hit.update.resets.push_back({in.proc_clock, 0});
+  poll_hit.note = "poll sampled a set latch";
+  aut.add_edge(std::move(poll_hit));
+
+  Edge poll_miss;
+  poll_miss.src = wait;
+  poll_miss.dst = wait;
+  poll_miss.guard.clocks.push_back(cc_eq(in.poll_clock, spec.polling_interval));
+  poll_miss.guard.data = var_eq(in.latch, 0);
+  poll_miss.update.resets.push_back({in.poll_clock, 0});
+  poll_miss.note = "empty poll";
+  aut.add_edge(std::move(poll_miss));
+
+  add_insert_edges(ctx, aut, in, processing, wait, spec, {}, {{in.poll_clock, 0}});
+
+  ctx.out.psm.add_automaton(std::move(aut));
+
+  if (spec.signal == SignalType::kSustainedDuration) {
+    // HOLD_X keeps the signal level high for sustain_duration, then drops
+    // it; a level that expires unread is a missed input.
+    Automaton holder(in.holder_name);
+    const LocId low = holder.add_location("Low");
+    const LocId high =
+        holder.add_location("High", LocKind::kNormal, {cc_le(in.hold_clock, spec.sustain_duration)});
+
+    Edge rise_fresh;
+    rise_fresh.src = low;
+    rise_fresh.dst = high;
+    rise_fresh.sync = SyncLabel::receive(in.m_chan);
+    rise_fresh.guard.data = var_eq(in.pending, 0);
+    rise_fresh.update.assignments.push_back(set_flag(in.latch, 1));
+    rise_fresh.update.assignments.push_back(set_flag(in.pending, 1));
+    rise_fresh.update.resets.push_back({in.hold_clock, 0});
+    rise_fresh.update.resets.push_back({in.delay_clock, 0});
+    rise_fresh.note = "signal rises; Input-Delay probe armed";
+    holder.add_edge(std::move(rise_fresh));
+
+    Edge rise_tracked = {};
+    rise_tracked.src = low;
+    rise_tracked.dst = high;
+    rise_tracked.sync = SyncLabel::receive(in.m_chan);
+    rise_tracked.guard.data = var_eq(in.pending, 1);
+    rise_tracked.update.assignments.push_back(set_flag(in.latch, 1));
+    rise_tracked.update.resets.push_back({in.hold_clock, 0});
+    rise_tracked.note = "signal rises (probe busy)";
+    holder.add_edge(std::move(rise_tracked));
+
+    Edge overlap;
+    overlap.src = high;
+    overlap.dst = high;
+    overlap.sync = SyncLabel::receive(in.m_chan);
+    overlap.update.assignments.push_back(set_flag(in.missed, 1));
+    overlap.note = "signal re-raised while high (Constraint 1 violation)";
+    holder.add_edge(std::move(overlap));
+
+    Edge expire_unread;
+    expire_unread.src = high;
+    expire_unread.dst = low;
+    expire_unread.guard.clocks.push_back(cc_eq(in.hold_clock, spec.sustain_duration));
+    expire_unread.guard.data = var_eq(in.latch, 1);
+    expire_unread.update.assignments.push_back(set_flag(in.latch, 0));
+    expire_unread.update.assignments.push_back(set_flag(in.missed, 1));
+    expire_unread.note = "signal expired before any poll read it (Constraint 1 violation)";
+    holder.add_edge(std::move(expire_unread));
+
+    Edge expire_read;
+    expire_read.src = high;
+    expire_read.dst = low;
+    expire_read.guard.clocks.push_back(cc_eq(in.hold_clock, spec.sustain_duration));
+    expire_read.guard.data = var_eq(in.latch, 0);
+    expire_read.note = "signal expired after being read";
+    holder.add_edge(std::move(expire_read));
+
+    ctx.out.psm.add_automaton(std::move(holder));
+  }
+}
+
+}  // namespace
+
+void build_ifmi(BuildContext& ctx, const InputArtifacts& in) {
+  const InputSpec& spec = ctx.scheme.input(in.base);
+  if (spec.read == ReadMechanism::kInterrupt) {
+    build_ifmi_interrupt(ctx, in, spec);
+  } else {
+    build_ifmi_polling(ctx, in, spec);
+  }
+}
+
+void build_ifoc(BuildContext& ctx, const OutputArtifacts& outv) {
+  const OutputSpec& spec = ctx.scheme.output(outv.base);
+  const std::int32_t capacity =
+      ctx.scheme.io.transfer == TransferKind::kBuffer ? ctx.scheme.io.buffer_size : 1;
+
+  Automaton aut(outv.ifoc_name);
+  const LocId idle = aut.add_location("Idle");
+  const LocId processing =
+      aut.add_location("Processing", LocKind::kNormal, {cc_le(outv.proc_clock, spec.delay_max)});
+  // Ready is urgent: a processed output is made visible to the environment
+  // immediately; if the environment cannot accept it, time freezes — which
+  // the constraint checker reports (Constraint 3's "environment reads fast
+  // enough" condition).
+  const LocId ready = aut.add_location("Ready", LocKind::kUrgent);
+  const LocId drain = aut.add_location("DrainCheck", LocKind::kCommitted);
+
+  Edge start;
+  start.src = idle;
+  start.dst = processing;
+  start.sync = SyncLabel::receive(outv.push_chan);
+  start.update.resets.push_back({outv.proc_clock, 0});
+  start.note = "output handed off; processing starts";
+  aut.add_edge(std::move(start));
+
+  // Pushes arriving while the device is busy pile into the backlog.
+  for (const LocId busy : {processing, ready, drain}) {
+    Edge backlog;
+    backlog.src = busy;
+    backlog.dst = busy;
+    backlog.sync = SyncLabel::receive(outv.push_chan);
+    backlog.guard.data = var_lt(outv.queue, capacity);
+    backlog.update.assignments.push_back(incr(outv.queue));
+    backlog.note = "device busy; output queued";
+    aut.add_edge(std::move(backlog));
+
+    Edge spill;
+    spill.src = busy;
+    spill.dst = busy;
+    spill.sync = SyncLabel::receive(outv.push_chan);
+    spill.guard.data = var_eq(outv.queue, capacity);
+    spill.update.assignments.push_back(set_flag(outv.overflow, 1));
+    spill.note = "output backlog full -> dropped (overflow)";
+    aut.add_edge(std::move(spill));
+  }
+
+  Edge done;
+  done.src = processing;
+  done.dst = ready;
+  done.guard.clocks.push_back(cc_ge(outv.proc_clock, spec.delay_min));
+  done.note = "output processing complete";
+  aut.add_edge(std::move(done));
+
+  Edge deliver;
+  deliver.src = ready;
+  deliver.dst = drain;
+  deliver.sync = SyncLabel::send(outv.c_chan);
+  deliver.update.assignments.push_back(set_flag(outv.pending, 0));
+  deliver.note = "controlled variable written (environment observes c)";
+  aut.add_edge(std::move(deliver));
+
+  Edge next;
+  next.src = drain;
+  next.dst = processing;
+  next.guard.data = var_gt(outv.queue, 0);
+  next.update.assignments.push_back(decr(outv.queue));
+  next.update.resets.push_back({outv.proc_clock, 0});
+  next.note = "backlog non-empty; process next output";
+  aut.add_edge(std::move(next));
+
+  Edge rest;
+  rest.src = drain;
+  rest.dst = idle;
+  rest.guard.data = var_eq(outv.queue, 0);
+  rest.note = "backlog empty";
+  aut.add_edge(std::move(rest));
+
+  ctx.out.psm.add_automaton(std::move(aut));
+}
+
+void build_exeio(BuildContext& ctx) {
+  const IoSpec& io = ctx.scheme.io;
+  Automaton aut(ctx.out.exe_name);
+
+  std::vector<ta::ClockConstraint> waiting_inv;
+  if (io.invocation == InvocationKind::kPeriodic)
+    waiting_inv.push_back(cc_le(ctx.out.period_clock, io.period));
+  const LocId waiting = aut.add_location("Waiting", LocKind::kNormal, waiting_inv);
+  const LocId read =
+      aut.add_location("ReadInput", LocKind::kNormal, {cc_le(ctx.out.stage_clock, io.read_stage_max)});
+  const LocId compute = aut.add_location("ComputeTransitions", LocKind::kNormal,
+                                         {cc_le(ctx.out.stage_clock, io.compute_stage_max)});
+  const LocId write = aut.add_location("WriteOutput", LocKind::kNormal,
+                                       {cc_le(ctx.out.stage_clock, io.write_stage_max)});
+
+  // --- invocation ---------------------------------------------------------
+  if (io.invocation == InvocationKind::kPeriodic) {
+    Edge invoke;
+    invoke.src = waiting;
+    invoke.dst = read;
+    invoke.guard.clocks.push_back(cc_eq(ctx.out.period_clock, io.period));
+    invoke.update.resets.push_back({ctx.out.period_clock, 0});
+    invoke.update.resets.push_back({ctx.out.stage_clock, 0});
+    invoke.note = "periodic invocation";
+    aut.add_edge(std::move(invoke));
+  } else {
+    Edge invoke;
+    invoke.src = waiting;
+    invoke.dst = read;
+    invoke.sync = SyncLabel::receive(ctx.out.invoke_chan);
+    invoke.update.resets.push_back({ctx.out.stage_clock, 0});
+    invoke.note = "aperiodic invocation (input delivery)";
+    aut.add_edge(std::move(invoke));
+    // Requests arriving mid-cycle are coalesced: the running invocation
+    // will read the freshly delivered input (read-all) or the next
+    // invocation will (read-one).
+    for (const LocId busy : {read, compute, write}) {
+      Edge coalesce;
+      coalesce.src = busy;
+      coalesce.dst = busy;
+      coalesce.sync = SyncLabel::receive(ctx.out.invoke_chan);
+      coalesce.note = "invocation request coalesced (already running)";
+      aut.add_edge(std::move(coalesce));
+    }
+  }
+
+  // --- read stage -----------------------------------------------------------
+  ta::BoolExpr all_empty = ta::BoolExpr::truth();
+  for (const InputArtifacts& in : ctx.out.inputs) {
+    const ta::VarId counter = in.queue >= 0 ? in.queue : in.fresh;
+    all_empty = all_empty && var_eq(counter, 0);
+
+    const LocId after_read = io.read_policy == ReadPolicy::kReadAll ? read : compute;
+    // Deliver one input to the code. Two variants keep the Input-Delay
+    // probe exact: the tracked (oldest) input clears the probe.
+    Edge deliver_tracked;
+    deliver_tracked.src = read;
+    deliver_tracked.dst = after_read;
+    deliver_tracked.sync = SyncLabel::send(in.i_chan);
+    deliver_tracked.guard.data = var_gt(counter, 0) && var_eq(in.pending, 1);
+    deliver_tracked.update.assignments.push_back(in.queue >= 0 ? decr(counter)
+                                                               : set_flag(counter, 0));
+    deliver_tracked.update.assignments.push_back(set_flag(in.pending, 0));
+    if (io.read_policy == ReadPolicy::kReadOne)
+      deliver_tracked.update.resets.push_back({ctx.out.stage_clock, 0});
+    deliver_tracked.note = "code reads input (Input-Delay probe stops)";
+    aut.add_edge(std::move(deliver_tracked));
+
+    Edge deliver_rest;
+    deliver_rest.src = read;
+    deliver_rest.dst = after_read;
+    deliver_rest.sync = SyncLabel::send(in.i_chan);
+    deliver_rest.guard.data = var_gt(counter, 0) && var_eq(in.pending, 0);
+    deliver_rest.update.assignments.push_back(in.queue >= 0 ? decr(counter)
+                                                            : set_flag(counter, 0));
+    if (io.read_policy == ReadPolicy::kReadOne)
+      deliver_rest.update.resets.push_back({ctx.out.stage_clock, 0});
+    deliver_rest.note = "code reads input";
+    aut.add_edge(std::move(deliver_rest));
+  }
+
+  Edge read_done;
+  read_done.src = read;
+  read_done.dst = compute;
+  read_done.guard.data = all_empty;
+  read_done.update.resets.push_back({ctx.out.stage_clock, 0});
+  read_done.note = io.read_policy == ReadPolicy::kReadAll ? "all buffered inputs consumed"
+                                                          : "no input available";
+  aut.add_edge(std::move(read_done));
+
+  // --- compute stage ---------------------------------------------------------
+  Edge computed;
+  computed.src = compute;
+  computed.dst = write;
+  computed.update.resets.push_back({ctx.out.stage_clock, 0});
+  computed.note = "transition computation done";
+  aut.add_edge(std::move(computed));
+
+  // --- write stage -----------------------------------------------------------
+  for (const OutputArtifacts& outv : ctx.out.outputs) {
+    const LocId handoff =
+        aut.add_location("Handoff_" + outv.base, LocKind::kCommitted);
+
+    Edge accept_fresh;
+    accept_fresh.src = write;
+    accept_fresh.dst = handoff;
+    accept_fresh.sync = SyncLabel::receive(outv.o_chan);
+    accept_fresh.guard.data = var_eq(outv.pending, 0);
+    accept_fresh.update.assignments.push_back(set_flag(outv.pending, 1));
+    accept_fresh.update.resets.push_back({outv.delay_clock, 0});
+    accept_fresh.note = "code wrote output (Output-Delay probe armed)";
+    aut.add_edge(std::move(accept_fresh));
+
+    Edge accept_more;
+    accept_more.src = write;
+    accept_more.dst = handoff;
+    accept_more.sync = SyncLabel::receive(outv.o_chan);
+    accept_more.guard.data = var_eq(outv.pending, 1);
+    accept_more.note = "code wrote output (probe busy with older output)";
+    aut.add_edge(std::move(accept_more));
+
+    Edge push;
+    push.src = handoff;
+    push.dst = write;
+    push.sync = SyncLabel::send(outv.push_chan);
+    push.note = "output handed to Output-Device";
+    aut.add_edge(std::move(push));
+  }
+
+  // --- leaving the write stage ------------------------------------------
+  // Generated code is eager: it emits an output at the first invocation
+  // where the guard holds. The write stage therefore may only end when MIO
+  // cannot currently emit; otherwise the blocked exit plus the stage
+  // invariant force the o-synchronization to happen within this stage.
+  // "Cannot emit" is expressed per MIO location (observed through the
+  // mio_loc mirror variable) as the negation of the output-edge guards.
+  struct ExitOption {
+    ta::BoolExpr data = ta::BoolExpr::truth();
+    std::vector<ta::ClockConstraint> clocks;
+  };
+  std::vector<ExitOption> exit_options;
+  // For aperiodic invocation: one wake-up edge per output guard, modeling
+  // the runtime timer armed for the code's next emission deadline.
+  std::vector<ExitOption> deadline_wakeups;
+  {
+    const ta::Automaton& mio =
+        ctx.out.psm.automaton(*ctx.out.psm.automaton_by_name(ctx.out.mio_name));
+    std::vector<ta::ChanId> out_chans;
+    for (const OutputArtifacts& o : ctx.out.outputs) out_chans.push_back(o.o_chan);
+    auto clock_option = [](ta::ClockConstraint cc) {
+      ExitOption o;
+      o.clocks.push_back(cc);
+      return o;
+    };
+    auto negations = [&clock_option](const ta::Edge& e) {
+      // Ways the guard of an output edge can be false (one per disjunct).
+      std::vector<ExitOption> opts;
+      if (!e.guard.data.is_trivially_true()) {
+        ExitOption o;
+        o.data = !e.guard.data;
+        opts.push_back(std::move(o));
+      }
+      for (const ta::ClockConstraint& cc : e.guard.clocks) {
+        switch (cc.op) {
+          case ta::CmpOp::kGe: opts.push_back(clock_option(cc_lt(cc.clock, cc.bound))); break;
+          case ta::CmpOp::kGt: opts.push_back(clock_option(cc_le(cc.clock, cc.bound))); break;
+          case ta::CmpOp::kLe: opts.push_back(clock_option(cc_gt(cc.clock, cc.bound))); break;
+          case ta::CmpOp::kLt: opts.push_back(clock_option(cc_ge(cc.clock, cc.bound))); break;
+          case ta::CmpOp::kEq:
+            opts.push_back(clock_option(cc_lt(cc.clock, cc.bound)));
+            opts.push_back(clock_option(cc_gt(cc.clock, cc.bound)));
+            break;
+          case ta::CmpOp::kNe:
+            opts.push_back(clock_option(cc_eq(cc.clock, cc.bound)));
+            break;
+        }
+      }
+      return opts;
+    };
+    for (ta::LocId v = 0; v < static_cast<ta::LocId>(mio.locations().size()); ++v) {
+      std::vector<const ta::Edge*> emitting;
+      for (int ei : mio.edges_from(v)) {
+        const ta::Edge& e = mio.edges()[static_cast<std::size_t>(ei)];
+        if (e.sync.dir == ta::SyncDir::kSend &&
+            std::find(out_chans.begin(), out_chans.end(), e.sync.chan) != out_chans.end())
+          emitting.push_back(&e);
+      }
+      ExitOption at_v;
+      at_v.data = var_eq(ctx.out.mio_loc, v);
+      if (emitting.empty()) {
+        exit_options.push_back(at_v);
+        continue;
+      }
+      for (const ta::Edge* e : emitting) {
+        ExitOption wake;
+        wake.data = at_v.data && e->guard.data;
+        wake.clocks = e->guard.clocks;
+        deadline_wakeups.push_back(std::move(wake));
+      }
+      // Cartesian product: pick one falsifying disjunct per emitting edge.
+      std::vector<ExitOption> partial = {at_v};
+      bool possible = true;
+      for (const ta::Edge* e : emitting) {
+        const std::vector<ExitOption> opts = negations(*e);
+        if (opts.empty()) {  // unguarded output edge: always enabled at v
+          possible = false;
+          break;
+        }
+        std::vector<ExitOption> next;
+        for (const ExitOption& p : partial) {
+          for (const ExitOption& o : opts) {
+            ExitOption merged = p;
+            merged.data = merged.data && o.data;
+            merged.clocks.insert(merged.clocks.end(), o.clocks.begin(), o.clocks.end());
+            next.push_back(std::move(merged));
+          }
+        }
+        partial = std::move(next);
+      }
+      if (possible)
+        exit_options.insert(exit_options.end(), partial.begin(), partial.end());
+    }
+  }
+
+  if (io.invocation == InvocationKind::kAperiodic) {
+    // Deadline wake-ups: when the code can emit, the armed timer fires and
+    // a fresh invocation runs (eager-exit then forces the emission during
+    // its write stage).
+    for (const ExitOption& wake : deadline_wakeups) {
+      Edge timer;
+      timer.src = waiting;
+      timer.dst = read;
+      timer.guard.data = wake.data;
+      timer.guard.clocks = wake.clocks;
+      timer.update.resets.push_back({ctx.out.stage_clock, 0});
+      timer.note = "deadline timer invocation (output guard enabled)";
+      aut.add_edge(std::move(timer));
+    }
+  }
+
+  const ta::BoolExpr none_pending =
+      ta::BoolExpr::cmp(ta::CmpOp::kEq, pending_inputs_sum(ctx), IntExpr::constant(0));
+  const ta::BoolExpr some_pending =
+      ta::BoolExpr::cmp(ta::CmpOp::kGt, pending_inputs_sum(ctx), IntExpr::constant(0));
+  for (const ExitOption& opt : exit_options) {
+    if (io.invocation == InvocationKind::kPeriodic) {
+      Edge done;
+      done.src = write;
+      done.dst = waiting;
+      done.guard.data = opt.data;
+      done.guard.clocks = opt.clocks;
+      done.note = "invocation complete (no output emittable)";
+      aut.add_edge(std::move(done));
+    } else {
+      Edge sleep;
+      sleep.src = write;
+      sleep.dst = waiting;
+      sleep.guard.data = opt.data && none_pending;
+      sleep.guard.clocks = opt.clocks;
+      sleep.note = "invocation complete; no pending input";
+      aut.add_edge(std::move(sleep));
+      // An input delivered mid-cycle had its invocation request coalesced,
+      // so the cycle re-runs immediately instead of sleeping.
+      Edge rerun;
+      rerun.src = write;
+      rerun.dst = read;
+      rerun.guard.data = opt.data && some_pending;
+      rerun.guard.clocks = opt.clocks;
+      rerun.update.resets.push_back({ctx.out.stage_clock, 0});
+      rerun.note = "pending input delivered mid-cycle; re-run";
+      aut.add_edge(std::move(rerun));
+    }
+  }
+
+  ctx.out.psm.add_automaton(std::move(aut));
+}
+
+}  // namespace psv::core::detail

@@ -1,0 +1,66 @@
+// Encoded clock-difference bounds for difference bound matrices.
+//
+// A bound is either infinity or a pair (value, strictness) representing the
+// constraint  x_i - x_j < value  (strict) or  x_i - x_j <= value  (weak).
+// Bounds are packed into a single integer so that the natural integer order
+// coincides with bound tightness:  (v,<) < (v,<=) < (v+1,<).
+// This is the classic encoding used by UPPAAL's DBM library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace psv::dbm {
+
+/// Packed bound: (value << 1) | weak-bit. Weak (<=) has the low bit set.
+using raw_t = std::int32_t;
+
+/// Largest representable bound value; kept small enough that adding two
+/// finite bounds can never overflow raw_t.
+inline constexpr std::int32_t kMaxBoundValue = (std::numeric_limits<std::int32_t>::max() >> 2) - 1;
+
+/// Encoded infinity (no constraint). Strictly greater than any finite bound.
+inline constexpr raw_t kInf = std::numeric_limits<raw_t>::max() >> 1;
+
+/// The bound (0, <=): x_i - x_j <= 0.
+inline constexpr raw_t kLeZero = 1;
+
+/// The bound (0, <): x_i - x_j < 0.
+inline constexpr raw_t kLtZero = 0;
+
+/// Construct a finite bound. `weak` selects <= (true) or < (false).
+constexpr raw_t make_bound(std::int32_t value, bool weak) {
+  return static_cast<raw_t>((value << 1) | (weak ? 1 : 0));
+}
+
+/// Convenience constructors.
+constexpr raw_t bound_le(std::int32_t value) { return make_bound(value, true); }
+constexpr raw_t bound_lt(std::int32_t value) { return make_bound(value, false); }
+
+/// The numeric value of a finite bound (undefined for kInf).
+constexpr std::int32_t bound_value(raw_t b) { return b >> 1; }
+
+/// True iff the bound is weak (<=). kInf reports as strict.
+constexpr bool is_weak(raw_t b) { return (b & 1) != 0; }
+
+/// True iff the bound is (encoded) infinity.
+constexpr bool is_inf(raw_t b) { return b >= kInf; }
+
+/// Bound addition with saturation at infinity:
+/// (v1,s1) + (v2,s2) = (v1+v2, weak iff both weak).
+constexpr raw_t add(raw_t a, raw_t b) {
+  if (is_inf(a) || is_inf(b)) return kInf;
+  return static_cast<raw_t>(a + b - ((a | b) & 1));
+}
+
+/// Negation used to complement constraints:
+/// not(x - y <= c)  ==  y - x < -c;   not(x - y < c)  ==  y - x <= -c.
+constexpr raw_t negate(raw_t b) {
+  return make_bound(-bound_value(b), !is_weak(b));
+}
+
+/// Human-readable bound, e.g. "<=5", "<3", "inf".
+std::string bound_str(raw_t b);
+
+}  // namespace psv::dbm

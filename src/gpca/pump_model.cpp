@@ -1,0 +1,277 @@
+#include "gpca/pump_model.h"
+
+#include "util/error.h"
+
+namespace psv::gpca {
+
+using namespace psv::ta;
+
+ta::Network build_pump_pim(const PumpModelOptions& opt) {
+  PSV_REQUIRE(opt.start_min >= 0 && opt.start_min <= opt.start_deadline,
+              "pump model: need 0 <= start_min <= start_deadline");
+  PSV_REQUIRE(opt.infusion_min <= opt.infusion_max, "pump model: infusion window inverted");
+  PSV_REQUIRE(opt.stop_min <= opt.stop_max, "pump model: stop window inverted");
+
+  Network net("gpca_pump");
+  const ClockId x = net.add_clock("x");          // software clock
+  const ClockId env_x = net.add_clock("env_x");  // environment clock
+
+  const ChanId m_bolus = net.add_channel("m_BolusReq", ChanKind::kBinary);
+  ChanId m_empty = -1;
+  if (opt.include_empty_syringe) m_empty = net.add_channel("m_EmptySyringe", ChanKind::kBinary);
+  const ChanId c_start = net.add_channel("c_StartInfusion", ChanKind::kBinary);
+  const ChanId c_stop = net.add_channel("c_StopInfusion", ChanKind::kBinary);
+  ChanId c_alarm = -1;
+  if (opt.include_empty_syringe) c_alarm = net.add_channel("c_Alarm", ChanKind::kBinary);
+
+  // --- M: the pump software (Fig. 1-(1)) ---------------------------------
+  Automaton m("M");
+  const LocId m_idle = m.add_location("Idle");
+  const LocId m_req =
+      m.add_location("BolusRequested", LocKind::kNormal, {cc_le(x, opt.start_deadline)});
+  const LocId m_infusing =
+      m.add_location("Infusing", LocKind::kNormal, {cc_le(x, opt.infusion_max)});
+  LocId m_emptying = -1;
+  LocId m_alarming = -1;
+  if (opt.include_empty_syringe) {
+    m_emptying = m.add_location("Emptying", LocKind::kNormal, {cc_le(x, opt.stop_max)});
+    m_alarming = m.add_location("Alarming", LocKind::kNormal, {cc_le(x, opt.alarm_max)});
+  }
+
+  {
+    Edge e;  // Idle --m_BolusReq?--> BolusRequested {x:=0}
+    e.src = m_idle;
+    e.dst = m_req;
+    e.sync = SyncLabel::receive(m_bolus);
+    e.update.resets = {{x, 0}};
+    e.note = "bolus request accepted";
+    m.add_edge(std::move(e));
+  }
+  {
+    Edge e;  // BolusRequested --x>=start_min, c_StartInfusion!--> Infusing {x:=0}
+    e.src = m_req;
+    e.dst = m_infusing;
+    e.guard.clocks = {cc_ge(x, opt.start_min)};
+    e.sync = SyncLabel::send(c_start);
+    e.update.resets = {{x, 0}};
+    e.note = "pump motor spun up; infusion starts";
+    m.add_edge(std::move(e));
+  }
+  {
+    Edge e;  // Infusing --x>=infusion_min, c_StopInfusion!--> Idle {x:=0}
+    e.src = m_infusing;
+    e.dst = m_idle;
+    e.guard.clocks = {cc_ge(x, opt.infusion_min)};
+    e.sync = SyncLabel::send(c_stop);
+    e.update.resets = {{x, 0}};
+    e.note = "programmed volume delivered";
+    m.add_edge(std::move(e));
+  }
+  if (opt.include_empty_syringe) {
+    {
+      Edge e;  // Infusing --m_EmptySyringe?--> Emptying {x:=0}
+      e.src = m_infusing;
+      e.dst = m_emptying;
+      e.sync = SyncLabel::receive(m_empty);
+      e.update.resets = {{x, 0}};
+      e.note = "empty syringe detected";
+      m.add_edge(std::move(e));
+    }
+    {
+      Edge e;  // Emptying --x>=stop_min, c_StopInfusion!--> Alarming {x:=0}
+      e.src = m_emptying;
+      e.dst = m_alarming;
+      e.guard.clocks = {cc_ge(x, opt.stop_min)};
+      e.sync = SyncLabel::send(c_stop);
+      e.update.resets = {{x, 0}};
+      e.note = "infusion halted on empty syringe";
+      m.add_edge(std::move(e));
+    }
+    {
+      Edge e;  // Alarming --c_Alarm!--> Idle {x:=0}
+      e.src = m_alarming;
+      e.dst = m_idle;
+      e.sync = SyncLabel::send(c_alarm);
+      e.update.resets = {{x, 0}};
+      e.note = "operator alarm raised";
+      m.add_edge(std::move(e));
+    }
+  }
+  net.add_automaton(std::move(m));
+
+  // --- ENV: patient and monitor (Fig. 1-(2)) -------------------------------
+  Automaton env("ENV");
+  const LocId e_idle = env.add_location("Idle");
+  const LocId e_await_start = env.add_location("AwaitStart");
+  const LocId e_watching = env.add_location("Watching");
+  LocId e_await_stop = -1;
+  LocId e_await_alarm = -1;
+  if (opt.include_empty_syringe) {
+    e_await_stop = env.add_location("AwaitStop");
+    e_await_alarm = env.add_location("AwaitAlarm");
+  }
+
+  {
+    Edge e;  // Idle --env_x>=gap, m_BolusReq!--> AwaitStart {env_x:=0}
+    e.src = e_idle;
+    e.dst = e_await_start;
+    e.guard.clocks = {cc_ge(env_x, opt.request_gap_min)};
+    e.sync = SyncLabel::send(m_bolus);
+    e.update.resets = {{env_x, 0}};
+    e.note = "patient presses the bolus button";
+    env.add_edge(std::move(e));
+  }
+  {
+    Edge e;  // AwaitStart --c_StartInfusion?--> Watching {env_x:=0}
+    e.src = e_await_start;
+    e.dst = e_watching;
+    e.sync = SyncLabel::receive(c_start);
+    e.update.resets = {{env_x, 0}};
+    e.note = "infusion observed to start";
+    env.add_edge(std::move(e));
+  }
+  {
+    Edge e;  // Watching --c_StopInfusion?--> Idle {env_x:=0}
+    e.src = e_watching;
+    e.dst = e_idle;
+    e.sync = SyncLabel::receive(c_stop);
+    e.update.resets = {{env_x, 0}};
+    e.note = "infusion completed normally";
+    env.add_edge(std::move(e));
+  }
+  if (opt.include_empty_syringe) {
+    {
+      Edge e;  // Watching --env_x>=50, m_EmptySyringe!--> AwaitStop {env_x:=0}
+      e.src = e_watching;
+      e.dst = e_await_stop;
+      e.guard.clocks = {cc_ge(env_x, 50)};
+      e.sync = SyncLabel::send(m_empty);
+      e.update.resets = {{env_x, 0}};
+      e.note = "drop sensor reports an empty syringe";
+      env.add_edge(std::move(e));
+    }
+    {
+      Edge e;  // AwaitStop --c_StopInfusion?--> AwaitAlarm {env_x:=0}
+      e.src = e_await_stop;
+      e.dst = e_await_alarm;
+      e.sync = SyncLabel::receive(c_stop);
+      e.update.resets = {{env_x, 0}};
+      e.note = "infusion observed to stop";
+      env.add_edge(std::move(e));
+    }
+    {
+      Edge e;  // AwaitAlarm --c_Alarm?--> Idle {env_x:=0}
+      e.src = e_await_alarm;
+      e.dst = e_idle;
+      e.sync = SyncLabel::receive(c_alarm);
+      e.update.resets = {{env_x, 0}};
+      e.note = "alarm observed";
+      env.add_edge(std::move(e));
+    }
+  }
+  net.add_automaton(std::move(env));
+  return net;
+}
+
+core::PimInfo pump_pim_info(const ta::Network& pim) { return core::analyze_pim(pim, "M", "ENV"); }
+
+core::TimingRequirement req1(const PumpModelOptions& options) {
+  core::TimingRequirement req;
+  req.name = "REQ1";
+  req.input = "BolusReq";
+  req.output = "StartInfusion";
+  req.bound_ms = options.start_deadline;
+  return req;
+}
+
+core::TimingRequirement req2_stop_on_empty() {
+  core::TimingRequirement req;
+  req.name = "REQ2";
+  req.input = "EmptySyringe";
+  req.output = "StopInfusion";
+  req.bound_ms = 600;
+  return req;
+}
+
+core::ImplementationScheme board_scheme(const PumpModelOptions& options) {
+  core::ImplementationScheme is;
+  is.name = "IS1-board";
+
+  // Bolus request: the GPCA board latches the button and polls it
+  // (the paper's §VI deviation from IS1). Parameter split per DESIGN.md:
+  // 240 (poll) + 40 (processing) + 200 (period) + 10 (read stage) = 490,
+  // reproducing Table I's verified Input-Delay.
+  core::InputSpec bolus;
+  bolus.signal = core::SignalType::kSustainedUntilRead;
+  bolus.read = core::ReadMechanism::kPolling;
+  bolus.polling_interval = 240;
+  bolus.delay_min = 10;
+  bolus.delay_max = 40;
+  bolus.min_interarrival = options.request_gap_min;
+  is.inputs.emplace("BolusReq", bolus);
+
+  if (options.include_empty_syringe) {
+    // Drop sensor: a drug drop passes quickly — pulse + interrupt (§III-A).
+    core::InputSpec empty;
+    empty.signal = core::SignalType::kPulse;
+    empty.read = core::ReadMechanism::kInterrupt;
+    empty.delay_min = 1;
+    empty.delay_max = 3;
+    is.inputs.emplace("EmptySyringe", empty);
+  }
+
+  // Start infusion drives the pump motor: the slowest actuator, 440 ms
+  // worst case (Table I's verified Output-Delay).
+  core::OutputSpec start;
+  start.delay_min = 100;
+  start.delay_max = 440;
+  is.outputs.emplace("StartInfusion", start);
+
+  core::OutputSpec stop;
+  stop.delay_min = 10;
+  stop.delay_max = 50;
+  is.outputs.emplace("StopInfusion", stop);
+
+  if (options.include_empty_syringe) {
+    core::OutputSpec alarm;
+    alarm.delay_min = 1;
+    alarm.delay_max = 20;
+    is.outputs.emplace("Alarm", alarm);
+  }
+
+  is.io.invocation = core::InvocationKind::kPeriodic;
+  is.io.period = 200;
+  is.io.transfer = core::TransferKind::kBuffer;
+  is.io.read_policy = core::ReadPolicy::kReadAll;
+  is.io.buffer_size = 5;
+  is.io.read_stage_max = 10;
+  is.io.compute_stage_max = 10;
+  is.io.write_stage_max = 10;
+  return is;
+}
+
+sim::SimCalibration board_calibration() {
+  sim::SimCalibration cal;
+  // The pump motor usually spins up far below its 440ms worst case.
+  cal.outputs["StartInfusion"] = sim::DelayCalibration{0.6, 0.3};
+  cal.outputs["StopInfusion"] = sim::DelayCalibration{0.7, 0.4};
+  cal.outputs["Alarm"] = sim::DelayCalibration{0.7, 0.4};
+  // Input processing is close to its typical value; the dominating input
+  // terms (polling phase, invocation phase) are structural and unaffected.
+  cal.inputs["BolusReq"] = sim::DelayCalibration{0.8, 0.4};
+  cal.inputs["EmptySyringe"] = sim::DelayCalibration{0.8, 0.4};
+  cal.stages = sim::DelayCalibration{0.4, 0.3};
+  return cal;
+}
+
+core::ImplementationScheme is1_scheme(const PumpModelOptions& options) {
+  std::vector<std::string> inputs = {"BolusReq"};
+  std::vector<std::string> outputs = {"StartInfusion", "StopInfusion"};
+  if (options.include_empty_syringe) {
+    inputs.push_back("EmptySyringe");
+    outputs.push_back("Alarm");
+  }
+  return core::example_is1(inputs, outputs);
+}
+
+}  // namespace psv::gpca

@@ -1,0 +1,82 @@
+// GPCA infusion-pump case study models (the paper's §II-A and §VI).
+//
+// Reconstruction of the Fig. 1 PIM: the pump software M reacts to a bolus
+// request by starting an infusion within 500 ms (REQ1) and reacts to an
+// empty-syringe signal by stopping the infusion and raising an alarm; the
+// environment ENV is a patient/monitor loop issuing requests and observing
+// responses.
+//
+// Channel vocabulary (four-variable convention):
+//   inputs  (m_*): BolusReq, EmptySyringe
+//   outputs (c_*): StartInfusion, StopInfusion, Alarm
+#pragma once
+
+#include "core/pim.h"
+#include "core/scheme.h"
+#include "sim/platform.h"
+#include "ta/model.h"
+
+namespace psv::gpca {
+
+/// Knobs for the pump PIM; defaults reproduce the paper's case study.
+struct PumpModelOptions {
+  /// Include the empty-syringe / alarm path. The reduced model (false)
+  /// exercises only the REQ1 pipeline and verifies much faster; the paper's
+  /// Table I timing figures concern REQ1 only.
+  bool include_empty_syringe = true;
+
+  /// Software timing (model ms). The bolus start is emitted within
+  /// [start_min, start_deadline] of reading the request; REQ1's 500 ms
+  /// bound equals start_deadline. The 150ms lower edge reflects the pump
+  /// motor's fastest spin-up; fast platform runs can then finish inside
+  /// 500 ms end to end, matching the paper's 53-of-60 violation count
+  /// (not 60 of 60).
+  std::int32_t start_min = 150;
+  std::int32_t start_deadline = 500;
+
+  /// Infusion duration window before the pump stops on its own.
+  std::int32_t infusion_min = 800;
+  std::int32_t infusion_max = 1200;
+
+  /// Empty-syringe handling: stop within [stop_min, stop_max], then alarm
+  /// within alarm_max.
+  std::int32_t stop_min = 50;
+  std::int32_t stop_max = 300;
+  std::int32_t alarm_max = 200;
+
+  /// Environment pacing: the patient waits at least this long after a
+  /// completed cycle before the next bolus request.
+  std::int32_t request_gap_min = 400;
+};
+
+/// Build the pump PIM (M || ENV) per Fig. 1.
+ta::Network build_pump_pim(const PumpModelOptions& options = {});
+
+/// Analyze the pump PIM (convenience wrapper over core::analyze_pim).
+core::PimInfo pump_pim_info(const ta::Network& pim);
+
+/// REQ1: "When a patient requests a bolus, a bolus infusion should start
+/// within 500 ms."
+core::TimingRequirement req1(const PumpModelOptions& options = {});
+
+/// Auxiliary requirement: "When the syringe empties, the infusion stops
+/// within 600 ms." Only meaningful with include_empty_syringe.
+core::TimingRequirement req2_stop_on_empty();
+
+/// The implementation scheme of the paper's experimental platform: IS1
+/// modified to poll the bolus-request button (§VI "Setting"), with the
+/// parameter split documented in DESIGN.md so the Lemma-1 bounds reproduce
+/// Table I's verified 490 ms Input-Delay and 440 ms Output-Delay.
+core::ImplementationScheme board_scheme(const PumpModelOptions& options = {});
+
+/// The paper's Example-1 scheme IS1 (all inputs pulse+interrupt, buffers of
+/// capacity 5, periodic invocation of 100).
+core::ImplementationScheme is1_scheme(const PumpModelOptions& options = {});
+
+/// Simulator calibration of the board: devices typically run well under
+/// their specified worst cases (the paper's measured delays sit at 1.5-3x
+/// below the verified bounds). The scheme's [min, max] windows stay the
+/// verified model parameters; this only shapes the sampled distributions.
+sim::SimCalibration board_calibration();
+
+}  // namespace psv::gpca

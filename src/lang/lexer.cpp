@@ -1,0 +1,189 @@
+#include "lang/lexer.h"
+
+#include <cctype>
+
+#include "util/error.h"
+
+namespace psv::lang {
+
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_'; }
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& source) {
+  std::vector<Token> out;
+  int line = 1;
+  int column = 1;
+  std::size_t i = 0;
+  const std::size_t n = source.size();
+
+  auto peek = [&](std::size_t ahead = 0) -> char {
+    return i + ahead < n ? source[i + ahead] : '\0';
+  };
+  auto advance = [&]() {
+    if (source[i] == '\n') {
+      ++line;
+      column = 1;
+    } else {
+      ++column;
+    }
+    ++i;
+  };
+  auto push = [&](TokKind kind, int len, std::string text = {}) {
+    Token t;
+    t.kind = kind;
+    t.text = std::move(text);
+    t.line = line;
+    t.column = column;
+    out.push_back(std::move(t));
+    for (int k = 0; k < len; ++k) advance();
+  };
+
+  while (i < n) {
+    const char c = peek();
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      advance();
+      continue;
+    }
+    if (c == '#' || (c == '/' && peek(1) == '/')) {
+      while (i < n && peek() != '\n') advance();
+      continue;
+    }
+    if (ident_start(c)) {
+      const int start_line = line, start_col = column;
+      std::string text;
+      while (i < n && (ident_char(peek()) || peek() == '-')) {
+        // Allow hyphenated keywords ("read-all", "sustained-until-read")
+        // but never end an identifier with '-'.
+        if (peek() == '-' && !ident_char(peek(1))) break;
+        text += peek();
+        advance();
+      }
+      Token t;
+      t.kind = TokKind::kIdent;
+      t.text = std::move(text);
+      t.line = start_line;
+      t.column = start_col;
+      out.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      const int start_line = line, start_col = column;
+      std::int64_t value = 0;
+      while (i < n && std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+        value = value * 10 + (peek() - '0');
+        advance();
+      }
+      Token t;
+      t.kind = TokKind::kInt;
+      t.value = value;
+      t.line = start_line;
+      t.column = start_col;
+      out.push_back(std::move(t));
+      continue;
+    }
+    switch (c) {
+      case '-':
+        if (peek(1) == '>') {
+          push(TokKind::kArrow, 2);
+        } else {
+          push(TokKind::kMinus, 1);
+        }
+        continue;
+      case ':':
+        if (peek(1) == '=') {
+          push(TokKind::kAssign, 2);
+        } else {
+          push(TokKind::kColon, 1);
+        }
+        continue;
+      case '<':
+        if (peek(1) == '=') {
+          push(TokKind::kLe, 2);
+        } else {
+          push(TokKind::kLt, 1);
+        }
+        continue;
+      case '>':
+        if (peek(1) == '=') {
+          push(TokKind::kGe, 2);
+        } else {
+          push(TokKind::kGt, 1);
+        }
+        continue;
+      case '=':
+        // Both '==' (comparisons) and '=' (declarations) read as kEq.
+        push(TokKind::kEq, peek(1) == '=' ? 2 : 1);
+        continue;
+      case '!':
+        if (peek(1) == '=') {
+          push(TokKind::kNe, 2);
+        } else {
+          push(TokKind::kBang, 1);
+        }
+        continue;
+      case '&':
+        if (peek(1) == '&') {
+          push(TokKind::kAnd, 2);
+          continue;
+        }
+        break;
+      case '{': push(TokKind::kLBrace, 1); continue;
+      case '}': push(TokKind::kRBrace, 1); continue;
+      case '[': push(TokKind::kLBracket, 1); continue;
+      case ']': push(TokKind::kRBracket, 1); continue;
+      case '(': push(TokKind::kLParen, 1); continue;
+      case ')': push(TokKind::kRParen, 1); continue;
+      case ',': push(TokKind::kComma, 1); continue;
+      case '+': push(TokKind::kPlus, 1); continue;
+      case '*': push(TokKind::kStar, 1); continue;
+      case '?': push(TokKind::kQuestion, 1); continue;
+      default:
+        break;
+    }
+    PSV_FAIL("lexical error at line " + std::to_string(line) + ", column " +
+             std::to_string(column) + ": unexpected character '" + std::string(1, c) + "'");
+  }
+  Token end;
+  end.kind = TokKind::kEnd;
+  end.line = line;
+  end.column = column;
+  out.push_back(std::move(end));
+  return out;
+}
+
+std::string tok_kind_str(TokKind kind) {
+  switch (kind) {
+    case TokKind::kIdent: return "identifier";
+    case TokKind::kInt: return "integer";
+    case TokKind::kArrow: return "'->'";
+    case TokKind::kAssign: return "':='";
+    case TokKind::kLe: return "'<='";
+    case TokKind::kGe: return "'>='";
+    case TokKind::kEq: return "'=='";
+    case TokKind::kNe: return "'!='";
+    case TokKind::kLt: return "'<'";
+    case TokKind::kGt: return "'>'";
+    case TokKind::kAnd: return "'&&'";
+    case TokKind::kLBrace: return "'{'";
+    case TokKind::kRBrace: return "'}'";
+    case TokKind::kLBracket: return "'['";
+    case TokKind::kRBracket: return "']'";
+    case TokKind::kLParen: return "'('";
+    case TokKind::kRParen: return "')'";
+    case TokKind::kComma: return "','";
+    case TokKind::kColon: return "':'";
+    case TokKind::kPlus: return "'+'";
+    case TokKind::kMinus: return "'-'";
+    case TokKind::kStar: return "'*'";
+    case TokKind::kBang: return "'!'";
+    case TokKind::kQuestion: return "'?'";
+    case TokKind::kEnd: return "end of input";
+  }
+  return "?";
+}
+
+}  // namespace psv::lang

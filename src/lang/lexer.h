@@ -1,0 +1,55 @@
+// Lexer for the PSV modeling language (.psv model files and .pss scheme
+// files). A small, line-oriented token stream with precise source positions
+// for error reporting.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psv::lang {
+
+enum class TokKind {
+  kIdent,    ///< identifiers and keywords
+  kInt,      ///< integer literal
+  kArrow,    ///< ->
+  kAssign,   ///< :=
+  kLe,       ///< <=
+  kGe,       ///< >=
+  kEq,       ///< ==
+  kNe,       ///< !=
+  kLt,       ///< <
+  kGt,       ///< >
+  kAnd,      ///< &&
+  kLBrace,   ///< {
+  kRBrace,   ///< }
+  kLBracket, ///< [
+  kRBracket, ///< ]
+  kLParen,   ///< (
+  kRParen,   ///< )
+  kComma,    ///< ,
+  kColon,    ///< :
+  kPlus,     ///< +
+  kMinus,    ///< -
+  kStar,     ///< *
+  kBang,     ///< !
+  kQuestion, ///< ?
+  kEnd,      ///< end of input
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;        ///< identifier text
+  std::int64_t value = 0;  ///< integer value
+  int line = 0;
+  int column = 0;
+};
+
+/// Tokenize `source`. `//`- and `#`-comments run to end of line.
+/// Throws psv::Error with line/column on illegal characters.
+std::vector<Token> tokenize(const std::string& source);
+
+/// Render a token kind for diagnostics ("'->'", "identifier", ...).
+std::string tok_kind_str(TokKind kind);
+
+}  // namespace psv::lang

@@ -1,0 +1,318 @@
+#include "lang/model_parser.h"
+
+#include <map>
+#include <optional>
+
+#include "lang/lexer.h"
+#include "util/error.h"
+
+namespace psv::lang {
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class ModelParser {
+ public:
+  explicit ModelParser(const std::string& source) : tokens_(tokenize(source)) {}
+
+  ta::Network run() {
+    expect_keyword("network");
+    net_ = ta::Network(expect_ident("network name"));
+    while (!at(TokKind::kEnd)) {
+      const Token& t = peek();
+      PSV_REQUIRE(t.kind == TokKind::kIdent, at_msg(t) + "expected a declaration, got " +
+                                                 tok_kind_str(t.kind));
+      if (t.text == "clock") {
+        parse_clock();
+      } else if (t.text == "var") {
+        parse_var();
+      } else if (t.text == "input") {
+        parse_io_channel(/*is_input=*/true);
+      } else if (t.text == "output") {
+        parse_io_channel(/*is_input=*/false);
+      } else if (t.text == "channel") {
+        parse_channel();
+      } else if (t.text == "automaton") {
+        parse_automaton();
+      } else {
+        PSV_FAIL(at_msg(t) + "unknown declaration '" + t.text + "'");
+      }
+    }
+    return std::move(net_);
+  }
+
+ private:
+  // --- token helpers -----------------------------------------------------
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t idx = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[idx];
+  }
+  bool at(TokKind kind) const { return peek().kind == kind; }
+  bool at_keyword(const std::string& word) const {
+    return peek().kind == TokKind::kIdent && peek().text == word;
+  }
+  Token take() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  static std::string at_msg(const Token& t) {
+    return "line " + std::to_string(t.line) + ", column " + std::to_string(t.column) + ": ";
+  }
+  Token expect(TokKind kind, const std::string& what) {
+    const Token& t = peek();
+    PSV_REQUIRE(t.kind == kind,
+                at_msg(t) + "expected " + what + " (" + tok_kind_str(kind) + "), got " +
+                    (t.kind == TokKind::kIdent ? "'" + t.text + "'" : tok_kind_str(t.kind)));
+    return take();
+  }
+  std::string expect_ident(const std::string& what) { return expect(TokKind::kIdent, what).text; }
+  std::int64_t expect_int(const std::string& what) { return expect(TokKind::kInt, what).value; }
+  void expect_keyword(const std::string& word) {
+    const Token& t = peek();
+    PSV_REQUIRE(t.kind == TokKind::kIdent && t.text == word,
+                at_msg(t) + "expected keyword '" + word + "'");
+    take();
+  }
+  std::int64_t expect_signed_int(const std::string& what) {
+    if (at(TokKind::kMinus)) {
+      take();
+      return -expect_int(what);
+    }
+    return expect_int(what);
+  }
+
+  // --- top-level declarations ----------------------------------------------
+  void parse_clock() {
+    take();  // 'clock'
+    net_.add_clock(expect_ident("clock name"));
+  }
+
+  void parse_var() {
+    take();  // 'var'
+    const std::string name = expect_ident("variable name");
+    expect(TokKind::kEq, "'='");
+    const std::int64_t init = expect_signed_int("initial value");
+    expect_keyword("in");
+    expect(TokKind::kLBracket, "'['");
+    const std::int64_t lo = expect_signed_int("range minimum");
+    expect(TokKind::kComma, "','");
+    const std::int64_t hi = expect_signed_int("range maximum");
+    expect(TokKind::kRBracket, "']'");
+    net_.add_var(name, init, lo, hi);
+  }
+
+  void parse_io_channel(bool is_input) {
+    take();  // 'input' / 'output'
+    const std::string base = expect_ident("variable base name");
+    net_.add_channel((is_input ? "m_" : "c_") + base, ta::ChanKind::kBinary);
+  }
+
+  void parse_channel() {
+    take();  // 'channel'
+    const std::string name = expect_ident("channel name");
+    ta::ChanKind kind = ta::ChanKind::kBinary;
+    if (at_keyword("broadcast")) {
+      take();
+      kind = ta::ChanKind::kBroadcast;
+    }
+    net_.add_channel(name, kind);
+  }
+
+  // --- automaton blocks ----------------------------------------------------
+  struct PendingEdge {
+    Token src_tok, dst_tok;
+    ta::Edge edge;  ///< src/dst filled after location resolution
+  };
+
+  void parse_automaton() {
+    take();  // 'automaton'
+    ta::Automaton aut(expect_ident("automaton name"));
+    expect(TokKind::kLBrace, "'{'");
+    std::optional<ta::LocId> initial;
+    std::vector<PendingEdge> pending;
+    while (!at(TokKind::kRBrace)) {
+      if (at_keyword("init") || at_keyword("loc")) {
+        bool is_init = at_keyword("init");
+        if (is_init) {
+          take();
+          expect_keyword("loc");
+        } else {
+          take();
+        }
+        const ta::LocId id = parse_location(aut);
+        if (is_init) initial = id;
+        continue;
+      }
+      // Edge: SRC -> DST [when GUARD] [on CHAN!|?] [do UPDATES]
+      PendingEdge pe;
+      pe.src_tok = expect(TokKind::kIdent, "source location");
+      expect(TokKind::kArrow, "'->'");
+      pe.dst_tok = expect(TokKind::kIdent, "target location");
+      if (at_keyword("when")) {
+        take();
+        parse_guard(pe.edge.guard);
+      }
+      if (at_keyword("on")) {
+        take();
+        const Token chan_tok = expect(TokKind::kIdent, "channel name");
+        const auto chan = net_.channel_by_name(chan_tok.text);
+        PSV_REQUIRE(chan.has_value(),
+                    at_msg(chan_tok) + "unknown channel '" + chan_tok.text + "'");
+        if (at(TokKind::kBang)) {
+          take();
+          pe.edge.sync = ta::SyncLabel::send(*chan);
+        } else {
+          expect(TokKind::kQuestion, "'!' or '?'");
+          pe.edge.sync = ta::SyncLabel::receive(*chan);
+        }
+      }
+      if (at_keyword("do")) {
+        take();
+        parse_updates(pe.edge.update);
+      }
+      pending.push_back(std::move(pe));
+    }
+    expect(TokKind::kRBrace, "'}'");
+
+    for (PendingEdge& pe : pending) {
+      pe.edge.src = resolve_loc(aut, pe.src_tok);
+      pe.edge.dst = resolve_loc(aut, pe.dst_tok);
+      aut.add_edge(std::move(pe.edge));
+    }
+    if (initial) aut.set_initial(*initial);
+    net_.add_automaton(std::move(aut));
+  }
+
+  static ta::LocId resolve_loc(const ta::Automaton& aut, const Token& tok) {
+    for (std::size_t i = 0; i < aut.locations().size(); ++i)
+      if (aut.locations()[i].name == tok.text) return static_cast<ta::LocId>(i);
+    PSV_FAIL(at_msg(tok) + "unknown location '" + tok.text + "' in automaton " + aut.name());
+  }
+
+  ta::LocId parse_location(ta::Automaton& aut) {
+    const std::string name = expect_ident("location name");
+    ta::LocKind kind = ta::LocKind::kNormal;
+    if (at_keyword("urgent")) {
+      take();
+      kind = ta::LocKind::kUrgent;
+    } else if (at_keyword("committed")) {
+      take();
+      kind = ta::LocKind::kCommitted;
+    }
+    std::vector<ta::ClockConstraint> invariant;
+    if (at_keyword("inv")) {
+      take();
+      while (true) {
+        invariant.push_back(parse_clock_constraint());
+        if (!at(TokKind::kAnd)) break;
+        take();
+      }
+    }
+    return aut.add_location(name, kind, std::move(invariant));
+  }
+
+  // --- guards ------------------------------------------------------------
+  ta::CmpOp parse_cmp_op() {
+    switch (peek().kind) {
+      case TokKind::kLt: take(); return ta::CmpOp::kLt;
+      case TokKind::kLe: take(); return ta::CmpOp::kLe;
+      case TokKind::kEq: take(); return ta::CmpOp::kEq;
+      case TokKind::kGe: take(); return ta::CmpOp::kGe;
+      case TokKind::kGt: take(); return ta::CmpOp::kGt;
+      case TokKind::kNe: take(); return ta::CmpOp::kNe;
+      default:
+        PSV_FAIL(at_msg(peek()) + "expected a comparison operator");
+    }
+  }
+
+  ta::ClockConstraint parse_clock_constraint() {
+    const Token name = expect(TokKind::kIdent, "clock name");
+    const auto clock = net_.clock_by_name(name.text);
+    PSV_REQUIRE(clock.has_value(), at_msg(name) + "unknown clock '" + name.text + "'");
+    const ta::CmpOp op = parse_cmp_op();
+    const std::int64_t bound = expect_int("clock bound");
+    return ta::ClockConstraint{*clock, op, static_cast<std::int32_t>(bound)};
+  }
+
+  /// Guard atom: IDENT op RHS. The identifier decides clock vs data.
+  void parse_guard(ta::Guard& guard) {
+    while (true) {
+      const Token name = expect(TokKind::kIdent, "clock or variable name");
+      const ta::CmpOp op = parse_cmp_op();
+      if (const auto clock = net_.clock_by_name(name.text)) {
+        const std::int64_t bound = expect_int("clock bound");
+        guard.clocks.push_back(
+            ta::ClockConstraint{*clock, op, static_cast<std::int32_t>(bound)});
+      } else if (const auto var = net_.var_by_name(name.text)) {
+        const ta::IntExpr rhs = parse_int_expr();
+        guard.data = guard.data && ta::BoolExpr::cmp(op, ta::IntExpr::var(*var), rhs);
+      } else {
+        PSV_FAIL(at_msg(name) + "'" + name.text + "' is neither a clock nor a variable");
+      }
+      if (!at(TokKind::kAnd)) break;
+      take();
+    }
+  }
+
+  // --- updates ------------------------------------------------------------
+  ta::IntExpr parse_int_atom() {
+    if (at(TokKind::kInt)) return ta::IntExpr::constant(take().value);
+    if (at(TokKind::kMinus)) {
+      take();
+      return ta::IntExpr::constant(-expect_int("integer"));
+    }
+    if (at(TokKind::kLParen)) {
+      take();
+      ta::IntExpr e = parse_int_expr();
+      expect(TokKind::kRParen, "')'");
+      return e;
+    }
+    const Token name = expect(TokKind::kIdent, "variable name");
+    const auto var = net_.var_by_name(name.text);
+    PSV_REQUIRE(var.has_value(), at_msg(name) + "unknown variable '" + name.text + "'");
+    return ta::IntExpr::var(*var);
+  }
+
+  ta::IntExpr parse_int_term() {
+    ta::IntExpr e = parse_int_atom();
+    while (at(TokKind::kStar)) {
+      take();
+      e = e * parse_int_atom();
+    }
+    return e;
+  }
+
+  ta::IntExpr parse_int_expr() {
+    ta::IntExpr e = parse_int_term();
+    while (at(TokKind::kPlus) || at(TokKind::kMinus)) {
+      const bool plus = at(TokKind::kPlus);
+      take();
+      e = plus ? e + parse_int_term() : e - parse_int_term();
+    }
+    return e;
+  }
+
+  void parse_updates(ta::Update& update) {
+    while (true) {
+      const Token name = expect(TokKind::kIdent, "clock or variable name");
+      expect(TokKind::kAssign, "':='");
+      if (const auto clock = net_.clock_by_name(name.text)) {
+        const std::int64_t value = expect_int("clock reset value");
+        update.resets.push_back({*clock, static_cast<std::int32_t>(value)});
+      } else if (const auto var = net_.var_by_name(name.text)) {
+        update.assignments.push_back({*var, parse_int_expr()});
+      } else {
+        PSV_FAIL(at_msg(name) + "'" + name.text + "' is neither a clock nor a variable");
+      }
+      if (!at(TokKind::kComma)) break;
+      take();
+    }
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  ta::Network net_;
+};
+
+}  // namespace
+
+ta::Network parse_model(const std::string& source) { return ModelParser(source).run(); }
+
+}  // namespace psv::lang

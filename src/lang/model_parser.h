@@ -1,0 +1,41 @@
+// Parser for .psv model files: a concise textual syntax for PIM networks.
+//
+//   network gpca_pump
+//
+//   clock x
+//   clock env_x
+//   var count = 0 in [0, 5]
+//   input BolusReq              // declares binary channel m_BolusReq
+//   output StartInfusion        // declares binary channel c_StartInfusion
+//   channel tick broadcast      // raw channel declaration
+//
+//   automaton M {
+//     init loc Idle
+//     loc BolusRequested inv x <= 500
+//     loc Fast urgent
+//     loc Handoff committed
+//
+//     Idle -> BolusRequested on m_BolusReq? do x := 0
+//     BolusRequested -> Infusing when x >= 250 && count < 5
+//                       on c_StartInfusion! do x := 0, count := count + 1
+//   }
+//
+// Guards are conjunctions of comparisons `name op rhs` where `name` is a
+// clock (rhs must be an integer constant) or a variable (rhs is an integer
+// expression). Updates assign variables (`v := expr`) or reset clocks
+// (`x := 0`).
+#pragma once
+
+#include <string>
+
+#include "ta/model.h"
+
+namespace psv::lang {
+
+/// Parse a model file's contents into a network. Locations may be used in
+/// edges before their `loc` declaration only within the same automaton
+/// block if declared later — forward references are resolved at block end.
+/// Throws psv::Error with line/column context on syntax or semantic errors.
+ta::Network parse_model(const std::string& source);
+
+}  // namespace psv::lang

@@ -1,0 +1,212 @@
+#include "lang/scheme_parser.h"
+
+#include "lang/lexer.h"
+#include "util/error.h"
+
+namespace psv::lang {
+
+namespace {
+
+class SchemeParser {
+ public:
+  explicit SchemeParser(const std::string& source) : tokens_(tokenize(source)) {}
+
+  core::ImplementationScheme run() {
+    expect_keyword("scheme");
+    scheme_.name = expect_ident("scheme name");
+    expect(TokKind::kLBrace, "'{'");
+    while (!at(TokKind::kRBrace)) {
+      if (at_keyword("input")) {
+        parse_input();
+      } else if (at_keyword("output")) {
+        parse_output();
+      } else if (at_keyword("io")) {
+        parse_io();
+      } else {
+        PSV_FAIL(at_msg(peek()) + "expected 'input', 'output' or 'io'");
+      }
+    }
+    expect(TokKind::kRBrace, "'}'");
+    expect(TokKind::kEnd, "end of file");
+    return std::move(scheme_);
+  }
+
+ private:
+  const Token& peek() const { return tokens_[std::min(pos_, tokens_.size() - 1)]; }
+  bool at(TokKind kind) const { return peek().kind == kind; }
+  bool at_keyword(const std::string& word) const {
+    return peek().kind == TokKind::kIdent && peek().text == word;
+  }
+  Token take() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+  static std::string at_msg(const Token& t) {
+    return "line " + std::to_string(t.line) + ", column " + std::to_string(t.column) + ": ";
+  }
+  Token expect(TokKind kind, const std::string& what) {
+    const Token& t = peek();
+    PSV_REQUIRE(t.kind == kind, at_msg(t) + "expected " + what);
+    return take();
+  }
+  std::string expect_ident(const std::string& what) { return expect(TokKind::kIdent, what).text; }
+  std::int64_t expect_int(const std::string& what) { return expect(TokKind::kInt, what).value; }
+  void expect_keyword(const std::string& word) {
+    const Token& t = peek();
+    PSV_REQUIRE(t.kind == TokKind::kIdent && t.text == word,
+                at_msg(t) + "expected keyword '" + word + "'");
+    take();
+  }
+
+  void parse_input() {
+    take();  // 'input'
+    const std::string base = expect_ident("input base name");
+    core::InputSpec spec;
+    expect(TokKind::kLBrace, "'{'");
+    while (!at(TokKind::kRBrace)) {
+      const Token key = expect(TokKind::kIdent, "input property");
+      if (key.text == "signal") {
+        const Token v = expect(TokKind::kIdent, "signal type");
+        if (v.text == "pulse") {
+          spec.signal = core::SignalType::kPulse;
+        } else if (v.text == "sustained-duration") {
+          spec.signal = core::SignalType::kSustainedDuration;
+        } else if (v.text == "sustained-until-read") {
+          spec.signal = core::SignalType::kSustainedUntilRead;
+        } else {
+          PSV_FAIL(at_msg(v) + "unknown signal type '" + v.text + "'");
+        }
+      } else if (key.text == "read") {
+        const Token v = expect(TokKind::kIdent, "read mechanism");
+        if (v.text == "interrupt") {
+          spec.read = core::ReadMechanism::kInterrupt;
+        } else if (v.text == "polling") {
+          spec.read = core::ReadMechanism::kPolling;
+          expect_keyword("interval");
+          spec.polling_interval = static_cast<std::int32_t>(expect_int("polling interval"));
+        } else {
+          PSV_FAIL(at_msg(v) + "unknown read mechanism '" + v.text + "'");
+        }
+      } else if (key.text == "delay") {
+        spec.delay_min = static_cast<std::int32_t>(expect_int("delay min"));
+        spec.delay_max = static_cast<std::int32_t>(expect_int("delay max"));
+      } else if (key.text == "min_interarrival") {
+        spec.min_interarrival = static_cast<std::int32_t>(expect_int("min inter-arrival"));
+      } else if (key.text == "sustain") {
+        spec.sustain_duration = static_cast<std::int32_t>(expect_int("sustain duration"));
+      } else {
+        PSV_FAIL(at_msg(key) + "unknown input property '" + key.text + "'");
+      }
+    }
+    expect(TokKind::kRBrace, "'}'");
+    scheme_.inputs[base] = spec;
+  }
+
+  void parse_output() {
+    take();  // 'output'
+    const std::string base = expect_ident("output base name");
+    core::OutputSpec spec;
+    expect(TokKind::kLBrace, "'{'");
+    while (!at(TokKind::kRBrace)) {
+      const Token key = expect(TokKind::kIdent, "output property");
+      if (key.text == "delay") {
+        spec.delay_min = static_cast<std::int32_t>(expect_int("delay min"));
+        spec.delay_max = static_cast<std::int32_t>(expect_int("delay max"));
+      } else {
+        PSV_FAIL(at_msg(key) + "unknown output property '" + key.text + "'");
+      }
+    }
+    expect(TokKind::kRBrace, "'}'");
+    scheme_.outputs[base] = spec;
+  }
+
+  void parse_io() {
+    take();  // 'io'
+    expect(TokKind::kLBrace, "'{'");
+    while (!at(TokKind::kRBrace)) {
+      const Token key = expect(TokKind::kIdent, "io property");
+      if (key.text == "invocation") {
+        const Token v = expect(TokKind::kIdent, "invocation kind");
+        if (v.text == "periodic") {
+          scheme_.io.invocation = core::InvocationKind::kPeriodic;
+          scheme_.io.period = static_cast<std::int32_t>(expect_int("period"));
+        } else if (v.text == "aperiodic") {
+          scheme_.io.invocation = core::InvocationKind::kAperiodic;
+        } else {
+          PSV_FAIL(at_msg(v) + "unknown invocation kind '" + v.text + "'");
+        }
+      } else if (key.text == "transfer") {
+        const Token v = expect(TokKind::kIdent, "transfer kind");
+        if (v.text == "buffers") {
+          scheme_.io.transfer = core::TransferKind::kBuffer;
+          scheme_.io.buffer_size = static_cast<std::int32_t>(expect_int("buffer size"));
+        } else if (v.text == "shared-variable") {
+          scheme_.io.transfer = core::TransferKind::kSharedVariable;
+        } else {
+          PSV_FAIL(at_msg(v) + "unknown transfer kind '" + v.text + "'");
+        }
+      } else if (key.text == "policy") {
+        const Token v = expect(TokKind::kIdent, "read policy");
+        if (v.text == "read-all") {
+          scheme_.io.read_policy = core::ReadPolicy::kReadAll;
+        } else if (v.text == "read-one") {
+          scheme_.io.read_policy = core::ReadPolicy::kReadOne;
+        } else {
+          PSV_FAIL(at_msg(v) + "unknown read policy '" + v.text + "'");
+        }
+      } else if (key.text == "stages") {
+        scheme_.io.read_stage_max = static_cast<std::int32_t>(expect_int("read stage max"));
+        scheme_.io.compute_stage_max =
+            static_cast<std::int32_t>(expect_int("compute stage max"));
+        scheme_.io.write_stage_max = static_cast<std::int32_t>(expect_int("write stage max"));
+      } else {
+        PSV_FAIL(at_msg(key) + "unknown io property '" + key.text + "'");
+      }
+    }
+    expect(TokKind::kRBrace, "'}'");
+  }
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  core::ImplementationScheme scheme_;
+};
+
+}  // namespace
+
+core::ImplementationScheme parse_scheme(const std::string& source) {
+  return SchemeParser(source).run();
+}
+
+core::TimingRequirement parse_requirement(const std::string& text) {
+  const std::vector<Token> tokens = tokenize(text);
+  std::size_t pos = 0;
+  auto take = [&]() -> const Token& { return tokens[std::min(pos++, tokens.size() - 1)]; };
+  auto fail = [](const Token& t, const std::string& msg) -> void {
+    PSV_FAIL("requirement syntax, line " + std::to_string(t.line) + ", column " +
+             std::to_string(t.column) + ": " + msg +
+             " (expected \"NAME: input -> output within BOUND\")");
+  };
+
+  core::TimingRequirement req;
+  const Token& name = take();
+  if (name.kind != TokKind::kIdent) fail(name, "expected requirement name");
+  req.name = name.text;
+  const Token& colon = take();
+  if (colon.kind != TokKind::kColon) fail(colon, "expected ':'");
+  const Token& input = take();
+  if (input.kind != TokKind::kIdent) fail(input, "expected input name");
+  req.input = input.text;
+  const Token& arrow = take();
+  if (arrow.kind != TokKind::kArrow) fail(arrow, "expected '->'");
+  const Token& output = take();
+  if (output.kind != TokKind::kIdent) fail(output, "expected output name");
+  req.output = output.text;
+  const Token& within = take();
+  if (within.kind != TokKind::kIdent || within.text != "within")
+    fail(within, "expected 'within'");
+  const Token& bound = take();
+  if (bound.kind != TokKind::kInt) fail(bound, "expected a bound in ms");
+  req.bound_ms = bound.value;
+  const Token& end = take();
+  if (end.kind != TokKind::kEnd) fail(end, "unexpected trailing input");
+  return req;
+}
+
+}  // namespace psv::lang

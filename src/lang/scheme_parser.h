@@ -1,0 +1,42 @@
+// Parser for .pss implementation-scheme files and requirement strings.
+//
+//   scheme IS1_board {
+//     input BolusReq {
+//       signal sustained-until-read
+//       read polling interval 240
+//       delay 10 40
+//       min_interarrival 400
+//     }
+//     input EmptySyringe {
+//       signal pulse
+//       read interrupt
+//       delay 1 3
+//     }
+//     output StartInfusion { delay 100 440 }
+//     io {
+//       invocation periodic 200
+//       transfer buffers 5
+//       policy read-all
+//       stages 10 10 10
+//     }
+//   }
+//
+// Requirement strings use the paper's P(delta) phrasing:
+//
+//   "REQ1: BolusReq -> StartInfusion within 500"
+#pragma once
+
+#include <string>
+
+#include "core/pim.h"
+#include "core/scheme.h"
+
+namespace psv::lang {
+
+/// Parse a scheme file's contents. Throws psv::Error with position context.
+core::ImplementationScheme parse_scheme(const std::string& source);
+
+/// Parse "NAME: input -> output within BOUND".
+core::TimingRequirement parse_requirement(const std::string& text);
+
+}  // namespace psv::lang

@@ -1,0 +1,103 @@
+#include "mc/query.h"
+
+#include "util/error.h"
+
+namespace psv::mc {
+
+namespace {
+
+void accumulate(ExploreStats& into, const ExploreStats& from) {
+  into.states_stored += from.states_stored;
+  into.states_explored += from.states_explored;
+  into.transitions_fired += from.transitions_fired;
+  into.subsumed += from.subsumed;
+}
+
+/// One probe: is (pred && clock > d) reachable?
+ReachResult probe(const ta::Network& net, const StateFormula& pred, ta::ClockId clock,
+                  std::int64_t d, ExploreOptions opts) {
+  PSV_REQUIRE(d <= dbm::kMaxBoundValue, "clock bound exceeds representable range");
+  StateFormula violated = pred;
+  violated.and_clock(ta::cc_gt(clock, static_cast<std::int32_t>(d)));
+  return reachable(net, violated, opts);
+}
+
+}  // namespace
+
+MaxClockResult max_clock_value(const ta::Network& net, const StateFormula& pred,
+                               ta::ClockId clock, std::int64_t limit, ExploreOptions opts,
+                               std::int64_t hint) {
+  PSV_REQUIRE(clock >= 0 && clock < net.num_clocks(), "max_clock_value: undeclared clock");
+  PSV_REQUIRE(limit > 0 && limit <= dbm::kMaxBoundValue, "max_clock_value: bad limit");
+  MaxClockResult result;
+
+  // Is the condition reachable at all?
+  ReachResult any = reachable(net, pred, opts);
+  accumulate(result.stats, any.stats);
+  ++result.probes;
+  if (!any.reachable) {
+    result.bounded = true;
+    result.bound = 0;
+    result.condition_unreachable = true;
+    return result;
+  }
+
+  // Gallop geometrically from the hint to bracket the bound. Probing at
+  // small thresholds first keeps each probe's extrapolation constants (and
+  // so its state space) near the true bound instead of the search limit.
+  std::int64_t lo = 0;  // highest threshold known reachable, +1
+  std::int64_t hi = -1; // lowest threshold known unreachable
+  Trace witness;
+  std::int64_t d = std::max<std::int64_t>(1, std::min(hint, limit));
+  while (true) {
+    ReachResult r = probe(net, pred, clock, d, opts);
+    accumulate(result.stats, r.stats);
+    ++result.probes;
+    if (r.reachable) {
+      witness = std::move(r.trace);
+      lo = d + 1;
+      if (d >= limit) {
+        result.bounded = false;
+        result.witness = std::move(witness);
+        return result;
+      }
+      d = std::min(limit, d * 2);
+    } else {
+      hi = d;
+      break;
+    }
+  }
+
+  // Binary search the least D in [lo, hi] with (pred && clock > D)
+  // unreachable.
+  while (lo < hi) {
+    const std::int64_t mid = lo + (hi - lo) / 2;
+    ReachResult r = probe(net, pred, clock, mid, opts);
+    accumulate(result.stats, r.stats);
+    ++result.probes;
+    if (r.reachable) {
+      witness = std::move(r.trace);
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  result.bounded = true;
+  result.bound = lo;
+  result.witness = std::move(witness);
+  return result;
+}
+
+BoundedResponseResult check_bounded_response(const ta::Network& net, const StateFormula& pending,
+                                             ta::ClockId clock, std::int64_t delta,
+                                             ExploreOptions opts) {
+  PSV_REQUIRE(clock >= 0 && clock < net.num_clocks(), "check_bounded_response: undeclared clock");
+  BoundedResponseResult result;
+  ReachResult r = probe(net, pending, clock, delta, opts);
+  result.stats = r.stats;
+  result.holds = !r.reachable;
+  if (r.reachable) result.violation = std::move(r.trace);
+  return result;
+}
+
+}  // namespace psv::mc

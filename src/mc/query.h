@@ -1,0 +1,65 @@
+// High-level timing queries built on symbolic reachability.
+//
+// The paper's verification steps reduce to three query shapes:
+//   * safety            — A[] !bad                  (buffer overflow, missed input)
+//   * bounded response  — the maximum value a clock can reach while a
+//                         condition holds (M-C delay, Input-Delay, ...)
+//   * deadlock freedom  — sanity of constructed PSMs
+//
+// Bounded response is answered by binary search over safety checks:
+// max{ t(clock) | pred } <= D  iff  the state (pred && clock > D) is
+// unreachable. Each individual check extends the extrapolation constants
+// with D, so the search is exact.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "mc/reach.h"
+
+namespace psv::mc {
+
+/// Result of a maximum-clock-value query.
+struct MaxClockResult {
+  /// False when the value exceeds the search limit (treated as unbounded).
+  bool bounded = false;
+  /// The least D such that A[](pred => clock <= D); valid when bounded.
+  std::int64_t bound = 0;
+  /// A witness trace reaching clock == bound (the last failing check),
+  /// empty when the condition itself is unreachable.
+  Trace witness;
+  /// True when no state satisfying `pred` is reachable at all (bound = 0).
+  bool condition_unreachable = false;
+  /// Aggregated exploration statistics across all binary-search probes.
+  ExploreStats stats;
+  /// Number of reachability probes performed by the binary search.
+  int probes = 0;
+};
+
+/// Compute the maximum value `clock` can take over all reachable states
+/// satisfying `pred` (the paper's delay measurements: reset the clock at the
+/// triggering event, read it while the response is pending).
+///
+/// `limit` caps the search; values above it report bounded = false.
+///
+/// `hint` seeds the search (e.g. an analytic bound): the query gallops
+/// geometrically from the hint before binary-searching, which keeps the
+/// extrapolation constants (and hence the explored state space) close to
+/// the true bound instead of the limit.
+MaxClockResult max_clock_value(const ta::Network& net, const StateFormula& pred,
+                               ta::ClockId clock, std::int64_t limit = 1'000'000,
+                               ExploreOptions opts = {}, std::int64_t hint = 1024);
+
+/// Check the bounded-response property P(delta): whenever `pending` holds,
+/// `clock` stays <= delta  (A[](pending => clock <= delta)).
+struct BoundedResponseResult {
+  bool holds = false;
+  /// Violation witness when !holds.
+  Trace violation;
+  ExploreStats stats;
+};
+BoundedResponseResult check_bounded_response(const ta::Network& net, const StateFormula& pending,
+                                             ta::ClockId clock, std::int64_t delta,
+                                             ExploreOptions opts = {});
+
+}  // namespace psv::mc

@@ -1,0 +1,183 @@
+#include "mc/reach.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace psv::mc {
+
+std::string Trace::to_string() const {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < steps.size(); ++i) {
+    if (!steps[i].label.empty()) os << "  [" << i << "] " << steps[i].label << "\n";
+    os << "      " << steps[i].state << "\n";
+  }
+  return os.str();
+}
+
+Reachability::Reachability(const ta::Network& net, const StateFormula& goal, ExploreOptions opts)
+    : net_(net), goal_(goal), opts_(opts), gen_(net, formula_clock_constants(net, goal)) {}
+
+std::optional<std::size_t> Reachability::add_state(SymState state, std::int64_t parent,
+                                                   std::string label) {
+  const std::size_t key = state.discrete_hash();
+  auto& bucket = passed_[key];
+  for (std::size_t idx : bucket) {
+    const Stored& existing = arena_[idx];
+    if (existing.state.same_discrete(state) && existing.state.zone.includes(state.zone)) {
+      ++stats_.subsumed;
+      return std::nullopt;
+    }
+  }
+  // Drop stored zones strictly included in the new one from the inclusion
+  // list (their arena entries stay alive for parent chains).
+  bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
+                              [&](std::size_t idx) {
+                                const Stored& existing = arena_[idx];
+                                return existing.state.same_discrete(state) &&
+                                       state.zone.includes(existing.state.zone);
+                              }),
+               bucket.end());
+
+  PSV_REQUIRE(arena_.size() < opts_.max_states,
+              "state-space exploration exceeded the configured limit of " +
+                  std::to_string(opts_.max_states) + " states");
+  const std::size_t index = arena_.size();
+  arena_.push_back(Stored{std::move(state), parent, std::move(label)});
+  bucket.push_back(index);
+  waiting_.push_back(index);
+  ++stats_.states_stored;
+  return index;
+}
+
+Trace Reachability::build_trace(std::size_t index) const {
+  std::vector<std::size_t> chain;
+  std::int64_t cursor = static_cast<std::int64_t>(index);
+  while (cursor >= 0) {
+    chain.push_back(static_cast<std::size_t>(cursor));
+    cursor = arena_[static_cast<std::size_t>(cursor)].parent;
+  }
+  std::reverse(chain.begin(), chain.end());
+  Trace trace;
+  for (std::size_t idx : chain) {
+    trace.steps.push_back(
+        TraceStep{arena_[idx].label, arena_[idx].state.to_string(net_)});
+  }
+  return trace;
+}
+
+ReachResult Reachability::run() {
+  ReachResult result;
+  const auto initial_index = add_state(gen_.initial(), -1, "");
+  PSV_ASSERT(initial_index.has_value(), "initial state must be stored");
+  if (satisfies(net_, arena_[*initial_index].state, goal_)) {
+    result.reachable = true;
+    result.trace = build_trace(*initial_index);
+    result.stats = stats_;
+    return result;
+  }
+  while (!waiting_.empty()) {
+    const std::size_t index = waiting_.front();
+    waiting_.pop_front();
+    ++stats_.states_explored;
+    // The state may have been subsumed after being queued; explore anyway —
+    // correctness is unaffected and re-checking costs more than exploring.
+    // Copy out locations/vars/zone: arena_ may reallocate during add_state.
+    const SymState current = arena_[index].state;
+    for (SymSuccessor& succ : gen_.successors(current)) {
+      ++stats_.transitions_fired;
+      const bool is_goal = satisfies(net_, succ.state, goal_);
+      const auto added = add_state(std::move(succ.state), static_cast<std::int64_t>(index),
+                                   std::move(succ.label));
+      if (is_goal && added.has_value()) {
+        result.reachable = true;
+        result.trace = build_trace(*added);
+        result.stats = stats_;
+        return result;
+      }
+    }
+  }
+  result.reachable = false;
+  result.stats = stats_;
+  return result;
+}
+
+ExploreStats Reachability::explore_all(const std::function<void(const SymState&)>& visit) {
+  const auto initial_index = add_state(gen_.initial(), -1, "");
+  PSV_ASSERT(initial_index.has_value(), "initial state must be stored");
+  while (!waiting_.empty()) {
+    const std::size_t index = waiting_.front();
+    waiting_.pop_front();
+    ++stats_.states_explored;
+    const SymState current = arena_[index].state;
+    if (visit) visit(current);
+    for (SymSuccessor& succ : gen_.successors(current)) {
+      ++stats_.transitions_fired;
+      add_state(std::move(succ.state), static_cast<std::int64_t>(index), std::move(succ.label));
+    }
+  }
+  return stats_;
+}
+
+DeadlockResult Reachability::find_deadlock(const std::function<void(const SymState&)>& visit) {
+  DeadlockResult result;
+  std::optional<std::size_t> first_quiescent;
+  const auto initial_index = add_state(gen_.initial(), -1, "");
+  PSV_ASSERT(initial_index.has_value(), "initial state must be stored");
+  while (!waiting_.empty()) {
+    const std::size_t index = waiting_.front();
+    waiting_.pop_front();
+    ++stats_.states_explored;
+    const SymState current = arena_[index].state;
+    if (visit) visit(current);
+    auto succs = gen_.successors(current);
+    if (succs.empty()) {
+      // Stored zones are delay-closed, so "no action successor" means no
+      // action can ever be taken from any valuation in this state.
+      // Timelock when an invariant (or urgency) also prevents time
+      // divergence — that is a modeling/scheme violation and aborts the
+      // search. Plain quiescence (time diverges) is recorded but the
+      // search continues: a quiescent corner must not mask a timelock.
+      bool time_blocked = gen_.time_frozen(current.locs);
+      if (!time_blocked) {
+        for (int c = 1; c <= current.zone.num_clocks(); ++c)
+          time_blocked = time_blocked || !dbm::is_inf(current.zone.upper(c));
+      }
+      if (time_blocked) {
+        result.found = true;
+        result.timelock = true;
+        result.trace = build_trace(index);
+        result.stats = stats_;
+        return result;
+      }
+      if (!first_quiescent) first_quiescent = index;
+      continue;
+    }
+    for (SymSuccessor& succ : succs) {
+      ++stats_.transitions_fired;
+      add_state(std::move(succ.state), static_cast<std::int64_t>(index), std::move(succ.label));
+    }
+  }
+  if (first_quiescent) {
+    result.found = true;
+    result.timelock = false;
+    result.trace = build_trace(*first_quiescent);
+  }
+  result.stats = stats_;
+  return result;
+}
+
+ReachResult reachable(const ta::Network& net, const StateFormula& goal, ExploreOptions opts) {
+  return Reachability(net, goal, opts).run();
+}
+
+SafetyResult holds_always_not(const ta::Network& net, const StateFormula& bad,
+                              ExploreOptions opts) {
+  SafetyResult result;
+  result.violation = reachable(net, bad, opts);
+  result.holds = !result.violation.reachable;
+  return result;
+}
+
+}  // namespace psv::mc

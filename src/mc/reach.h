@@ -1,0 +1,121 @@
+// Symbolic reachability with inclusion subsumption and diagnostic traces.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mc/state.h"
+#include "mc/succ.h"
+
+namespace psv::mc {
+
+/// Exploration limits and knobs.
+struct ExploreOptions {
+  /// Hard cap on stored symbolic states; exceeded -> psv::Error.
+  std::size_t max_states = 2'000'000;
+};
+
+/// Exploration statistics for reporting and benchmarks.
+struct ExploreStats {
+  std::size_t states_stored = 0;
+  std::size_t states_explored = 0;
+  std::size_t transitions_fired = 0;
+  std::size_t subsumed = 0;
+};
+
+/// One step of a diagnostic trace.
+struct TraceStep {
+  std::string label;  ///< participating edges ("A.l1->l2[c!] ~ B.l3->l4[c?]")
+  std::string state;  ///< rendered successor state
+};
+
+/// Diagnostic trace from the initial state to a goal state.
+struct Trace {
+  std::vector<TraceStep> steps;
+  std::string to_string() const;
+};
+
+/// Result of a reachability query.
+struct ReachResult {
+  bool reachable = false;
+  Trace trace;  ///< meaningful when reachable
+  ExploreStats stats;
+};
+
+/// Result of deadlock detection. Timelocks (no action possible AND an
+/// invariant stops time) abort the search immediately; plain quiescence (no
+/// action possible but time diverges) is recorded while the exploration
+/// continues, so a benign quiescent corner never masks a timelock.
+struct DeadlockResult {
+  bool found = false;
+  /// True when the reported state has a time-blocked zone (timelock);
+  /// false for quiescence.
+  bool timelock = false;
+  Trace trace;
+  ExploreStats stats;
+};
+
+/// Breadth-first symbolic reachability over a network.
+///
+/// The engine owns nothing of the network; it may be constructed per query.
+/// Query clock constants are merged into the extrapolation constants so each
+/// query remains exact for the constraints it mentions.
+class Reachability {
+ public:
+  Reachability(const ta::Network& net, const StateFormula& goal, ExploreOptions opts = {});
+
+  /// Run until the goal is found or the state space is exhausted.
+  ReachResult run();
+
+  /// Explore the full (subsumption-reduced) state space, invoking `visit`
+  /// on every stored state; used by deadlock search and state-space dumps.
+  ExploreStats explore_all(const std::function<void(const SymState&)>& visit);
+
+  /// Deadlock search: find a state with no action successor. The optional
+  /// `visit` callback sees every explored state (letting callers piggyback
+  /// flag-reachability analyses on the same exploration).
+  DeadlockResult find_deadlock(const std::function<void(const SymState&)>& visit = nullptr);
+
+ private:
+  struct Stored {
+    SymState state;
+    std::int64_t parent;  ///< arena index, -1 for initial
+    std::string label;    ///< edge label leading here
+  };
+
+  /// Returns arena index if the state was added, std::nullopt if subsumed.
+  std::optional<std::size_t> add_state(SymState state, std::int64_t parent, std::string label);
+
+  Trace build_trace(std::size_t index) const;
+
+  const ta::Network& net_;
+  StateFormula goal_;
+  ExploreOptions opts_;
+  SuccGen gen_;
+
+  std::vector<Stored> arena_;
+  std::deque<std::size_t> waiting_;
+  /// discrete-hash -> arena indices with live (non-subsumed) zones.
+  std::unordered_map<std::size_t, std::vector<std::size_t>> passed_;
+  ExploreStats stats_;
+};
+
+/// Convenience single-call reachability: is some state satisfying `goal`
+/// reachable in `net`?
+ReachResult reachable(const ta::Network& net, const StateFormula& goal, ExploreOptions opts = {});
+
+/// Convenience safety check: does `bad` never occur? (A[] !bad)
+/// Returns the ReachResult of the violation search; `holds` iff unreachable.
+struct SafetyResult {
+  bool holds = false;
+  ReachResult violation;
+};
+SafetyResult holds_always_not(const ta::Network& net, const StateFormula& bad,
+                              ExploreOptions opts = {});
+
+}  // namespace psv::mc

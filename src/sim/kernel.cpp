@@ -1,0 +1,31 @@
+#include "sim/kernel.h"
+
+#include "util/error.h"
+
+namespace psv::sim {
+
+void Kernel::schedule_at(TimeUs at, Action action) {
+  PSV_REQUIRE(at >= now_, "cannot schedule an event in the past");
+  queue_.push(Entry{at, next_seq_++, std::move(action)});
+}
+
+void Kernel::schedule_in(TimeUs delay, Action action) {
+  PSV_REQUIRE(delay >= 0, "negative event delay");
+  schedule_at(now_ + delay, std::move(action));
+}
+
+void Kernel::run_until(TimeUs end) {
+  while (!queue_.empty()) {
+    // Copying the entry out before pop keeps the action alive while it runs
+    // (it may schedule further events, growing the queue).
+    Entry entry = queue_.top();
+    if (entry.at > end) break;
+    queue_.pop();
+    now_ = entry.at;
+    ++dispatched_;
+    entry.action();
+  }
+  if (now_ < end) now_ = end;
+}
+
+}  // namespace psv::sim

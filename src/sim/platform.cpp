@@ -1,0 +1,269 @@
+#include "sim/platform.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace psv::sim {
+
+const DelayCalibration& SimCalibration::input(const std::string& base) const {
+  auto it = inputs.find(base);
+  return it == inputs.end() ? fallback : it->second;
+}
+
+const DelayCalibration& SimCalibration::output(const std::string& base) const {
+  auto it = outputs.find(base);
+  return it == outputs.end() ? fallback : it->second;
+}
+
+PlatformSim::PlatformSim(Kernel& kernel, const ta::Network& pim, const core::PimInfo& info,
+                         const core::ImplementationScheme& scheme,
+                         const SimCalibration& calibration, Rng rng)
+    : kernel_(kernel),
+      scheme_(scheme),
+      calibration_(calibration),
+      rng_(std::move(rng)),
+      program_(pim, info) {
+  const core::SchemeValidation sv = core::validate_scheme(scheme, info.inputs, info.outputs);
+  PSV_REQUIRE(sv.ok(), "cannot simulate an invalid scheme:\n" + sv.to_string());
+  for (const std::string& base : info.inputs) {
+    InputChannel ch;
+    ch.base = base;
+    ch.spec = scheme.input(base);
+    ch.cal = calibration.input(base);
+    inputs_.push_back(std::move(ch));
+  }
+  for (const std::string& base : info.outputs) {
+    OutputChannel ch;
+    ch.base = base;
+    ch.spec = scheme.output(base);
+    ch.cal = calibration.output(base);
+    outputs_.push_back(std::move(ch));
+  }
+}
+
+TimeUs PlatformSim::sample(std::int32_t min_ms, std::int32_t max_ms,
+                           const DelayCalibration& cal) {
+  const double lo = static_cast<double>(ms(min_ms));
+  const double hi_spec = static_cast<double>(ms(max_ms));
+  const double hi = lo + cal.observed_spread * (hi_spec - lo);
+  const double mode = lo + cal.mode_fraction * (hi - lo);
+  return static_cast<TimeUs>(rng_.triangular(lo, mode, hi));
+}
+
+void PlatformSim::record(Boundary boundary, const std::string& name) {
+  events_.push_back(BoundaryEvent{kernel_.now(), boundary, name});
+}
+
+void PlatformSim::start() {
+  PSV_REQUIRE(!started_, "platform already started");
+  started_ = true;
+  program_.reset(kernel_.now());
+  // Polling tasks begin at a random phase within their interval unless a
+  // fixed phase was requested.
+  for (std::size_t i = 0; i < inputs_.size(); ++i) {
+    if (inputs_[i].spec.read == core::ReadMechanism::kPolling) {
+      const TimeUs phase = calibration_.fixed_poll_phase_ms >= 0
+                               ? ms(calibration_.fixed_poll_phase_ms)
+                               : rng_.uniform_int(0, ms(inputs_[i].spec.polling_interval));
+      kernel_.schedule_in(phase, [this, i] { poll(i); });
+    }
+  }
+  if (scheme_.io.invocation == core::InvocationKind::kPeriodic) {
+    const TimeUs phase = calibration_.fixed_invocation_phase_ms >= 0
+                             ? ms(calibration_.fixed_invocation_phase_ms)
+                             : rng_.uniform_int(0, ms(scheme_.io.period));
+    kernel_.schedule_in(phase, [this] { invoke(); });
+  }
+}
+
+void PlatformSim::inject_input(const std::string& base) {
+  auto it = std::find_if(inputs_.begin(), inputs_.end(),
+                         [&base](const InputChannel& ch) { return ch.base == base; });
+  PSV_REQUIRE(it != inputs_.end(), "no input named '" + base + "'");
+  const std::size_t index = static_cast<std::size_t>(it - inputs_.begin());
+  InputChannel& ch = *it;
+  record(Boundary::kMonitored, base);
+
+  if (ch.spec.read == core::ReadMechanism::kInterrupt) {
+    if (ch.busy) {
+      ++stats_.missed_inputs;  // signal during a busy service routine
+      return;
+    }
+    begin_processing(index);
+    return;
+  }
+  // Polling: latch the signal level.
+  if (ch.latch) {
+    ++stats_.missed_inputs;  // latch still set: the press is lost
+    return;
+  }
+  ch.latch = true;
+  if (ch.spec.signal == core::SignalType::kSustainedDuration) {
+    // The level drops after the sustain duration; an unread level is lost.
+    kernel_.schedule_in(ms(ch.spec.sustain_duration), [this, index] {
+      InputChannel& c = inputs_[index];
+      if (c.latch) {
+        c.latch = false;
+        ++stats_.missed_inputs;
+      }
+    });
+  }
+}
+
+void PlatformSim::poll(std::size_t index) {
+  InputChannel& ch = inputs_[index];
+  if (!ch.busy && ch.latch) {
+    ch.latch = false;
+    begin_processing(index);
+  }
+  kernel_.schedule_in(ms(ch.spec.polling_interval), [this, index] { poll(index); });
+}
+
+void PlatformSim::begin_processing(std::size_t index) {
+  InputChannel& ch = inputs_[index];
+  ch.busy = true;
+  const TimeUs delay = sample(ch.spec.delay_min, ch.spec.delay_max, ch.cal);
+  kernel_.schedule_in(delay, [this, index] { finish_processing(index); });
+}
+
+void PlatformSim::finish_processing(std::size_t index) {
+  InputChannel& ch = inputs_[index];
+  ch.busy = false;
+  if (scheme_.io.transfer == core::TransferKind::kBuffer) {
+    if (static_cast<std::int32_t>(ch.fifo.size()) >= scheme_.io.buffer_size) {
+      ++stats_.input_overflows;
+    } else {
+      ch.fifo.push_back(kernel_.now());
+      deliver_to_code(index);
+    }
+  } else {
+    if (ch.fresh) ++stats_.input_overflows;  // unread slot overwritten
+    ch.fresh = true;
+    ch.fresh_at = kernel_.now();
+    deliver_to_code(index);
+  }
+}
+
+void PlatformSim::deliver_to_code(std::size_t index) {
+  (void)index;
+  if (scheme_.io.invocation != core::InvocationKind::kAperiodic) return;
+  if (cycle_running_) {
+    rerun_requested_ = true;  // coalesced invocation request
+    return;
+  }
+  cycle_running_ = true;
+  kernel_.schedule_in(0, [this] { invoke(); });
+}
+
+void PlatformSim::schedule_next_invocation() {
+  if (scheme_.io.invocation == core::InvocationKind::kPeriodic) {
+    kernel_.schedule_in(ms(scheme_.io.period), [this] { invoke(); });
+    return;
+  }
+  cycle_running_ = false;
+  bool pending = false;
+  for (const InputChannel& ch : inputs_) pending = pending || !ch.fifo.empty() || ch.fresh;
+  if (rerun_requested_ || pending) {
+    rerun_requested_ = false;
+    cycle_running_ = true;
+    kernel_.schedule_in(0, [this] { invoke(); });
+    return;
+  }
+  // Aperiodic runtimes arm a timer for the code's next guard deadline —
+  // otherwise a time-guarded output would never fire. Stale timers are
+  // harmless: a cycle that finds nothing to do simply returns.
+  const TimeUs deadline = program_.next_deadline_us(kernel_.now());
+  if (deadline >= 0) {
+    kernel_.schedule_at(deadline, [this] {
+      if (!cycle_running_) {
+        cycle_running_ = true;
+        invoke();
+      }
+    });
+  }
+}
+
+void PlatformSim::invoke() {
+  ++stats_.invocations;
+  invocation_log_.push_back(kernel_.now());
+  const TimeUs read_done =
+      sample(0, scheme_.io.read_stage_max, calibration_.stages);
+
+  kernel_.schedule_in(read_done, [this] {
+    // Read stage: collect inputs per the read policy.
+    std::vector<std::string> delivered;
+    bool took_one = false;
+    for (InputChannel& ch : inputs_) {
+      if (scheme_.io.read_policy == core::ReadPolicy::kReadOne && took_one) break;
+      if (scheme_.io.transfer == core::TransferKind::kBuffer) {
+        while (!ch.fifo.empty()) {
+          ch.fifo.pop_front();
+          delivered.push_back(ch.base);
+          record(Boundary::kProgramIn, ch.base);
+          ++stats_.inputs_delivered;
+          took_one = true;
+          if (scheme_.io.read_policy == core::ReadPolicy::kReadOne) break;
+        }
+      } else if (ch.fresh) {
+        ch.fresh = false;
+        delivered.push_back(ch.base);
+        record(Boundary::kProgramIn, ch.base);
+        ++stats_.inputs_delivered;
+        took_one = true;
+      }
+    }
+
+    // Compute stage: run the generated code with the clocks sampled now.
+    const TimeUs compute_done = sample(0, scheme_.io.compute_stage_max, calibration_.stages);
+    const codegen::StepResult step = program_.step(kernel_.now(), delivered);
+
+    kernel_.schedule_in(compute_done, [this, outputs = step.outputs] {
+      // Write stage: outputs cross the io-boundary.
+      const TimeUs write_done = sample(0, scheme_.io.write_stage_max, calibration_.stages);
+      kernel_.schedule_in(write_done, [this, outputs] {
+        for (const std::string& base : outputs) {
+          record(Boundary::kProgramOut, base);
+          push_output(base);
+        }
+        schedule_next_invocation();
+      });
+    });
+  });
+}
+
+void PlatformSim::push_output(const std::string& base) {
+  auto it = std::find_if(outputs_.begin(), outputs_.end(),
+                         [&base](const OutputChannel& ch) { return ch.base == base; });
+  PSV_REQUIRE(it != outputs_.end(), "no output named '" + base + "'");
+  const std::size_t index = static_cast<std::size_t>(it - outputs_.begin());
+  OutputChannel& ch = *it;
+  const std::int32_t capacity =
+      scheme_.io.transfer == core::TransferKind::kBuffer ? scheme_.io.buffer_size : 1;
+  if (ch.busy) {
+    if (static_cast<std::int32_t>(ch.backlog.size()) >= capacity) {
+      ++stats_.output_overflows;
+      return;
+    }
+    ch.backlog.push_back(kernel_.now());
+    return;
+  }
+  ch.busy = true;
+  const TimeUs delay = sample(ch.spec.delay_min, ch.spec.delay_max, ch.cal);
+  kernel_.schedule_in(delay, [this, index] { output_process(index); });
+}
+
+void PlatformSim::output_process(std::size_t index) {
+  OutputChannel& ch = outputs_[index];
+  record(Boundary::kControlled, ch.base);
+  ++stats_.outputs_delivered;
+  if (!ch.backlog.empty()) {
+    ch.backlog.pop_front();
+    const TimeUs delay = sample(ch.spec.delay_min, ch.spec.delay_max, ch.cal);
+    kernel_.schedule_in(delay, [this, index] { output_process(index); });
+  } else {
+    ch.busy = false;
+  }
+}
+
+}  // namespace psv::sim

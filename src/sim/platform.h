@@ -1,0 +1,150 @@
+// Simulated execution platform: the "board" that runs Code(PIM) under an
+// implementation scheme.
+//
+// Components mirror the block diagram of the paper's Fig. 2-(a):
+//   * Input-Device  — interrupt service routines or polling tasks with
+//     sampled processing delays, feeding bounded FIFOs / shared slots;
+//   * Code-Execution — the periodic or aperiodic invocation loop driving a
+//     codegen::StepProgram through read / compute / write stages;
+//   * Output-Device — a processing queue that turns program outputs into
+//     controlled-variable changes.
+//
+// Every boundary crossing (m, i, o, c) is timestamped by a probe — the
+// simulated oscilloscope used to produce Table I's measured rows.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "codegen/stepcode.h"
+#include "core/scheme.h"
+#include "sim/kernel.h"
+#include "util/rng.h"
+
+namespace psv::sim {
+
+/// Four-variable boundary crossed by an event.
+enum class Boundary : char {
+  kMonitored = 'm',   ///< environment raised an input signal
+  kProgramIn = 'i',   ///< code read the processed input
+  kProgramOut = 'o',  ///< code wrote an output
+  kControlled = 'c',  ///< environment observed the actuator change
+};
+
+/// One timestamped boundary crossing.
+struct BoundaryEvent {
+  TimeUs at = 0;
+  Boundary boundary = Boundary::kMonitored;
+  std::string name;  ///< variable base name ("BolusReq", "StartInfusion")
+};
+
+/// How observed device behavior relates to its specified worst case: delays
+/// are drawn from triangular(min, mode, observed_max) with
+///   observed_max = min + observed_spread * (max - min)
+///   mode         = min + mode_fraction * (observed_max - min).
+/// Defaults model a device that usually runs mid-window but can reach its
+/// specified bound.
+struct DelayCalibration {
+  double observed_spread = 1.0;
+  double mode_fraction = 0.5;
+};
+
+/// Per-platform calibration of sampled delays (keyed by variable base name;
+/// missing entries use the defaults).
+struct SimCalibration {
+  std::map<std::string, DelayCalibration> inputs;
+  std::map<std::string, DelayCalibration> outputs;
+  DelayCalibration fallback;
+  /// Invocation stages typically finish well under their WCET bound.
+  DelayCalibration stages{0.5, 0.3};
+  /// Fixed phase of the first periodic invocation in ms (negative = random
+  /// within one period; fixed phases are useful for timeline illustrations).
+  std::int64_t fixed_invocation_phase_ms = -1;
+  /// Fixed phase of the polling tasks in ms (negative = random).
+  std::int64_t fixed_poll_phase_ms = -1;
+
+  const DelayCalibration& input(const std::string& base) const;
+  const DelayCalibration& output(const std::string& base) const;
+};
+
+/// Counters of abnormal platform behavior during a run.
+struct PlatformStats {
+  int missed_inputs = 0;      ///< Constraint-1 events (busy ISR, lost latch)
+  int input_overflows = 0;    ///< Constraint-2 events
+  int output_overflows = 0;   ///< Constraint-3 events
+  std::int64_t invocations = 0;
+  std::int64_t inputs_delivered = 0;
+  std::int64_t outputs_delivered = 0;
+};
+
+/// The simulated platform. Construct, `start()`, inject stimuli, run the
+/// kernel, then inspect `events()` and `stats()`.
+class PlatformSim {
+ public:
+  PlatformSim(Kernel& kernel, const ta::Network& pim, const core::PimInfo& info,
+              const core::ImplementationScheme& scheme, const SimCalibration& calibration,
+              Rng rng);
+
+  /// Install the polling tasks and the invocation loop. Call once.
+  void start();
+
+  /// Environment raises input signal `base` at the current kernel time.
+  void inject_input(const std::string& base);
+
+  const std::vector<BoundaryEvent>& events() const { return events_; }
+  const PlatformStats& stats() const { return stats_; }
+
+  /// Start times of every code invocation (for timeline rendering).
+  const std::vector<TimeUs>& invocation_log() const { return invocation_log_; }
+
+ private:
+  struct InputChannel {
+    std::string base;
+    core::InputSpec spec;
+    DelayCalibration cal;
+    bool latch = false;        ///< latched signal level (polling)
+    bool busy = false;         ///< device processing an input
+    std::deque<TimeUs> fifo;   ///< enqueue times of processed inputs
+    bool fresh = false;        ///< shared-variable slot
+    TimeUs fresh_at = 0;
+  };
+  struct OutputChannel {
+    std::string base;
+    core::OutputSpec spec;
+    DelayCalibration cal;
+    bool busy = false;
+    std::deque<TimeUs> backlog;  ///< push times awaiting the device
+  };
+
+  TimeUs sample(std::int32_t min_ms, std::int32_t max_ms, const DelayCalibration& cal);
+  void record(Boundary boundary, const std::string& name);
+
+  void poll(std::size_t index);
+  void begin_processing(std::size_t index);
+  void finish_processing(std::size_t index);
+  void deliver_to_code(std::size_t index);
+
+  void schedule_next_invocation();
+  void invoke();
+  void push_output(const std::string& base);
+  void output_process(std::size_t index);
+
+  Kernel& kernel_;
+  const core::ImplementationScheme scheme_;
+  SimCalibration calibration_;
+  Rng rng_;
+  codegen::StepProgram program_;
+  std::vector<InputChannel> inputs_;
+  std::vector<OutputChannel> outputs_;
+  std::vector<BoundaryEvent> events_;
+  std::vector<TimeUs> invocation_log_;
+  PlatformStats stats_;
+  bool started_ = false;
+  bool cycle_running_ = false;    ///< aperiodic: an invocation is in flight
+  bool rerun_requested_ = false;  ///< aperiodic: input arrived mid-cycle
+};
+
+}  // namespace psv::sim

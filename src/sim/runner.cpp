@@ -1,0 +1,91 @@
+#include "sim/runner.h"
+
+#include "util/error.h"
+
+namespace psv::sim {
+
+int MeasurementSummary::violations(double bound_ms) const {
+  int count = 0;
+  for (const ScenarioResult& s : scenarios)
+    if (s.completed && s.mc_ms > bound_ms) ++count;
+  return count;
+}
+
+std::optional<ScenarioResult> extract_delays(const std::vector<BoundaryEvent>& events,
+                                             const core::TimingRequirement& req) {
+  std::optional<TimeUs> m_at, i_at, o_at, c_at;
+  for (const BoundaryEvent& e : events) {
+    if (!m_at && e.boundary == Boundary::kMonitored && e.name == req.input) {
+      m_at = e.at;
+    } else if (m_at && !i_at && e.boundary == Boundary::kProgramIn && e.name == req.input) {
+      i_at = e.at;
+    } else if (i_at && !o_at && e.boundary == Boundary::kProgramOut && e.name == req.output) {
+      o_at = e.at;
+    } else if (o_at && !c_at && e.boundary == Boundary::kControlled && e.name == req.output) {
+      c_at = e.at;
+      break;
+    }
+  }
+  if (!m_at || !i_at || !o_at || !c_at) return std::nullopt;
+  ScenarioResult r;
+  r.mc_ms = to_ms(*c_at - *m_at);
+  r.mi_ms = to_ms(*i_at - *m_at);
+  r.oc_ms = to_ms(*c_at - *o_at);
+  r.completed = true;
+  return r;
+}
+
+ScenarioResult run_scenario(const ta::Network& pim, const core::PimInfo& info,
+                            const core::ImplementationScheme& scheme,
+                            const core::TimingRequirement& req, const MeasurementConfig& config,
+                            std::uint64_t scenario_seed) {
+  Kernel kernel;
+  Rng rng(scenario_seed);
+  PlatformSim platform(kernel, pim, info, scheme, config.calibration, rng.split("platform"));
+  platform.start();
+
+  Rng env_rng = rng.split("environment");
+  const TimeUs stimulus_at = env_rng.uniform_int(0, ms(config.phase_window_ms));
+  kernel.schedule_at(stimulus_at, [&platform, &req] { platform.inject_input(req.input); });
+
+  kernel.run_until(ms(config.horizon_ms));
+
+  auto extracted = extract_delays(platform.events(), req);
+  ScenarioResult result;
+  if (extracted) result = *extracted;
+  result.platform = platform.stats();
+  return result;
+}
+
+MeasurementSummary measure_requirement(const ta::Network& pim, const core::PimInfo& info,
+                                       const core::ImplementationScheme& scheme,
+                                       const core::TimingRequirement& req,
+                                       const MeasurementConfig& config) {
+  PSV_REQUIRE(config.scenarios > 0, "need at least one scenario");
+  MeasurementSummary summary;
+  StatsAccumulator mc, mi, oc;
+  Rng master(config.seed);
+  for (int k = 0; k < config.scenarios; ++k) {
+    const std::uint64_t scenario_seed =
+        master.split("scenario-" + std::to_string(k)).seed();
+    ScenarioResult r = run_scenario(pim, info, scheme, req, config, scenario_seed);
+    if (r.completed) {
+      mc.add(r.mc_ms);
+      mi.add(r.mi_ms);
+      oc.add(r.oc_ms);
+    } else {
+      ++summary.incomplete;
+    }
+    summary.buffer_overflows += r.platform.input_overflows + r.platform.output_overflows;
+    summary.missed_inputs += r.platform.missed_inputs;
+    summary.scenarios.push_back(std::move(r));
+  }
+  PSV_REQUIRE(!mc.empty(), "no scenario completed; the platform never responded "
+                           "(check the scheme parameters or the horizon)");
+  summary.mc = mc.summarize();
+  summary.mi = mi.summarize();
+  summary.oc = oc.summarize();
+  return summary;
+}
+
+}  // namespace psv::sim

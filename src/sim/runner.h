@@ -1,0 +1,68 @@
+// Scenario batches and delay extraction: the simulated counterpart of the
+// paper's 60 oscilloscope-measured bolus-request trials (Table I, Measured
+// Delay rows).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/pim.h"
+#include "sim/platform.h"
+#include "util/stats.h"
+
+namespace psv::sim {
+
+/// Delays extracted from one scenario's boundary-event stream.
+struct ScenarioResult {
+  double mc_ms = 0.0;  ///< m -> c   (end-to-end M-C delay)
+  double mi_ms = 0.0;  ///< m -> i   (Input-Delay)
+  double oc_ms = 0.0;  ///< o -> c   (Output-Delay)
+  bool completed = false;          ///< the response was observed in time
+  PlatformStats platform;          ///< overflow/missed counters of the run
+};
+
+/// Configuration of a measurement batch.
+struct MeasurementConfig {
+  int scenarios = 60;              ///< the paper performed 60 trials
+  std::uint64_t seed = 2015;       ///< master seed (per-scenario seeds derive)
+  std::int64_t phase_window_ms = 2000;  ///< stimulus time ~ U[0, window]
+  std::int64_t horizon_ms = 20000;      ///< per-scenario simulation budget
+  SimCalibration calibration;
+};
+
+/// Aggregated batch outcome.
+struct MeasurementSummary {
+  std::vector<ScenarioResult> scenarios;
+  Summary mc;  ///< statistics over completed scenarios
+  Summary mi;
+  Summary oc;
+  int incomplete = 0;
+  int buffer_overflows = 0;  ///< total across scenarios (input + output)
+  int missed_inputs = 0;
+
+  /// Scenarios whose M-C delay exceeded `bound_ms` (REQ violations).
+  int violations(double bound_ms) const;
+};
+
+/// Extract (mc, mi, oc) for the requirement's input/output pair from one
+/// event stream: the first m(input) is matched with the first following
+/// i(input), then the first following o(output), then c(output).
+std::optional<ScenarioResult> extract_delays(const std::vector<BoundaryEvent>& events,
+                                             const core::TimingRequirement& req);
+
+/// Run one scenario: build a fresh platform, inject the requirement's input
+/// at a sampled phase, simulate, extract delays.
+ScenarioResult run_scenario(const ta::Network& pim, const core::PimInfo& info,
+                            const core::ImplementationScheme& scheme,
+                            const core::TimingRequirement& req, const MeasurementConfig& config,
+                            std::uint64_t scenario_seed);
+
+/// Run the full batch (the paper's "60 times of the bolus request
+/// scenarios") and summarize.
+MeasurementSummary measure_requirement(const ta::Network& pim, const core::PimInfo& info,
+                                       const core::ImplementationScheme& scheme,
+                                       const core::TimingRequirement& req,
+                                       const MeasurementConfig& config = {});
+
+}  // namespace psv::sim

@@ -1,0 +1,265 @@
+#include "ta/expr.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace psv::ta {
+
+std::string cmp_op_str(CmpOp op) {
+  switch (op) {
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kEq: return "==";
+    case CmpOp::kGe: return ">=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kNe: return "!=";
+  }
+  PSV_ASSERT(false, "unknown comparison operator");
+}
+
+// --- IntExpr ---------------------------------------------------------------
+
+IntExpr IntExpr::constant(std::int64_t value) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kConst;
+  node->value = value;
+  return IntExpr(std::move(node));
+}
+
+IntExpr IntExpr::var(VarId id) {
+  PSV_REQUIRE(id >= 0, "variable id must be non-negative");
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kVar;
+  node->var = id;
+  return IntExpr(std::move(node));
+}
+
+IntExpr::IntExpr(const IntExpr& a, const IntExpr& b, Kind k) {
+  auto node = std::make_shared<Node>();
+  node->kind = k;
+  node->lhs = a.node_;
+  node->rhs = b.node_;
+  node_ = std::move(node);
+}
+
+IntExpr operator+(const IntExpr& a, const IntExpr& b) {
+  return IntExpr(a, b, IntExpr::Kind::kAdd);
+}
+IntExpr operator-(const IntExpr& a, const IntExpr& b) {
+  return IntExpr(a, b, IntExpr::Kind::kSub);
+}
+IntExpr operator*(const IntExpr& a, const IntExpr& b) {
+  return IntExpr(a, b, IntExpr::Kind::kMul);
+}
+
+std::int64_t IntExpr::const_value() const {
+  PSV_ASSERT(node_->kind == Kind::kConst, "not a constant node");
+  return node_->value;
+}
+
+VarId IntExpr::var_id() const {
+  PSV_ASSERT(node_->kind == Kind::kVar, "not a variable node");
+  return node_->var;
+}
+
+IntExpr IntExpr::lhs() const {
+  PSV_ASSERT(node_->lhs != nullptr, "node has no lhs");
+  return IntExpr(node_->lhs);
+}
+
+IntExpr IntExpr::rhs() const {
+  PSV_ASSERT(node_->rhs != nullptr, "node has no rhs");
+  return IntExpr(node_->rhs);
+}
+
+std::int64_t IntExpr::eval(std::span<const std::int64_t> env) const {
+  switch (node_->kind) {
+    case Kind::kConst:
+      return node_->value;
+    case Kind::kVar:
+      PSV_ASSERT(node_->var >= 0 && static_cast<std::size_t>(node_->var) < env.size(),
+                 "variable id out of environment range");
+      return env[static_cast<std::size_t>(node_->var)];
+    case Kind::kAdd:
+      return lhs().eval(env) + rhs().eval(env);
+    case Kind::kSub:
+      return lhs().eval(env) - rhs().eval(env);
+    case Kind::kMul:
+      return lhs().eval(env) * rhs().eval(env);
+  }
+  PSV_ASSERT(false, "unknown expression kind");
+}
+
+void IntExpr::collect_vars(std::vector<VarId>& out) const {
+  switch (node_->kind) {
+    case Kind::kConst:
+      return;
+    case Kind::kVar:
+      out.push_back(node_->var);
+      return;
+    default:
+      lhs().collect_vars(out);
+      rhs().collect_vars(out);
+  }
+}
+
+bool IntExpr::is_const(std::int64_t v) const {
+  return node_->kind == Kind::kConst && node_->value == v;
+}
+
+std::string IntExpr::to_string(const VarNamer& namer) const {
+  switch (node_->kind) {
+    case Kind::kConst:
+      return std::to_string(node_->value);
+    case Kind::kVar:
+      return namer ? namer(node_->var) : "v" + std::to_string(node_->var);
+    case Kind::kAdd:
+      return "(" + lhs().to_string(namer) + " + " + rhs().to_string(namer) + ")";
+    case Kind::kSub:
+      return "(" + lhs().to_string(namer) + " - " + rhs().to_string(namer) + ")";
+    case Kind::kMul:
+      return "(" + lhs().to_string(namer) + " * " + rhs().to_string(namer) + ")";
+  }
+  PSV_ASSERT(false, "unknown expression kind");
+}
+
+// --- BoolExpr --------------------------------------------------------------
+
+BoolExpr BoolExpr::truth() {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kTrue;
+  return BoolExpr(std::move(node));
+}
+
+BoolExpr BoolExpr::falsity() {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kFalse;
+  return BoolExpr(std::move(node));
+}
+
+BoolExpr BoolExpr::cmp(CmpOp op, IntExpr lhs, IntExpr rhs) {
+  auto node = std::make_shared<Node>();
+  node->kind = Kind::kCmp;
+  node->op = op;
+  node->cmp_lhs = std::make_shared<IntExpr>(std::move(lhs));
+  node->cmp_rhs = std::make_shared<IntExpr>(std::move(rhs));
+  return BoolExpr(std::move(node));
+}
+
+BoolExpr operator&&(const BoolExpr& a, const BoolExpr& b) {
+  if (a.is_trivially_true()) return b;
+  if (b.is_trivially_true()) return a;
+  auto node = std::make_shared<BoolExpr::Node>();
+  node->kind = BoolExpr::Kind::kAnd;
+  node->lhs = a.node_;
+  node->rhs = b.node_;
+  return BoolExpr(std::move(node));
+}
+
+BoolExpr operator||(const BoolExpr& a, const BoolExpr& b) {
+  auto node = std::make_shared<BoolExpr::Node>();
+  node->kind = BoolExpr::Kind::kOr;
+  node->lhs = a.node_;
+  node->rhs = b.node_;
+  return BoolExpr(std::move(node));
+}
+
+BoolExpr operator!(const BoolExpr& a) {
+  auto node = std::make_shared<BoolExpr::Node>();
+  node->kind = BoolExpr::Kind::kNot;
+  node->lhs = a.node_;
+  return BoolExpr(std::move(node));
+}
+
+bool BoolExpr::eval(std::span<const std::int64_t> env) const {
+  switch (node_->kind) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kFalse:
+      return false;
+    case Kind::kCmp: {
+      const std::int64_t l = node_->cmp_lhs->eval(env);
+      const std::int64_t r = node_->cmp_rhs->eval(env);
+      switch (node_->op) {
+        case CmpOp::kLt: return l < r;
+        case CmpOp::kLe: return l <= r;
+        case CmpOp::kEq: return l == r;
+        case CmpOp::kGe: return l >= r;
+        case CmpOp::kGt: return l > r;
+        case CmpOp::kNe: return l != r;
+      }
+      PSV_ASSERT(false, "unknown comparison operator");
+      return false;  // unreachable; silences -Wimplicit-fallthrough
+    }
+    case Kind::kAnd:
+      return BoolExpr(node_->lhs).eval(env) && BoolExpr(node_->rhs).eval(env);
+    case Kind::kOr:
+      return BoolExpr(node_->lhs).eval(env) || BoolExpr(node_->rhs).eval(env);
+    case Kind::kNot:
+      return !BoolExpr(node_->lhs).eval(env);
+  }
+  PSV_ASSERT(false, "unknown expression kind");
+}
+
+void BoolExpr::collect_vars(std::vector<VarId>& out) const {
+  switch (node_->kind) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return;
+    case Kind::kCmp:
+      node_->cmp_lhs->collect_vars(out);
+      node_->cmp_rhs->collect_vars(out);
+      return;
+    case Kind::kAnd:
+    case Kind::kOr:
+      BoolExpr(node_->lhs).collect_vars(out);
+      BoolExpr(node_->rhs).collect_vars(out);
+      return;
+    case Kind::kNot:
+      BoolExpr(node_->lhs).collect_vars(out);
+      return;
+  }
+}
+
+std::string BoolExpr::to_string(const VarNamer& namer) const {
+  switch (node_->kind) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kFalse:
+      return "false";
+    case Kind::kCmp:
+      return node_->cmp_lhs->to_string(namer) + " " + cmp_op_str(node_->op) + " " +
+             node_->cmp_rhs->to_string(namer);
+    case Kind::kAnd:
+      return "(" + BoolExpr(node_->lhs).to_string(namer) + " && " +
+             BoolExpr(node_->rhs).to_string(namer) + ")";
+    case Kind::kOr:
+      return "(" + BoolExpr(node_->lhs).to_string(namer) + " || " +
+             BoolExpr(node_->rhs).to_string(namer) + ")";
+    case Kind::kNot:
+      return "!(" + BoolExpr(node_->lhs).to_string(namer) + ")";
+  }
+  PSV_ASSERT(false, "unknown expression kind");
+}
+
+BoolExpr var_eq(VarId v, std::int64_t c) {
+  return BoolExpr::cmp(CmpOp::kEq, IntExpr::var(v), IntExpr::constant(c));
+}
+BoolExpr var_ne(VarId v, std::int64_t c) {
+  return BoolExpr::cmp(CmpOp::kNe, IntExpr::var(v), IntExpr::constant(c));
+}
+BoolExpr var_lt(VarId v, std::int64_t c) {
+  return BoolExpr::cmp(CmpOp::kLt, IntExpr::var(v), IntExpr::constant(c));
+}
+BoolExpr var_ge(VarId v, std::int64_t c) {
+  return BoolExpr::cmp(CmpOp::kGe, IntExpr::var(v), IntExpr::constant(c));
+}
+BoolExpr var_gt(VarId v, std::int64_t c) {
+  return BoolExpr::cmp(CmpOp::kGt, IntExpr::var(v), IntExpr::constant(c));
+}
+BoolExpr var_le(VarId v, std::int64_t c) {
+  return BoolExpr::cmp(CmpOp::kLe, IntExpr::var(v), IntExpr::constant(c));
+}
+
+}  // namespace psv::ta

@@ -1,0 +1,132 @@
+// Integer and boolean expressions over the discrete variables of a timed
+// automata network.
+//
+// Guards and updates in PSV models are built from these immutable ASTs;
+// keeping expressions as data (rather than function objects) lets the
+// framework print models, emit C code from them, and evaluate them both in
+// the model checker and in the generated-code interpreter.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace psv::ta {
+
+/// Index of a discrete variable within a Network's declaration list.
+using VarId = int;
+
+/// Comparison operators shared by guards and clock constraints.
+enum class CmpOp { kLt, kLe, kEq, kGe, kGt, kNe };
+
+/// Render a comparison operator ("<", "<=", ...).
+std::string cmp_op_str(CmpOp op);
+
+/// Resolves a VarId to a display name when printing expressions.
+using VarNamer = std::function<std::string(VarId)>;
+
+/// Immutable integer expression: constants, variable reads, and arithmetic.
+class IntExpr {
+ public:
+  enum class Kind { kConst, kVar, kAdd, kSub, kMul };
+
+  /// Integer literal.
+  static IntExpr constant(std::int64_t value);
+  /// Read of variable `id`.
+  static IntExpr var(VarId id);
+
+  friend IntExpr operator+(const IntExpr& a, const IntExpr& b);
+  friend IntExpr operator-(const IntExpr& a, const IntExpr& b);
+  friend IntExpr operator*(const IntExpr& a, const IntExpr& b);
+
+  Kind kind() const { return node_->kind; }
+  /// Value of a kConst node.
+  std::int64_t const_value() const;
+  /// Variable of a kVar node.
+  VarId var_id() const;
+  /// Operands of a binary node (cheap shared-structure copies).
+  IntExpr lhs() const;
+  IntExpr rhs() const;
+
+  /// Evaluate against an environment mapping VarId -> value.
+  std::int64_t eval(std::span<const std::int64_t> env) const;
+
+  /// Collect all variables read by this expression.
+  void collect_vars(std::vector<VarId>& out) const;
+
+  /// True for a literal-constant node equal to `v`.
+  bool is_const(std::int64_t v) const;
+
+  std::string to_string(const VarNamer& namer) const;
+
+ private:
+  struct Node {
+    Kind kind;
+    std::int64_t value = 0;  // kConst
+    VarId var = -1;          // kVar
+    std::shared_ptr<const Node> lhs, rhs;
+  };
+
+  explicit IntExpr(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+  IntExpr(const IntExpr& a, const IntExpr& b, Kind k);
+
+  std::shared_ptr<const Node> node_;
+  friend class BoolExpr;
+};
+
+/// Immutable boolean expression over integer comparisons.
+class BoolExpr {
+ public:
+  enum class Kind { kTrue, kFalse, kCmp, kAnd, kOr, kNot };
+
+  static BoolExpr truth();
+  static BoolExpr falsity();
+  static BoolExpr cmp(CmpOp op, IntExpr lhs, IntExpr rhs);
+
+  friend BoolExpr operator&&(const BoolExpr& a, const BoolExpr& b);
+  friend BoolExpr operator||(const BoolExpr& a, const BoolExpr& b);
+  friend BoolExpr operator!(const BoolExpr& a);
+
+  Kind kind() const { return node_->kind; }
+  /// True iff this is the trivial `true` expression.
+  bool is_trivially_true() const { return node_->kind == Kind::kTrue; }
+
+  bool eval(std::span<const std::int64_t> env) const;
+
+  /// Collect all variables read by this expression.
+  void collect_vars(std::vector<VarId>& out) const;
+
+  std::string to_string(const VarNamer& namer) const;
+
+ private:
+  struct Node {
+    Kind kind;
+    CmpOp op = CmpOp::kEq;  // kCmp
+    std::shared_ptr<const IntExpr> cmp_lhs, cmp_rhs;
+    std::shared_ptr<const Node> lhs, rhs;
+  };
+
+  explicit BoolExpr(std::shared_ptr<const Node> node) : node_(std::move(node)) {}
+
+  std::shared_ptr<const Node> node_;
+};
+
+// --- Convenience constructors used heavily by model builders -------------
+
+/// v == c
+BoolExpr var_eq(VarId v, std::int64_t c);
+/// v != c
+BoolExpr var_ne(VarId v, std::int64_t c);
+/// v < c
+BoolExpr var_lt(VarId v, std::int64_t c);
+/// v >= c
+BoolExpr var_ge(VarId v, std::int64_t c);
+/// v > c
+BoolExpr var_gt(VarId v, std::int64_t c);
+/// v <= c
+BoolExpr var_le(VarId v, std::int64_t c);
+
+}  // namespace psv::ta

@@ -1,0 +1,175 @@
+#include "ta/model.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace psv::ta {
+
+ClockConstraint cc_lt(ClockId c, std::int32_t b) { return {c, CmpOp::kLt, b}; }
+ClockConstraint cc_le(ClockId c, std::int32_t b) { return {c, CmpOp::kLe, b}; }
+ClockConstraint cc_eq(ClockId c, std::int32_t b) { return {c, CmpOp::kEq, b}; }
+ClockConstraint cc_ge(ClockId c, std::int32_t b) { return {c, CmpOp::kGe, b}; }
+ClockConstraint cc_gt(ClockId c, std::int32_t b) { return {c, CmpOp::kGt, b}; }
+
+// --- Automaton -------------------------------------------------------------
+
+LocId Automaton::add_location(std::string name, LocKind kind,
+                              std::vector<ClockConstraint> invariant) {
+  for (const auto& loc : locations_)
+    PSV_REQUIRE(loc.name != name, "duplicate location name '" + name + "' in automaton " + name_);
+  locations_.push_back(Location{std::move(name), kind, std::move(invariant)});
+  const LocId id = static_cast<LocId>(locations_.size()) - 1;
+  if (initial_ < 0) initial_ = id;
+  return id;
+}
+
+void Automaton::set_initial(LocId loc) {
+  PSV_REQUIRE(loc >= 0 && loc < static_cast<LocId>(locations_.size()),
+              "initial location out of range");
+  initial_ = loc;
+}
+
+int Automaton::add_edge(Edge edge) {
+  PSV_REQUIRE(edge.src >= 0 && edge.src < static_cast<LocId>(locations_.size()),
+              "edge source location out of range in automaton " + name_);
+  PSV_REQUIRE(edge.dst >= 0 && edge.dst < static_cast<LocId>(locations_.size()),
+              "edge target location out of range in automaton " + name_);
+  edges_.push_back(std::move(edge));
+  return static_cast<int>(edges_.size()) - 1;
+}
+
+Location& Automaton::location(LocId id) {
+  PSV_REQUIRE(id >= 0 && id < static_cast<LocId>(locations_.size()), "location id out of range");
+  return locations_[static_cast<std::size_t>(id)];
+}
+
+const Location& Automaton::location(LocId id) const {
+  PSV_REQUIRE(id >= 0 && id < static_cast<LocId>(locations_.size()), "location id out of range");
+  return locations_[static_cast<std::size_t>(id)];
+}
+
+LocId Automaton::loc_by_name(const std::string& name) const {
+  for (std::size_t i = 0; i < locations_.size(); ++i)
+    if (locations_[i].name == name) return static_cast<LocId>(i);
+  PSV_FAIL("no location named '" + name + "' in automaton " + name_);
+}
+
+std::vector<int> Automaton::edges_from(LocId src) const {
+  std::vector<int> out;
+  for (std::size_t i = 0; i < edges_.size(); ++i)
+    if (edges_[i].src == src) out.push_back(static_cast<int>(i));
+  return out;
+}
+
+// --- Network ---------------------------------------------------------------
+
+ClockId Network::add_clock(std::string name) {
+  PSV_REQUIRE(!clock_index_.contains(name), "duplicate clock name '" + name + "'");
+  clocks_.push_back(ClockDecl{name});
+  const ClockId id = static_cast<ClockId>(clocks_.size()) - 1;
+  clock_index_.emplace(std::move(name), id);
+  return id;
+}
+
+VarId Network::add_var(std::string name, std::int64_t init, std::int64_t min, std::int64_t max) {
+  PSV_REQUIRE(!var_index_.contains(name), "duplicate variable name '" + name + "'");
+  PSV_REQUIRE(min <= max, "variable '" + name + "' has min > max");
+  PSV_REQUIRE(init >= min && init <= max,
+              "variable '" + name + "' initial value outside its range");
+  vars_.push_back(VarDecl{name, init, min, max});
+  const VarId id = static_cast<VarId>(vars_.size()) - 1;
+  var_index_.emplace(std::move(name), id);
+  return id;
+}
+
+ChanId Network::add_channel(std::string name, ChanKind kind) {
+  PSV_REQUIRE(!chan_index_.contains(name), "duplicate channel name '" + name + "'");
+  channels_.push_back(ChanDecl{name, kind});
+  const ChanId id = static_cast<ChanId>(channels_.size()) - 1;
+  chan_index_.emplace(std::move(name), id);
+  return id;
+}
+
+AutomatonId Network::add_automaton(Automaton automaton) {
+  PSV_REQUIRE(!automaton_index_.contains(automaton.name()),
+              "duplicate automaton name '" + automaton.name() + "'");
+  PSV_REQUIRE(!automaton.locations().empty(),
+              "automaton '" + automaton.name() + "' has no locations");
+  const AutomatonId id = static_cast<AutomatonId>(automata_.size());
+  automaton_index_.emplace(automaton.name(), id);
+  automata_.push_back(std::move(automaton));
+  return id;
+}
+
+Automaton& Network::automaton(AutomatonId id) {
+  PSV_REQUIRE(id >= 0 && id < num_automata(), "automaton id out of range");
+  return automata_[static_cast<std::size_t>(id)];
+}
+
+const Automaton& Network::automaton(AutomatonId id) const {
+  PSV_REQUIRE(id >= 0 && id < num_automata(), "automaton id out of range");
+  return automata_[static_cast<std::size_t>(id)];
+}
+
+std::optional<ClockId> Network::clock_by_name(const std::string& name) const {
+  auto it = clock_index_.find(name);
+  return it == clock_index_.end() ? std::nullopt : std::optional<ClockId>(it->second);
+}
+
+std::optional<VarId> Network::var_by_name(const std::string& name) const {
+  auto it = var_index_.find(name);
+  return it == var_index_.end() ? std::nullopt : std::optional<VarId>(it->second);
+}
+
+std::optional<ChanId> Network::channel_by_name(const std::string& name) const {
+  auto it = chan_index_.find(name);
+  return it == chan_index_.end() ? std::nullopt : std::optional<ChanId>(it->second);
+}
+
+std::optional<AutomatonId> Network::automaton_by_name(const std::string& name) const {
+  auto it = automaton_index_.find(name);
+  return it == automaton_index_.end() ? std::nullopt : std::optional<AutomatonId>(it->second);
+}
+
+std::string Network::clock_name(ClockId id) const {
+  PSV_REQUIRE(id >= 0 && id < num_clocks(), "clock id out of range");
+  return clocks_[static_cast<std::size_t>(id)].name;
+}
+
+std::string Network::var_name(VarId id) const {
+  PSV_REQUIRE(id >= 0 && id < num_vars(), "variable id out of range");
+  return vars_[static_cast<std::size_t>(id)].name;
+}
+
+std::string Network::channel_name(ChanId id) const {
+  PSV_REQUIRE(id >= 0 && id < static_cast<ChanId>(channels_.size()), "channel id out of range");
+  return channels_[static_cast<std::size_t>(id)].name;
+}
+
+VarNamer Network::var_namer() const {
+  // Copy the names so the closure does not dangle if the network moves.
+  std::vector<std::string> names;
+  names.reserve(vars_.size());
+  for (const auto& v : vars_) names.push_back(v.name);
+  return [names](VarId id) {
+    if (id >= 0 && static_cast<std::size_t>(id) < names.size())
+      return names[static_cast<std::size_t>(id)];
+    return "v" + std::to_string(id);
+  };
+}
+
+std::vector<std::int64_t> Network::initial_vars() const {
+  std::vector<std::int64_t> out;
+  out.reserve(vars_.size());
+  for (const auto& v : vars_) out.push_back(v.init);
+  return out;
+}
+
+std::size_t Network::total_edges() const {
+  std::size_t n = 0;
+  for (const auto& a : automata_) n += a.edges().size();
+  return n;
+}
+
+}  // namespace psv::ta

@@ -1,0 +1,231 @@
+// UPPAAL-style timed automata: locations, edges, channels, networks.
+//
+// This is the modeling substrate for both the platform-independent models
+// (PIM) written by users and the platform-specific models (PSM) produced by
+// the transformation in psv::core. The subset implemented matches what the
+// paper's constructions need:
+//   * clocks with upper-bound location invariants,
+//   * bounded integer variables with expression guards/updates,
+//   * binary (rendezvous) and broadcast channels,
+//   * normal / urgent / committed locations.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ta/expr.h"
+
+namespace psv::ta {
+
+/// Index of a clock within a Network's declaration list (0-based; the model
+/// checker maps clock k to DBM index k+1).
+using ClockId = int;
+/// Index of a channel within a Network's declaration list.
+using ChanId = int;
+/// Index of a location within its Automaton.
+using LocId = int;
+/// Index of an automaton within its Network.
+using AutomatonId = int;
+
+/// Channel synchronization flavor.
+enum class ChanKind {
+  kBinary,     ///< rendezvous: exactly one sender and one receiver move
+  kBroadcast,  ///< one sender; every automaton with an enabled receive moves
+};
+
+/// One atomic clock constraint `clock op bound`. Equality is permitted in
+/// guards (expanded by the checker); invariants are restricted to kLt/kLe.
+struct ClockConstraint {
+  ClockId clock = -1;
+  CmpOp op = CmpOp::kLe;
+  std::int32_t bound = 0;
+};
+
+/// Convenience constructors for clock constraints.
+ClockConstraint cc_lt(ClockId c, std::int32_t b);
+ClockConstraint cc_le(ClockId c, std::int32_t b);
+ClockConstraint cc_eq(ClockId c, std::int32_t b);
+ClockConstraint cc_ge(ClockId c, std::int32_t b);
+ClockConstraint cc_gt(ClockId c, std::int32_t b);
+
+/// Edge guard: a conjunction of a data predicate and clock constraints.
+struct Guard {
+  BoolExpr data = BoolExpr::truth();
+  std::vector<ClockConstraint> clocks;
+
+  bool has_clock_constraints() const { return !clocks.empty(); }
+};
+
+/// Variable assignment executed when an edge fires.
+struct Assignment {
+  VarId var = -1;
+  IntExpr value = IntExpr::constant(0);
+};
+
+/// Clock reset executed when an edge fires (normally to 0).
+struct ClockReset {
+  ClockId clock = -1;
+  std::int32_t value = 0;
+};
+
+/// Edge effect: assignments then resets (assignment expressions read the
+/// pre-state of all variables; sequencing among assignments is in order).
+struct Update {
+  std::vector<Assignment> assignments;
+  std::vector<ClockReset> resets;
+
+  bool empty() const { return assignments.empty() && resets.empty(); }
+};
+
+/// Synchronization action of an edge.
+enum class SyncDir { kNone, kSend, kReceive };
+
+struct SyncLabel {
+  SyncDir dir = SyncDir::kNone;
+  ChanId chan = -1;
+
+  static SyncLabel none() { return {}; }
+  static SyncLabel send(ChanId c) { return {SyncDir::kSend, c}; }
+  static SyncLabel receive(ChanId c) { return {SyncDir::kReceive, c}; }
+};
+
+/// Location urgency classes.
+enum class LocKind {
+  kNormal,
+  kUrgent,     ///< time may not pass while any automaton rests here
+  kCommitted,  ///< as urgent, and outgoing edges take priority network-wide
+};
+
+/// A control location of an automaton.
+struct Location {
+  std::string name;
+  LocKind kind = LocKind::kNormal;
+  /// Invariant: conjunction of upper-bound clock constraints (kLt/kLe only).
+  std::vector<ClockConstraint> invariant;
+};
+
+/// A transition between locations.
+struct Edge {
+  LocId src = -1;
+  LocId dst = -1;
+  Guard guard;
+  SyncLabel sync;
+  Update update;
+  /// Optional note shown by printers (used by the transformation to document
+  /// which scheme mechanism produced the edge).
+  std::string note;
+};
+
+/// One timed automaton: named locations plus edges.
+class Automaton {
+ public:
+  explicit Automaton(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Add a location; the first added location becomes initial by default.
+  LocId add_location(std::string name, LocKind kind = LocKind::kNormal,
+                     std::vector<ClockConstraint> invariant = {});
+
+  /// Override the initial location.
+  void set_initial(LocId loc);
+  LocId initial() const { return initial_; }
+
+  /// Append an edge; returns its index.
+  int add_edge(Edge edge);
+
+  const std::vector<Location>& locations() const { return locations_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+  Location& location(LocId id);
+  const Location& location(LocId id) const;
+
+  /// Look up a location by name; throws if absent.
+  LocId loc_by_name(const std::string& name) const;
+
+  /// Edges leaving `src`.
+  std::vector<int> edges_from(LocId src) const;
+
+ private:
+  std::string name_;
+  std::vector<Location> locations_;
+  std::vector<Edge> edges_;
+  LocId initial_ = -1;
+};
+
+/// Declaration of a bounded integer variable.
+struct VarDecl {
+  std::string name;
+  std::int64_t init = 0;
+  std::int64_t min = 0;
+  std::int64_t max = 0;
+};
+
+/// Declaration of a clock.
+struct ClockDecl {
+  std::string name;
+};
+
+/// Declaration of a channel.
+struct ChanDecl {
+  std::string name;
+  ChanKind kind = ChanKind::kBinary;
+};
+
+/// A network of timed automata sharing clocks, variables and channels.
+class Network {
+ public:
+  explicit Network(std::string name = "network") : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  ClockId add_clock(std::string name);
+  VarId add_var(std::string name, std::int64_t init, std::int64_t min, std::int64_t max);
+  ChanId add_channel(std::string name, ChanKind kind);
+  AutomatonId add_automaton(Automaton automaton);
+
+  const std::vector<ClockDecl>& clocks() const { return clocks_; }
+  const std::vector<VarDecl>& vars() const { return vars_; }
+  const std::vector<ChanDecl>& channels() const { return channels_; }
+  const std::vector<Automaton>& automata() const { return automata_; }
+  Automaton& automaton(AutomatonId id);
+  const Automaton& automaton(AutomatonId id) const;
+
+  int num_clocks() const { return static_cast<int>(clocks_.size()); }
+  int num_vars() const { return static_cast<int>(vars_.size()); }
+  int num_automata() const { return static_cast<int>(automata_.size()); }
+
+  /// Lookups by name; return std::nullopt when absent.
+  std::optional<ClockId> clock_by_name(const std::string& name) const;
+  std::optional<VarId> var_by_name(const std::string& name) const;
+  std::optional<ChanId> channel_by_name(const std::string& name) const;
+  std::optional<AutomatonId> automaton_by_name(const std::string& name) const;
+
+  /// Name helpers for printing.
+  std::string clock_name(ClockId id) const;
+  std::string var_name(VarId id) const;
+  std::string channel_name(ChanId id) const;
+  /// A VarNamer closure for expression printing.
+  VarNamer var_namer() const;
+
+  /// Initial values of all variables, in declaration order.
+  std::vector<std::int64_t> initial_vars() const;
+
+  /// Total number of edges across all automata (diagnostics).
+  std::size_t total_edges() const;
+
+ private:
+  std::string name_;
+  std::vector<ClockDecl> clocks_;
+  std::vector<VarDecl> vars_;
+  std::vector<ChanDecl> channels_;
+  std::vector<Automaton> automata_;
+  std::unordered_map<std::string, ClockId> clock_index_;
+  std::unordered_map<std::string, VarId> var_index_;
+  std::unordered_map<std::string, ChanId> chan_index_;
+  std::unordered_map<std::string, AutomatonId> automaton_index_;
+};
+
+}  // namespace psv::ta

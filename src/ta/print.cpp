@@ -1,0 +1,178 @@
+#include "ta/print.h"
+
+#include <sstream>
+
+#include "util/error.h"
+
+namespace psv::ta {
+
+namespace {
+
+std::string clock_constraint_str(const Network& net, const ClockConstraint& cc) {
+  return net.clock_name(cc.clock) + cmp_op_str(cc.op) + std::to_string(cc.bound);
+}
+
+}  // namespace
+
+std::string guard_str(const Network& net, const Guard& guard) {
+  std::vector<std::string> parts;
+  if (!guard.data.is_trivially_true()) parts.push_back(guard.data.to_string(net.var_namer()));
+  for (const ClockConstraint& cc : guard.clocks) parts.push_back(clock_constraint_str(net, cc));
+  if (parts.empty()) return "true";
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += " && ";
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string update_str(const Network& net, const Update& update) {
+  std::vector<std::string> parts;
+  const VarNamer namer = net.var_namer();
+  for (const Assignment& a : update.assignments)
+    parts.push_back(net.var_name(a.var) + " := " + a.value.to_string(namer));
+  for (const ClockReset& r : update.resets)
+    parts.push_back(net.clock_name(r.clock) + " := " + std::to_string(r.value));
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string sync_str(const Network& net, const SyncLabel& sync) {
+  switch (sync.dir) {
+    case SyncDir::kNone:
+      return "";
+    case SyncDir::kSend:
+      return net.channel_name(sync.chan) + "!";
+    case SyncDir::kReceive:
+      return net.channel_name(sync.chan) + "?";
+  }
+  PSV_ASSERT(false, "unknown sync direction");
+}
+
+std::string invariant_str(const Network& net, const std::vector<ClockConstraint>& inv) {
+  if (inv.empty()) return "true";
+  std::string out;
+  for (std::size_t i = 0; i < inv.size(); ++i) {
+    if (i > 0) out += " && ";
+    out += clock_constraint_str(net, inv[i]);
+  }
+  return out;
+}
+
+namespace {
+
+std::string loc_kind_tag(LocKind kind) {
+  switch (kind) {
+    case LocKind::kNormal:
+      return "";
+    case LocKind::kUrgent:
+      return " [urgent]";
+    case LocKind::kCommitted:
+      return " [committed]";
+  }
+  PSV_ASSERT(false, "unknown location kind");
+}
+
+}  // namespace
+
+std::string automaton_text(const Network& net, AutomatonId id) {
+  const Automaton& aut = net.automaton(id);
+  std::ostringstream os;
+  os << "automaton " << aut.name() << "\n";
+  for (LocId l = 0; l < static_cast<LocId>(aut.locations().size()); ++l) {
+    const Location& loc = aut.location(l);
+    os << "  loc " << loc.name << loc_kind_tag(loc.kind);
+    if (l == aut.initial()) os << " [initial]";
+    if (!loc.invariant.empty()) os << "  inv: " << invariant_str(net, loc.invariant);
+    os << "\n";
+  }
+  for (const Edge& e : aut.edges()) {
+    os << "  " << aut.location(e.src).name << " -> " << aut.location(e.dst).name;
+    os << "  [" << guard_str(net, e.guard) << "]";
+    const std::string sync = sync_str(net, e.sync);
+    if (!sync.empty()) os << " " << sync;
+    const std::string upd = update_str(net, e.update);
+    if (!upd.empty()) os << " / " << upd;
+    if (!e.note.empty()) os << "   ; " << e.note;
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string network_text(const Network& net) {
+  std::ostringstream os;
+  os << "network " << net.name() << "\n";
+  if (net.num_clocks() > 0) {
+    os << "clocks:";
+    for (const auto& c : net.clocks()) os << " " << c.name;
+    os << "\n";
+  }
+  if (net.num_vars() > 0) {
+    os << "vars:";
+    for (const auto& v : net.vars())
+      os << " " << v.name << "=" << v.init << " in [" << v.min << "," << v.max << "]";
+    os << "\n";
+  }
+  if (!net.channels().empty()) {
+    os << "channels:";
+    for (const auto& ch : net.channels())
+      os << " " << ch.name << (ch.kind == ChanKind::kBroadcast ? "(broadcast)" : "");
+    os << "\n";
+  }
+  for (AutomatonId a = 0; a < net.num_automata(); ++a) os << "\n" << automaton_text(net, a);
+  return os.str();
+}
+
+namespace {
+
+std::string dot_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string automaton_dot(const Network& net, AutomatonId id) {
+  const Automaton& aut = net.automaton(id);
+  std::ostringstream os;
+  os << "digraph \"" << dot_escape(aut.name()) << "\" {\n";
+  os << "  rankdir=LR;\n  node [shape=ellipse];\n";
+  for (LocId l = 0; l < static_cast<LocId>(aut.locations().size()); ++l) {
+    const Location& loc = aut.location(l);
+    std::string label = loc.name;
+    if (!loc.invariant.empty()) label += "\\n" + invariant_str(net, loc.invariant);
+    os << "  L" << l << " [label=\"" << dot_escape(label) << "\"";
+    if (loc.kind == LocKind::kCommitted) os << ", peripheries=2";
+    if (loc.kind == LocKind::kUrgent) os << ", style=dashed";
+    if (l == aut.initial()) os << ", penwidth=2";
+    os << "];\n";
+  }
+  for (const Edge& e : aut.edges()) {
+    std::vector<std::string> lines;
+    const std::string g = guard_str(net, e.guard);
+    if (g != "true") lines.push_back(g);
+    const std::string s = sync_str(net, e.sync);
+    if (!s.empty()) lines.push_back(s);
+    const std::string u = update_str(net, e.update);
+    if (!u.empty()) lines.push_back(u);
+    std::string label;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+      if (i > 0) label += "\\n";
+      label += lines[i];
+    }
+    os << "  L" << e.src << " -> L" << e.dst << " [label=\"" << dot_escape(label) << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace psv::ta

@@ -1,0 +1,35 @@
+// Human-readable and Graphviz renderings of timed-automata networks.
+//
+// The bench binaries use these to regenerate the paper's model figures
+// (Fig. 1 PIM, Fig. 5 interface automata, Fig. 6 code-execution automaton).
+#pragma once
+
+#include <string>
+
+#include "ta/model.h"
+
+namespace psv::ta {
+
+/// Render a guard as "x<=5 && count > 0" ("true" when unconstrained).
+std::string guard_str(const Network& net, const Guard& guard);
+
+/// Render an update as "count := count + 1, h := 0" ("" when empty).
+std::string update_str(const Network& net, const Update& update);
+
+/// Render a sync label as "chan!" / "chan?" ("" for internal edges).
+std::string sync_str(const Network& net, const SyncLabel& sync);
+
+/// Render an invariant conjunction ("true" when empty).
+std::string invariant_str(const Network& net, const std::vector<ClockConstraint>& inv);
+
+/// Multi-line description of one automaton: locations (with kind and
+/// invariant) followed by edges.
+std::string automaton_text(const Network& net, AutomatonId id);
+
+/// Multi-line description of the whole network: declarations + automata.
+std::string network_text(const Network& net);
+
+/// Graphviz DOT rendering of one automaton.
+std::string automaton_dot(const Network& net, AutomatonId id);
+
+}  // namespace psv::ta

@@ -1,0 +1,20 @@
+#include "util/error.h"
+
+#include <sstream>
+
+namespace psv::detail {
+
+void throw_error(const char* file, int line, const std::string& msg) {
+  std::ostringstream os;
+  os << msg << " [" << file << ":" << line << "]";
+  throw Error(os.str());
+}
+
+void fail_assert(const char* file, int line, const char* cond, const std::string& msg) {
+  std::ostringstream os;
+  os << "internal invariant violated: (" << cond << ") " << msg << " [" << file << ":" << line
+     << "]";
+  throw std::logic_error(os.str());
+}
+
+}  // namespace psv::detail

@@ -1,0 +1,43 @@
+// Error handling primitives shared by all PSV libraries.
+//
+// The framework treats user-facing misuse (malformed models, invalid
+// implementation schemes, out-of-range parameters) as recoverable errors
+// reported via psv::Error, and internal invariant breaches as assertions.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace psv {
+
+/// Exception thrown for all user-facing framework errors (invalid models,
+/// invalid schemes, unsatisfiable queries, ...). The message is intended to
+/// be directly presentable to the user.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] void throw_error(const char* file, int line, const std::string& msg);
+[[noreturn]] void fail_assert(const char* file, int line, const char* cond, const std::string& msg);
+}  // namespace detail
+
+}  // namespace psv
+
+/// Throw psv::Error with source location if `cond` does not hold.
+/// Use for validating user input (models, schemes, parameters).
+#define PSV_REQUIRE(cond, msg)                                   \
+  do {                                                           \
+    if (!(cond)) ::psv::detail::throw_error(__FILE__, __LINE__, (msg)); \
+  } while (0)
+
+/// Unconditionally throw psv::Error with source location.
+#define PSV_FAIL(msg) ::psv::detail::throw_error(__FILE__, __LINE__, (msg))
+
+/// Internal invariant check; aborts via exception with diagnostics.
+/// Use for conditions that indicate a bug in PSV itself.
+#define PSV_ASSERT(cond, msg)                                                \
+  do {                                                                       \
+    if (!(cond)) ::psv::detail::fail_assert(__FILE__, __LINE__, #cond, (msg)); \
+  } while (0)

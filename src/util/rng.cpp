@@ -1,0 +1,44 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+#include "util/error.h"
+
+namespace psv {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  PSV_REQUIRE(lo <= hi, "uniform_int requires lo <= hi");
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::uniform_real(double lo, double hi) {
+  PSV_REQUIRE(lo <= hi, "uniform_real requires lo <= hi");
+  if (lo == hi) return lo;
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::triangular(double lo, double mode, double hi) {
+  PSV_REQUIRE(lo <= mode && mode <= hi, "triangular requires lo <= mode <= hi");
+  if (lo == hi) return lo;
+  const double u = uniform_real(0.0, 1.0);
+  const double fc = (mode - lo) / (hi - lo);
+  if (u < fc) return lo + std::sqrt(u * (hi - lo) * (mode - lo));
+  return hi - std::sqrt((1.0 - u) * (hi - lo) * (hi - mode));
+}
+
+bool Rng::chance(double p) { return uniform_real(0.0, 1.0) < p; }
+
+Rng Rng::split(std::string_view tag) const {
+  // FNV-1a over the tag mixed with the parent seed gives stable,
+  // order-independent per-component streams.
+  std::uint64_t h = 1469598103934665603ull ^ seed_;
+  for (char c : tag) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return Rng(h, std::mt19937_64(h));
+}
+
+}  // namespace psv

@@ -1,0 +1,45 @@
+// Deterministic random number generation for the platform simulator.
+//
+// Every stochastic component (input-processing delay, execution time,
+// polling phase, ...) draws from a SplitRng seeded from the experiment seed
+// and a component tag, so simulations are reproducible and components'
+// streams are independent of evaluation order.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string_view>
+
+namespace psv {
+
+/// Seeded pseudo-random generator with convenience distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : seed_(seed), engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi).
+  double uniform_real(double lo, double hi);
+
+  /// Triangular distribution on [lo, hi] with the given mode; approximates
+  /// "typically near `mode`, occasionally near the edges" hardware latencies.
+  double triangular(double lo, double mode, double hi);
+
+  /// Bernoulli trial with probability p of true.
+  bool chance(double p);
+
+  /// Derive a new independent generator from this one and a component tag.
+  Rng split(std::string_view tag) const;
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  Rng(std::uint64_t seed, std::mt19937_64 engine) : seed_(seed), engine_(std::move(engine)) {}
+
+  std::uint64_t seed_ = 0;
+  std::mt19937_64 engine_;
+};
+
+}  // namespace psv

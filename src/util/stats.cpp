@@ -1,0 +1,54 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace psv {
+
+void StatsAccumulator::add(double value) { values_.push_back(value); }
+
+namespace {
+
+double percentile(const std::vector<double>& sorted, double p) {
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+}  // namespace
+
+Summary StatsAccumulator::summarize() const {
+  PSV_REQUIRE(!values_.empty(), "cannot summarize an empty sample set");
+  std::vector<double> sorted = values_;
+  std::sort(sorted.begin(), sorted.end());
+
+  Summary s;
+  s.count = sorted.size();
+  s.min = sorted.front();
+  s.max = sorted.back();
+
+  double sum = 0.0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(sorted.size());
+
+  s.median = percentile(sorted, 0.5);
+  s.p95 = percentile(sorted, 0.95);
+
+  double sq = 0.0;
+  for (double v : sorted) sq += (v - s.mean) * (v - s.mean);
+  s.stddev = sorted.size() > 1 ? std::sqrt(sq / static_cast<double>(sorted.size() - 1)) : 0.0;
+  return s;
+}
+
+Summary summarize(const std::vector<double>& values) {
+  StatsAccumulator acc;
+  for (double v : values) acc.add(v);
+  return acc.summarize();
+}
+
+}  // namespace psv

@@ -1,0 +1,43 @@
+// Small descriptive-statistics accumulator used by the measurement side of
+// the framework (simulated oscilloscope traces, bench harnesses).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace psv {
+
+/// Summary of a sample set: count, min, max, mean, median and a percentile.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double p95 = 0.0;
+  double stddev = 0.0;
+};
+
+/// Accumulates scalar observations and produces a Summary.
+///
+/// Observations are stored (the framework's sample sets are small — tens to
+/// thousands of scenario measurements), which keeps median/percentile exact.
+class StatsAccumulator {
+ public:
+  void add(double value);
+  /// Number of observations added so far.
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  /// All raw observations, in insertion order.
+  const std::vector<double>& values() const { return values_; }
+  /// Compute the summary. Requires at least one observation.
+  Summary summarize() const;
+
+ private:
+  std::vector<double> values_;
+};
+
+/// Convenience: summarize a vector of observations in one call.
+Summary summarize(const std::vector<double>& values);
+
+}  // namespace psv

@@ -1,0 +1,26 @@
+// Small string helpers shared across PSV libraries.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace psv {
+
+/// Join `parts` with `sep` between consecutive elements.
+std::string join(const std::vector<std::string>& parts, const std::string& sep);
+
+/// True iff `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Replace a leading `prefix` of `s` with `replacement`; returns `s`
+/// unchanged when the prefix does not match.
+std::string replace_prefix(const std::string& s, const std::string& prefix,
+                           const std::string& replacement);
+
+/// Left-pad `s` with spaces to `width`.
+std::string lpad(const std::string& s, std::size_t width);
+
+/// Right-pad `s` with spaces to `width`.
+std::string rpad(const std::string& s, std::size_t width);
+
+}  // namespace psv

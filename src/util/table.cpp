@@ -1,0 +1,94 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace psv {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  PSV_REQUIRE(rows_.empty(), "set_header must be called before adding rows");
+  header_ = std::move(header);
+}
+
+void TextTable::set_align(std::vector<Align> align) { align_ = std::move(align); }
+
+void TextTable::add_row(std::vector<std::string> row) {
+  PSV_REQUIRE(header_.empty() || row.size() == header_.size(),
+              "row arity does not match header arity");
+  rows_.push_back(Row{std::move(row), false});
+}
+
+void TextTable::add_separator() { rows_.push_back(Row{{}, true}); }
+
+namespace {
+
+std::string pad(const std::string& s, std::size_t width, Align align) {
+  if (s.size() >= width) return s;
+  const std::string fill(width - s.size(), ' ');
+  return align == Align::kLeft ? s + fill : fill + s;
+}
+
+std::string rule(const std::vector<std::size_t>& widths, char corner, char line) {
+  std::string out;
+  out += corner;
+  for (std::size_t w : widths) {
+    out += std::string(w + 2, line);
+    out += corner;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string TextTable::render() const {
+  std::size_t arity = header_.size();
+  for (const Row& r : rows_)
+    if (!r.separator) arity = std::max(arity, r.cells.size());
+  std::vector<std::size_t> widths(arity, 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const Row& r : rows_) {
+    if (r.separator) continue;
+    for (std::size_t c = 0; c < r.cells.size(); ++c)
+      widths[c] = std::max(widths[c], r.cells[c].size());
+  }
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << "\n";
+  const std::string top = rule(widths, '+', '-');
+  os << top << "\n";
+  if (!header_.empty()) {
+    os << "|";
+    for (std::size_t c = 0; c < header_.size(); ++c)
+      os << " " << pad(header_[c], widths[c], Align::kLeft) << " |";
+    os << "\n" << rule(widths, '+', '=') << "\n";
+  }
+  for (const Row& r : rows_) {
+    if (r.separator) {
+      os << rule(widths, '+', '-') << "\n";
+      continue;
+    }
+    os << "|";
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      const Align a = c < align_.size() ? align_[c] : Align::kLeft;
+      os << " " << pad(r.cells[c], widths[c], a) << " |";
+    }
+    os << "\n";
+  }
+  os << top << "\n";
+  return os.str();
+}
+
+std::string fmt_double(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_ms(double value, int precision) {
+  return fmt_double(value, precision) + "ms";
+}
+
+}  // namespace psv

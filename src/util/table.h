@@ -1,0 +1,54 @@
+// ASCII table rendering for bench harness output.
+//
+// The bench binaries regenerate the paper's tables; this renderer produces
+// aligned, boxed tables comparable to the rows in the publication.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace psv {
+
+/// Column alignment inside a rendered table.
+enum class Align { kLeft, kRight };
+
+/// A simple row/column text table with a title, a header row and aligned
+/// columns. Cells are free-form strings; numeric formatting is the caller's
+/// concern.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  /// Set the header row. Must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+  /// Set per-column alignment (defaults to left for all columns).
+  void set_align(std::vector<Align> align);
+  /// Append a data row. Must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+  /// Append a horizontal separator between row groups.
+  void add_separator();
+
+  /// Render the table with box-drawing ASCII.
+  std::string render() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<Align> align_;
+  std::vector<Row> rows_;
+};
+
+/// Format a double with fixed precision (helper for table cells).
+std::string fmt_double(double value, int precision = 1);
+
+/// Format "<value> ms".
+std::string fmt_ms(double value, int precision = 0);
+
+}  // namespace psv

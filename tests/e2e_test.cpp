@@ -1,0 +1,111 @@
+// End-to-end integration test: the complete Table-I pipeline (PIM
+// verification -> transformation -> constraints -> bounds -> simulation)
+// on a time-scaled pump so the whole flow runs in seconds.
+//
+// The scaled model divides every pump constant by ~4; all of Table I's
+// structural claims must survive the scaling.
+#include <gtest/gtest.h>
+
+#include "core/framework.h"
+#include "gpca/pump_model.h"
+#include "sim/runner.h"
+
+namespace psv {
+namespace {
+
+gpca::PumpModelOptions scaled_pump() {
+  gpca::PumpModelOptions opt;
+  opt.include_empty_syringe = false;
+  opt.start_min = 37;
+  opt.start_deadline = 125;
+  opt.infusion_min = 200;
+  opt.infusion_max = 300;
+  opt.request_gap_min = 100;
+  return opt;
+}
+
+core::ImplementationScheme scaled_scheme(const gpca::PumpModelOptions& opt) {
+  core::ImplementationScheme is = gpca::board_scheme(opt);
+  is.inputs.at("BolusReq").polling_interval = 60;
+  is.inputs.at("BolusReq").delay_min = 2;
+  is.inputs.at("BolusReq").delay_max = 10;
+  is.io.period = 50;
+  is.io.read_stage_max = 2;
+  is.io.compute_stage_max = 2;
+  is.io.write_stage_max = 2;
+  is.outputs.at("StartInfusion").delay_min = 25;
+  is.outputs.at("StartInfusion").delay_max = 110;
+  is.outputs.at("StopInfusion").delay_min = 2;
+  is.outputs.at("StopInfusion").delay_max = 12;
+  return is;
+}
+
+TEST(EndToEnd, ScaledTable1Pipeline) {
+  const gpca::PumpModelOptions opt = scaled_pump();
+  const ta::Network pim = gpca::build_pump_pim(opt);
+  const core::PimInfo info = gpca::pump_pim_info(pim);
+  const core::TimingRequirement req = gpca::req1(opt);  // 125ms deadline
+  const core::ImplementationScheme scheme = scaled_scheme(opt);
+
+  core::FrameworkOptions options;
+  options.search_limit = 10'000;
+  const core::FrameworkResult result = core::run_framework(pim, info, scheme, req, options);
+
+  // [1] the PIM meets REQ1 with the exact scaled bound.
+  EXPECT_TRUE(result.pim.holds);
+  EXPECT_EQ(result.pim.max_delay, 125);
+
+  // [3] constraints C1-C4.
+  EXPECT_TRUE(result.constraints.all_hold()) << result.constraints.to_string();
+
+  // [4] Lemma 1: poll(60) + processing(10) + period(50) + read stage(2).
+  ASSERT_EQ(result.bounds.input_delays.size(), 1u);
+  EXPECT_EQ(result.bounds.input_delays[0].analytic, 122);
+  EXPECT_TRUE(result.bounds.input_delays[0].verified_bounded);
+  EXPECT_EQ(result.bounds.input_delays[0].verified, 122) << "Lemma 1 is tight on this scheme";
+  // Lemma 2: 122 + 110 + 125.
+  EXPECT_EQ(result.bounds.lemma2_total, 357);
+  EXPECT_TRUE(result.bounds.verified_mc_bounded);
+  EXPECT_LE(result.bounds.verified_mc_delay, 357);
+  EXPECT_GT(result.bounds.verified_mc_delay, 125) << "platform must add delay";
+
+  // [5] the paper's conclusion survives scaling.
+  EXPECT_FALSE(result.psm_meets_original);
+  EXPECT_TRUE(result.psm_meets_relaxed);
+
+  // Measured side: every simulated delay below every verified bound.
+  sim::MeasurementConfig config;
+  config.scenarios = 30;
+  config.seed = 11;
+  config.phase_window_ms = 500;
+  config.horizon_ms = 5'000;
+  const sim::MeasurementSummary measured =
+      sim::measure_requirement(pim, info, scheme, req, config);
+  EXPECT_EQ(measured.incomplete, 0);
+  EXPECT_EQ(measured.buffer_overflows, 0);
+  EXPECT_EQ(measured.missed_inputs, 0);
+  EXPECT_LE(measured.mi.max, static_cast<double>(result.bounds.input_delays[0].verified));
+  EXPECT_LE(measured.mc.max, static_cast<double>(result.bounds.verified_mc_delay))
+      << "simulation must respect the exact model-checked bound";
+  EXPECT_GT(measured.violations(125.0), config.scenarios / 2)
+      << "most scenarios must violate the original bound";
+
+  // Conformance sweep: the executable platform (generated code + devices)
+  // never exceeds the model-checked bounds, for any seed.
+  for (std::uint64_t seed : {1ull, 7ull, 42ull, 1234ull, 99999ull}) {
+    sim::MeasurementConfig sweep;
+    sweep.scenarios = 10;
+    sweep.seed = seed;
+    sweep.phase_window_ms = 500;
+    sweep.horizon_ms = 5'000;
+    const sim::MeasurementSummary sample =
+        sim::measure_requirement(pim, info, scheme, req, sweep);
+    EXPECT_LE(sample.mc.max, static_cast<double>(result.bounds.verified_mc_delay))
+        << "seed " << seed;
+    EXPECT_LE(sample.mi.max, static_cast<double>(result.bounds.input_delays[0].verified))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace psv

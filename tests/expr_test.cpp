@@ -1,0 +1,134 @@
+// Tests for the integer/boolean expression ASTs.
+#include "ta/expr.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "util/error.h"
+
+namespace psv::ta {
+
+using psv::Error;
+namespace {
+
+std::vector<std::int64_t> env(std::initializer_list<std::int64_t> vals) { return vals; }
+
+TEST(IntExpr, ConstantsEvaluate) {
+  EXPECT_EQ(IntExpr::constant(42).eval({}), 42);
+  EXPECT_EQ(IntExpr::constant(-7).eval({}), -7);
+}
+
+TEST(IntExpr, VariablesReadEnvironment) {
+  const auto e = env({10, 20, 30});
+  EXPECT_EQ(IntExpr::var(0).eval(e), 10);
+  EXPECT_EQ(IntExpr::var(2).eval(e), 30);
+}
+
+TEST(IntExpr, Arithmetic) {
+  const auto e = env({5, 3});
+  const IntExpr x = IntExpr::var(0);
+  const IntExpr y = IntExpr::var(1);
+  EXPECT_EQ((x + y).eval(e), 8);
+  EXPECT_EQ((x - y).eval(e), 2);
+  EXPECT_EQ((x * y).eval(e), 15);
+  EXPECT_EQ((x + IntExpr::constant(1) - y * IntExpr::constant(2)).eval(e), 0);
+}
+
+TEST(IntExpr, CollectVars) {
+  const IntExpr e = IntExpr::var(1) + IntExpr::var(3) * IntExpr::constant(2);
+  std::vector<VarId> vars;
+  e.collect_vars(vars);
+  EXPECT_EQ(vars.size(), 2u);
+  EXPECT_NE(std::find(vars.begin(), vars.end(), 1), vars.end());
+  EXPECT_NE(std::find(vars.begin(), vars.end(), 3), vars.end());
+}
+
+TEST(IntExpr, IsConst) {
+  EXPECT_TRUE(IntExpr::constant(0).is_const(0));
+  EXPECT_FALSE(IntExpr::constant(1).is_const(0));
+  EXPECT_FALSE(IntExpr::var(0).is_const(0));
+}
+
+TEST(IntExpr, ToString) {
+  const auto namer = [](VarId v) { return std::string("var") + std::to_string(v); };
+  EXPECT_EQ(IntExpr::constant(5).to_string(namer), "5");
+  EXPECT_EQ(IntExpr::var(2).to_string(namer), "var2");
+  EXPECT_EQ((IntExpr::var(0) + IntExpr::constant(1)).to_string(namer), "(var0 + 1)");
+}
+
+TEST(IntExpr, NegativeVarIdRejected) { EXPECT_THROW(IntExpr::var(-1), Error); }
+
+TEST(BoolExpr, TruthAndFalsity) {
+  EXPECT_TRUE(BoolExpr::truth().eval({}));
+  EXPECT_FALSE(BoolExpr::falsity().eval({}));
+  EXPECT_TRUE(BoolExpr::truth().is_trivially_true());
+  EXPECT_FALSE(BoolExpr::falsity().is_trivially_true());
+}
+
+TEST(BoolExpr, AllComparisonOperators) {
+  const auto e = env({5});
+  const IntExpr x = IntExpr::var(0);
+  const IntExpr five = IntExpr::constant(5);
+  const IntExpr six = IntExpr::constant(6);
+  EXPECT_TRUE(BoolExpr::cmp(CmpOp::kEq, x, five).eval(e));
+  EXPECT_TRUE(BoolExpr::cmp(CmpOp::kLe, x, five).eval(e));
+  EXPECT_TRUE(BoolExpr::cmp(CmpOp::kGe, x, five).eval(e));
+  EXPECT_TRUE(BoolExpr::cmp(CmpOp::kLt, x, six).eval(e));
+  EXPECT_FALSE(BoolExpr::cmp(CmpOp::kGt, x, five).eval(e));
+  EXPECT_TRUE(BoolExpr::cmp(CmpOp::kNe, x, six).eval(e));
+}
+
+TEST(BoolExpr, Connectives) {
+  const auto e = env({1, 0});
+  const BoolExpr a = var_eq(0, 1);
+  const BoolExpr b = var_eq(1, 1);
+  EXPECT_TRUE((a || b).eval(e));
+  EXPECT_FALSE((a && b).eval(e));
+  EXPECT_TRUE((a && !b).eval(e));
+  EXPECT_FALSE((!a).eval(e));
+}
+
+TEST(BoolExpr, AndWithTruthSimplifies) {
+  const BoolExpr a = var_eq(0, 1);
+  const BoolExpr both = BoolExpr::truth() && a;
+  // Trivially-true conjuncts are dropped at construction.
+  EXPECT_EQ(both.kind(), BoolExpr::Kind::kCmp);
+}
+
+TEST(BoolExpr, ConvenienceConstructors) {
+  const auto e = env({7});
+  EXPECT_TRUE(var_eq(0, 7).eval(e));
+  EXPECT_TRUE(var_ne(0, 8).eval(e));
+  EXPECT_TRUE(var_lt(0, 8).eval(e));
+  EXPECT_TRUE(var_le(0, 7).eval(e));
+  EXPECT_TRUE(var_ge(0, 7).eval(e));
+  EXPECT_TRUE(var_gt(0, 6).eval(e));
+  EXPECT_FALSE(var_gt(0, 7).eval(e));
+}
+
+TEST(BoolExpr, ToString) {
+  const auto namer = [](VarId v) { return std::string("n") + std::to_string(v); };
+  EXPECT_EQ(var_eq(0, 3).to_string(namer), "n0 == 3");
+  EXPECT_EQ((var_eq(0, 3) && var_lt(1, 2)).to_string(namer), "(n0 == 3 && n1 < 2)");
+  EXPECT_EQ((!var_eq(0, 3)).to_string(namer), "!(n0 == 3)");
+}
+
+TEST(BoolExpr, CollectVars) {
+  std::vector<VarId> vars;
+  (var_eq(2, 1) && var_lt(4, 5)).collect_vars(vars);
+  EXPECT_EQ(vars.size(), 2u);
+}
+
+TEST(CmpOpStr, AllOperators) {
+  EXPECT_EQ(cmp_op_str(CmpOp::kLt), "<");
+  EXPECT_EQ(cmp_op_str(CmpOp::kLe), "<=");
+  EXPECT_EQ(cmp_op_str(CmpOp::kEq), "==");
+  EXPECT_EQ(cmp_op_str(CmpOp::kGe), ">=");
+  EXPECT_EQ(cmp_op_str(CmpOp::kGt), ">");
+  EXPECT_EQ(cmp_op_str(CmpOp::kNe), "!=");
+}
+
+}  // namespace
+}  // namespace psv::ta

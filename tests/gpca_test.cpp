@@ -1,0 +1,142 @@
+// Tests for the GPCA infusion-pump case study (§II-A, §VI).
+#include "gpca/pump_model.h"
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "mc/query.h"
+#include "mc/reach.h"
+#include "ta/validate.h"
+#include "util/error.h"
+
+namespace psv::gpca {
+namespace {
+
+using psv::Error;
+
+TEST(PumpModel, FullModelStructure) {
+  ta::Network pim = build_pump_pim();
+  EXPECT_NO_THROW(ta::validate_or_throw(pim));
+  core::PimInfo info = pump_pim_info(pim);
+  EXPECT_EQ(info.inputs, (std::vector<std::string>{"BolusReq", "EmptySyringe"}));
+  EXPECT_EQ(info.outputs,
+            (std::vector<std::string>{"StartInfusion", "StopInfusion", "Alarm"}));
+}
+
+TEST(PumpModel, ReducedModelStructure) {
+  PumpModelOptions opt;
+  opt.include_empty_syringe = false;
+  ta::Network pim = build_pump_pim(opt);
+  core::PimInfo info = pump_pim_info(pim);
+  EXPECT_EQ(info.inputs, (std::vector<std::string>{"BolusReq"}));
+  EXPECT_EQ(info.outputs, (std::vector<std::string>{"StartInfusion", "StopInfusion"}));
+}
+
+TEST(PumpModel, BadOptionsRejected) {
+  PumpModelOptions opt;
+  opt.start_min = 600;  // > deadline 500
+  EXPECT_THROW(build_pump_pim(opt), Error);
+}
+
+TEST(PumpModel, Req1HoldsOnPimWithExactBound) {
+  PumpModelOptions opt;
+  opt.include_empty_syringe = false;  // REQ1 only needs the bolus path
+  ta::Network pim = build_pump_pim(opt);
+  core::PimInfo info = pump_pim_info(pim);
+  core::PimVerification v = core::verify_pim_requirement(pim, info, req1(opt), 100000);
+  EXPECT_TRUE(v.holds);
+  EXPECT_TRUE(v.bounded);
+  EXPECT_EQ(v.max_delay, 500) << "Fig. 1 PIM: infusion always starts within exactly 500ms";
+}
+
+TEST(PumpModel, Req1HoldsOnFullPim) {
+  ta::Network pim = build_pump_pim();
+  core::PimInfo info = pump_pim_info(pim);
+  core::PimVerification v = core::verify_pim_requirement(pim, info, req1(), 100000);
+  EXPECT_TRUE(v.holds);
+  EXPECT_EQ(v.max_delay, 500);
+}
+
+TEST(PumpModel, PimIsDeadlockFree) {
+  ta::Network pim = build_pump_pim();
+  mc::Reachability engine(pim, mc::StateFormula{});
+  mc::DeadlockResult r = engine.find_deadlock();
+  EXPECT_FALSE(r.found) << r.trace.to_string();
+}
+
+TEST(PumpModel, InfusionCycleReachable) {
+  ta::Network pim = build_pump_pim();
+  EXPECT_TRUE(mc::reachable(pim, mc::at(pim, "M", "Infusing")).reachable);
+  EXPECT_TRUE(mc::reachable(pim, mc::at(pim, "M", "Alarming")).reachable);
+}
+
+TEST(BoardScheme, ValidAgainstPump) {
+  ta::Network pim = build_pump_pim();
+  core::PimInfo info = pump_pim_info(pim);
+  core::ImplementationScheme is = board_scheme();
+  EXPECT_TRUE(core::validate_scheme(is, info.inputs, info.outputs).ok());
+}
+
+TEST(BoardScheme, ReproducesTable1AnalyticBounds) {
+  // DESIGN.md parameter split: the Lemma-1 bounds must reproduce the
+  // paper's verified Input-Delay (490ms) and Output-Delay (440ms), and
+  // Lemma 2 must give 490 + 440 + 500 = 1430ms.
+  core::ImplementationScheme is = board_scheme();
+  EXPECT_EQ(core::analytic_input_delay_bound(is, "BolusReq"), 490);
+  EXPECT_EQ(core::analytic_output_delay_bound(is, "StartInfusion"), 440);
+}
+
+TEST(BoardScheme, PollsTheBolusButton) {
+  core::ImplementationScheme is = board_scheme();
+  EXPECT_EQ(is.input("BolusReq").read, core::ReadMechanism::kPolling);
+  EXPECT_EQ(is.input("BolusReq").signal, core::SignalType::kSustainedUntilRead);
+  // The drop sensor keeps IS1's pulse+interrupt mechanism.
+  EXPECT_EQ(is.input("EmptySyringe").read, core::ReadMechanism::kInterrupt);
+  EXPECT_EQ(is.input("EmptySyringe").signal, core::SignalType::kPulse);
+}
+
+TEST(Is1Scheme, MatchesPaperExample1) {
+  core::ImplementationScheme is = is1_scheme();
+  EXPECT_EQ(is.input("BolusReq").delay_min, 1);
+  EXPECT_EQ(is.input("BolusReq").delay_max, 3);
+  EXPECT_EQ(is.io.period, 100);
+  EXPECT_EQ(is.io.buffer_size, 5);
+  EXPECT_EQ(is.io.read_policy, core::ReadPolicy::kReadAll);
+  ta::Network pim = build_pump_pim();
+  core::PimInfo info = pump_pim_info(pim);
+  EXPECT_TRUE(core::validate_scheme(is, info.inputs, info.outputs).ok());
+}
+
+TEST(PumpModel, Req2HoldsOnPim) {
+  // REQ2: infusion stops within 600ms of an empty-syringe signal. In the
+  // PIM the stop fires within [stop_min, stop_max] = [50, 300] of the
+  // (synchronous) detection, so the exact bound is stop_max.
+  ta::Network pim = build_pump_pim();
+  core::PimInfo info = pump_pim_info(pim);
+  core::PimVerification v = core::verify_pim_requirement(pim, info, req2_stop_on_empty(), 10000);
+  EXPECT_TRUE(v.holds);
+  EXPECT_TRUE(v.bounded);
+  EXPECT_EQ(v.max_delay, 300);
+}
+
+TEST(BoardCalibration, ShapesWithinSpec) {
+  sim::SimCalibration cal = board_calibration();
+  const sim::DelayCalibration& motor = cal.output("StartInfusion");
+  EXPECT_LE(motor.observed_spread, 1.0);
+  EXPECT_GT(motor.observed_spread, 0.0);
+  // Unknown names fall back to defaults.
+  const sim::DelayCalibration& other = cal.output("NoSuchOutput");
+  EXPECT_DOUBLE_EQ(other.observed_spread, cal.fallback.observed_spread);
+}
+
+TEST(Requirements, Definitions) {
+  EXPECT_EQ(req1().name, "REQ1");
+  EXPECT_EQ(req1().input, "BolusReq");
+  EXPECT_EQ(req1().output, "StartInfusion");
+  EXPECT_EQ(req1().bound_ms, 500);
+  EXPECT_EQ(req2_stop_on_empty().input, "EmptySyringe");
+  EXPECT_EQ(req2_stop_on_empty().output, "StopInfusion");
+}
+
+}  // namespace
+}  // namespace psv::gpca

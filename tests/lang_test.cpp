@@ -1,0 +1,261 @@
+// Tests for the PSV modeling language: lexer, model parser, scheme parser
+// and requirement parser.
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/pim.h"
+#include "lang/lexer.h"
+#include "lang/model_parser.h"
+#include "lang/scheme_parser.h"
+#include "mc/query.h"
+#include "ta/validate.h"
+#include "util/error.h"
+
+namespace psv::lang {
+namespace {
+
+using psv::Error;
+
+TEST(Lexer, TokenizesAllKinds) {
+  const auto toks = tokenize("foo -> := <= >= == != < > && { } [ ] ( ) , : + - * ! ? 42");
+  std::vector<TokKind> kinds;
+  for (const auto& t : toks) kinds.push_back(t.kind);
+  const std::vector<TokKind> expected = {
+      TokKind::kIdent, TokKind::kArrow, TokKind::kAssign, TokKind::kLe, TokKind::kGe,
+      TokKind::kEq, TokKind::kNe, TokKind::kLt, TokKind::kGt, TokKind::kAnd,
+      TokKind::kLBrace, TokKind::kRBrace, TokKind::kLBracket, TokKind::kRBracket,
+      TokKind::kLParen, TokKind::kRParen, TokKind::kComma, TokKind::kColon,
+      TokKind::kPlus, TokKind::kMinus, TokKind::kStar, TokKind::kBang,
+      TokKind::kQuestion, TokKind::kInt, TokKind::kEnd};
+  EXPECT_EQ(kinds, expected);
+}
+
+TEST(Lexer, CommentsAndPositions) {
+  const auto toks = tokenize("a // comment\n# another\n  b");
+  ASSERT_EQ(toks.size(), 3u);  // a, b, end
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].text, "b");
+  EXPECT_EQ(toks[1].line, 3);
+  EXPECT_EQ(toks[1].column, 3);
+}
+
+TEST(Lexer, HyphenatedIdentifiers) {
+  const auto toks = tokenize("read-all sustained-until-read a->b");
+  EXPECT_EQ(toks[0].text, "read-all");
+  EXPECT_EQ(toks[1].text, "sustained-until-read");
+  EXPECT_EQ(toks[2].text, "a");
+  EXPECT_EQ(toks[3].kind, TokKind::kArrow);
+  EXPECT_EQ(toks[4].text, "b");
+}
+
+TEST(Lexer, RejectsIllegalCharacter) { EXPECT_THROW(tokenize("a $ b"), Error); }
+
+// ---------------------------------------------------------------------------
+
+const char* kPingModel = R"(
+network ping
+clock x
+clock env_x
+var count = 0 in [0, 10]
+input Ping
+output Pong
+
+automaton M {
+  init loc Idle
+  loc Busy inv x <= 100
+  Idle -> Busy on m_Ping? do x := 0, count := count + 1
+  Busy -> Idle when x >= 20 && count < 10 on c_Pong!
+}
+
+automaton ENV {
+  init loc Idle
+  loc Await
+  Idle -> Await when env_x >= 50 on m_Ping! do env_x := 0
+  Await -> Idle on c_Pong? do env_x := 0
+}
+)";
+
+TEST(ModelParser, ParsesDeclarations) {
+  ta::Network net = parse_model(kPingModel);
+  EXPECT_EQ(net.name(), "ping");
+  EXPECT_EQ(net.num_clocks(), 2);
+  EXPECT_EQ(net.num_vars(), 1);
+  EXPECT_EQ(net.channels().size(), 2u);
+  EXPECT_TRUE(net.channel_by_name("m_Ping").has_value());
+  EXPECT_TRUE(net.channel_by_name("c_Pong").has_value());
+  EXPECT_EQ(net.num_automata(), 2);
+  EXPECT_TRUE(ta::validate(net).ok());
+}
+
+TEST(ModelParser, ParsesGuardsAndUpdates) {
+  ta::Network net = parse_model(kPingModel);
+  const ta::Automaton& m = net.automaton(*net.automaton_by_name("M"));
+  ASSERT_EQ(m.edges().size(), 2u);
+  const ta::Edge& take = m.edges()[0];
+  EXPECT_EQ(take.sync.dir, ta::SyncDir::kReceive);
+  EXPECT_EQ(take.update.resets.size(), 1u);
+  EXPECT_EQ(take.update.assignments.size(), 1u);
+  const ta::Edge& reply = m.edges()[1];
+  EXPECT_EQ(reply.sync.dir, ta::SyncDir::kSend);
+  ASSERT_EQ(reply.guard.clocks.size(), 1u);
+  EXPECT_EQ(reply.guard.clocks[0].op, ta::CmpOp::kGe);
+  EXPECT_EQ(reply.guard.clocks[0].bound, 20);
+  EXPECT_FALSE(reply.guard.data.is_trivially_true());
+}
+
+TEST(ModelParser, ParsedModelVerifies) {
+  ta::Network net = parse_model(kPingModel);
+  core::PimInfo info = core::analyze_pim(net);
+  core::TimingRequirement req{"R", "Ping", "Pong", 100};
+  core::PimVerification v = core::verify_pim_requirement(net, info, req, 10'000);
+  EXPECT_TRUE(v.holds);
+  EXPECT_EQ(v.max_delay, 100);
+}
+
+TEST(ModelParser, InvariantAndLocationKinds) {
+  ta::Network net = parse_model(R"(
+network kinds
+clock x
+automaton A {
+  init loc N inv x <= 5 && x < 9
+  loc U urgent
+  loc C committed
+  N -> U
+  U -> C
+}
+)");
+  const ta::Automaton& a = net.automaton(0);
+  EXPECT_EQ(a.location(0).invariant.size(), 2u);
+  EXPECT_EQ(a.location(1).kind, ta::LocKind::kUrgent);
+  EXPECT_EQ(a.location(2).kind, ta::LocKind::kCommitted);
+}
+
+TEST(ModelParser, ForwardLocationReferences) {
+  ta::Network net = parse_model(R"(
+network fwd
+automaton A {
+  init loc First
+  First -> Second
+  loc Second
+}
+)");
+  EXPECT_EQ(net.automaton(0).edges().size(), 1u);
+}
+
+TEST(ModelParser, BroadcastChannel) {
+  ta::Network net = parse_model(R"(
+network bc
+channel tick broadcast
+automaton A {
+  init loc L
+  L -> L on tick!
+}
+)");
+  EXPECT_EQ(net.channels()[0].kind, ta::ChanKind::kBroadcast);
+}
+
+TEST(ModelParser, ErrorsCarryPositions) {
+  try {
+    parse_model("network x\nclock c\nautomaton A {\n  init loc L\n  L -> Nope\n}\n");
+    FAIL() << "expected psv::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 5"), std::string::npos) << e.what();
+    EXPECT_NE(std::string(e.what()).find("Nope"), std::string::npos);
+  }
+}
+
+TEST(ModelParser, UnknownClockInGuardRejected) {
+  EXPECT_THROW(parse_model(R"(
+network bad
+automaton A {
+  init loc L
+  L -> L when y >= 3
+}
+)"),
+               Error);
+}
+
+// ---------------------------------------------------------------------------
+
+const char* kBoardScheme = R"(
+scheme IS1_board {
+  input BolusReq {
+    signal sustained-until-read
+    read polling interval 240
+    delay 10 40
+    min_interarrival 400
+  }
+  output StartInfusion { delay 100 440 }
+  io {
+    invocation periodic 200
+    transfer buffers 5
+    policy read-all
+    stages 10 10 10
+  }
+}
+)";
+
+TEST(SchemeParser, ParsesBoardScheme) {
+  core::ImplementationScheme is = parse_scheme(kBoardScheme);
+  EXPECT_EQ(is.name, "IS1_board");
+  const core::InputSpec& bolus = is.input("BolusReq");
+  EXPECT_EQ(bolus.signal, core::SignalType::kSustainedUntilRead);
+  EXPECT_EQ(bolus.read, core::ReadMechanism::kPolling);
+  EXPECT_EQ(bolus.polling_interval, 240);
+  EXPECT_EQ(bolus.delay_min, 10);
+  EXPECT_EQ(bolus.delay_max, 40);
+  EXPECT_EQ(bolus.min_interarrival, 400);
+  EXPECT_EQ(is.output("StartInfusion").delay_max, 440);
+  EXPECT_EQ(is.io.invocation, core::InvocationKind::kPeriodic);
+  EXPECT_EQ(is.io.period, 200);
+  EXPECT_EQ(is.io.buffer_size, 5);
+  EXPECT_EQ(is.io.read_policy, core::ReadPolicy::kReadAll);
+  EXPECT_EQ(is.io.read_stage_max, 10);
+}
+
+TEST(SchemeParser, ParsedBoundsMatchTable1) {
+  core::ImplementationScheme is = parse_scheme(kBoardScheme);
+  EXPECT_EQ(core::analytic_input_delay_bound(is, "BolusReq"), 490);
+  EXPECT_EQ(core::analytic_output_delay_bound(is, "StartInfusion"), 440);
+}
+
+TEST(SchemeParser, AperiodicAndSharedVariable) {
+  core::ImplementationScheme is = parse_scheme(R"(
+scheme s {
+  input Sig { signal pulse read interrupt delay 1 3 }
+  output Done { delay 1 2 }
+  io {
+    invocation aperiodic
+    transfer shared-variable
+    policy read-one
+  }
+}
+)");
+  EXPECT_EQ(is.io.invocation, core::InvocationKind::kAperiodic);
+  EXPECT_EQ(is.io.transfer, core::TransferKind::kSharedVariable);
+  EXPECT_EQ(is.io.read_policy, core::ReadPolicy::kReadOne);
+}
+
+TEST(SchemeParser, UnknownPropertyRejected) {
+  EXPECT_THROW(parse_scheme("scheme s { input A { frobnicate 3 } }"), Error);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(RequirementParser, ParsesPaperPhrasing) {
+  core::TimingRequirement req = parse_requirement("REQ1: BolusReq -> StartInfusion within 500");
+  EXPECT_EQ(req.name, "REQ1");
+  EXPECT_EQ(req.input, "BolusReq");
+  EXPECT_EQ(req.output, "StartInfusion");
+  EXPECT_EQ(req.bound_ms, 500);
+}
+
+TEST(RequirementParser, RejectsMalformed) {
+  EXPECT_THROW(parse_requirement("REQ1 BolusReq -> X within 5"), Error);
+  EXPECT_THROW(parse_requirement("REQ1: BolusReq -> X"), Error);
+  EXPECT_THROW(parse_requirement("REQ1: BolusReq -> X within 5 extra"), Error);
+}
+
+}  // namespace
+}  // namespace psv::lang

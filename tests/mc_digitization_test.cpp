@@ -1,0 +1,217 @@
+// Cross-validation of the zone-based model checker against an independent
+// discrete-time explicit-state checker.
+//
+// For closed timed automata (only non-strict clock constraints), integer
+// digitization preserves location reachability [Henzinger/Manna/Pnueli],
+// so a brute-force BFS over integer clock valuations (with clocks capped
+// one past the largest constant) must agree with the DBM engine on every
+// reachability question. Random networks are generated per seed and every
+// (automaton, location) pair is compared.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <random>
+#include <set>
+
+#include "mc/reach.h"
+#include "ta/model.h"
+
+namespace psv::mc {
+namespace {
+
+using namespace psv::ta;
+
+constexpr std::int32_t kMaxConst = 5;
+
+// --- independent discrete-time checker -------------------------------------
+
+struct DiscreteState {
+  std::vector<LocId> locs;
+  std::vector<std::int32_t> clocks;  // capped at kMaxConst + 1
+
+  bool operator<(const DiscreteState& o) const {
+    if (locs != o.locs) return locs < o.locs;
+    return clocks < o.clocks;
+  }
+};
+
+bool clock_cc_holds(const ClockConstraint& cc, std::int32_t value) {
+  switch (cc.op) {
+    case CmpOp::kLt: return value < cc.bound;
+    case CmpOp::kLe: return value <= cc.bound;
+    case CmpOp::kEq: return value == cc.bound;
+    case CmpOp::kGe: return value >= cc.bound;
+    case CmpOp::kGt: return value > cc.bound;
+    case CmpOp::kNe: return value != cc.bound;
+  }
+  return false;
+}
+
+class DiscreteChecker {
+ public:
+  explicit DiscreteChecker(const Network& net) : net_(net) { explore(); }
+
+  bool loc_reachable(AutomatonId a, LocId l) const {
+    for (const DiscreteState& s : visited_)
+      if (s.locs[static_cast<std::size_t>(a)] == l) return true;
+    return false;
+  }
+
+ private:
+  bool guard_holds(const Guard& g, const std::vector<std::int32_t>& clocks) const {
+    for (const ClockConstraint& cc : g.clocks)
+      if (!clock_cc_holds(cc, clocks[static_cast<std::size_t>(cc.clock)])) return false;
+    return g.data.is_trivially_true();  // generator emits no data guards
+  }
+
+  bool invariants_hold(const std::vector<LocId>& locs,
+                       const std::vector<std::int32_t>& clocks) const {
+    for (AutomatonId a = 0; a < net_.num_automata(); ++a)
+      for (const ClockConstraint& cc :
+           net_.automaton(a).location(locs[static_cast<std::size_t>(a)]).invariant)
+        if (!clock_cc_holds(cc, clocks[static_cast<std::size_t>(cc.clock)])) return false;
+    return true;
+  }
+
+  void apply_resets(const Update& u, std::vector<std::int32_t>& clocks) const {
+    for (const ClockReset& r : u.resets) clocks[static_cast<std::size_t>(r.clock)] = r.value;
+  }
+
+  void push(DiscreteState s) {
+    if (visited_.insert(s).second) frontier_.push_back(std::move(s));
+  }
+
+  void explore() {
+    DiscreteState init;
+    for (AutomatonId a = 0; a < net_.num_automata(); ++a)
+      init.locs.push_back(net_.automaton(a).initial());
+    init.clocks.assign(static_cast<std::size_t>(net_.num_clocks()), 0);
+    if (!invariants_hold(init.locs, init.clocks)) return;
+    push(init);
+    while (!frontier_.empty()) {
+      const DiscreteState s = frontier_.front();
+      frontier_.pop_front();
+      // Delay by one unit (cap past the max constant: larger values are
+      // indistinguishable for closed constraints <= kMaxConst).
+      DiscreteState delayed = s;
+      for (std::int32_t& c : delayed.clocks) c = std::min<std::int32_t>(c + 1, kMaxConst + 1);
+      if (invariants_hold(delayed.locs, delayed.clocks)) push(std::move(delayed));
+      // Internal edges.
+      for (AutomatonId a = 0; a < net_.num_automata(); ++a) {
+        const Automaton& aut = net_.automaton(a);
+        for (int ei : aut.edges_from(s.locs[static_cast<std::size_t>(a)])) {
+          const Edge& e = aut.edges()[static_cast<std::size_t>(ei)];
+          if (e.sync.dir != SyncDir::kNone) continue;
+          if (!guard_holds(e.guard, s.clocks)) continue;
+          DiscreteState next = s;
+          next.locs[static_cast<std::size_t>(a)] = e.dst;
+          apply_resets(e.update, next.clocks);
+          if (invariants_hold(next.locs, next.clocks)) push(std::move(next));
+        }
+      }
+      // Binary synchronizations.
+      for (AutomatonId sa = 0; sa < net_.num_automata(); ++sa) {
+        const Automaton& sender = net_.automaton(sa);
+        for (int si : sender.edges_from(s.locs[static_cast<std::size_t>(sa)])) {
+          const Edge& se = sender.edges()[static_cast<std::size_t>(si)];
+          if (se.sync.dir != SyncDir::kSend) continue;
+          if (!guard_holds(se.guard, s.clocks)) continue;
+          for (AutomatonId ra = 0; ra < net_.num_automata(); ++ra) {
+            if (ra == sa) continue;
+            const Automaton& receiver = net_.automaton(ra);
+            for (int ri : receiver.edges_from(s.locs[static_cast<std::size_t>(ra)])) {
+              const Edge& re = receiver.edges()[static_cast<std::size_t>(ri)];
+              if (re.sync.dir != SyncDir::kReceive || re.sync.chan != se.sync.chan) continue;
+              if (!guard_holds(re.guard, s.clocks)) continue;
+              DiscreteState next = s;
+              next.locs[static_cast<std::size_t>(sa)] = se.dst;
+              next.locs[static_cast<std::size_t>(ra)] = re.dst;
+              apply_resets(se.update, next.clocks);
+              apply_resets(re.update, next.clocks);
+              if (invariants_hold(next.locs, next.clocks)) push(std::move(next));
+            }
+          }
+        }
+      }
+    }
+  }
+
+  const Network& net_;
+  std::set<DiscreteState> visited_;
+  std::deque<DiscreteState> frontier_;
+};
+
+// --- random closed-TA generator ---------------------------------------------
+
+Network random_network(std::mt19937& gen) {
+  Network net("random");
+  std::uniform_int_distribution<int> clock_count(1, 2);
+  std::uniform_int_distribution<int> loc_count(2, 3);
+  std::uniform_int_distribution<int> edge_count(2, 4);
+  std::uniform_int_distribution<std::int32_t> constant(0, kMaxConst);
+  std::uniform_int_distribution<int> coin(0, 1);
+  std::uniform_int_distribution<int> die(0, 5);
+
+  const int n_clocks = clock_count(gen);
+  for (int c = 0; c < n_clocks; ++c) net.add_clock("c" + std::to_string(c));
+  const ChanId chan = net.add_channel("sync", ChanKind::kBinary);
+
+  std::uniform_int_distribution<int> clock_pick(0, n_clocks - 1);
+  for (int a = 0; a < 2; ++a) {
+    Automaton aut("A" + std::to_string(a));
+    const int n_locs = loc_count(gen);
+    for (int l = 0; l < n_locs; ++l) {
+      std::vector<ClockConstraint> inv;
+      // Invariants sparingly, always satisfiable at zero (bound >= 0).
+      if (die(gen) == 0) inv.push_back(cc_le(clock_pick(gen), constant(gen)));
+      aut.add_location("L" + std::to_string(l), LocKind::kNormal, std::move(inv));
+    }
+    std::uniform_int_distribution<int> loc_pick(0, n_locs - 1);
+    const int n_edges = edge_count(gen);
+    for (int e = 0; e < n_edges; ++e) {
+      Edge edge;
+      edge.src = loc_pick(gen);
+      edge.dst = loc_pick(gen);
+      // Closed guards only (<= / >=) so digitization is exact.
+      if (coin(gen) == 1)
+        edge.guard.clocks.push_back(coin(gen) == 1 ? cc_ge(clock_pick(gen), constant(gen))
+                                                   : cc_le(clock_pick(gen), constant(gen)));
+      const int role = die(gen);
+      if (role == 0) {
+        edge.sync = SyncLabel::send(chan);
+      } else if (role == 1) {
+        edge.sync = SyncLabel::receive(chan);
+      }
+      if (coin(gen) == 1) edge.update.resets.push_back({clock_pick(gen), 0});
+      aut.add_edge(std::move(edge));
+    }
+    net.add_automaton(std::move(aut));
+  }
+  return net;
+}
+
+class DigitizationTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DigitizationTest, ZoneEngineAgreesWithDiscreteChecker) {
+  std::mt19937 gen(static_cast<unsigned>(GetParam()));
+  const Network net = random_network(gen);
+  const DiscreteChecker discrete(net);
+
+  for (AutomatonId a = 0; a < net.num_automata(); ++a) {
+    const Automaton& aut = net.automaton(a);
+    for (LocId l = 0; l < static_cast<LocId>(aut.locations().size()); ++l) {
+      StateFormula goal;
+      goal.and_loc(a, l);
+      const bool zone_says = reachable(net, goal).reachable;
+      const bool discrete_says = discrete.loc_reachable(a, l);
+      EXPECT_EQ(zone_says, discrete_says)
+          << "disagreement on " << aut.name() << "." << aut.location(l).name << " (seed "
+          << GetParam() << ")";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DigitizationTest, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace psv::mc

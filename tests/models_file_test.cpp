@@ -1,0 +1,66 @@
+// Keeps the shipped example model/scheme files in sync with the library:
+// parsing examples/models/pump.psv + board.pss must reproduce the verified
+// Table-I bounds of the built-in case study.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "core/analysis.h"
+#include "core/pim.h"
+#include "lang/model_parser.h"
+#include "lang/scheme_parser.h"
+
+namespace psv {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return {};
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+// The test binary runs from the build tree; find the source-tree files.
+std::string find_model_dir() {
+  for (const char* prefix : {"examples/models/", "../examples/models/",
+                             "../../examples/models/", "../../../examples/models/"}) {
+    if (!read_file(std::string(prefix) + "pump.psv").empty()) return prefix;
+  }
+  return {};
+}
+
+TEST(ModelFiles, PumpModelParsesAndVerifies) {
+  const std::string dir = find_model_dir();
+  if (dir.empty()) GTEST_SKIP() << "example model files not found from test cwd";
+  const ta::Network pim = lang::parse_model(read_file(dir + "pump.psv"));
+  const core::PimInfo info = core::analyze_pim(pim);
+  EXPECT_EQ(info.inputs, (std::vector<std::string>{"BolusReq"}));
+  ASSERT_EQ(info.outputs.size(), 2u);
+
+  core::TimingRequirement req{"REQ1", "BolusReq", "StartInfusion", 500};
+  const core::PimVerification v = core::verify_pim_requirement(pim, info, req, 10'000);
+  EXPECT_TRUE(v.holds);
+  EXPECT_EQ(v.max_delay, 500) << "pump.psv must keep the paper's exact PIM bound";
+}
+
+TEST(ModelFiles, BoardSchemeReproducesTable1Bounds) {
+  const std::string dir = find_model_dir();
+  if (dir.empty()) GTEST_SKIP() << "example model files not found from test cwd";
+  const core::ImplementationScheme scheme = lang::parse_scheme(read_file(dir + "board.pss"));
+  EXPECT_EQ(core::analytic_input_delay_bound(scheme, "BolusReq"), 490);
+  EXPECT_EQ(core::analytic_output_delay_bound(scheme, "StartInfusion"), 440);
+}
+
+TEST(ModelFiles, SchemeValidAgainstModel) {
+  const std::string dir = find_model_dir();
+  if (dir.empty()) GTEST_SKIP() << "example model files not found from test cwd";
+  const ta::Network pim = lang::parse_model(read_file(dir + "pump.psv"));
+  const core::PimInfo info = core::analyze_pim(pim);
+  const core::ImplementationScheme scheme = lang::parse_scheme(read_file(dir + "board.pss"));
+  EXPECT_TRUE(core::validate_scheme(scheme, info.inputs, info.outputs).ok());
+}
+
+}  // namespace
+}  // namespace psv

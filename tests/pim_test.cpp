@@ -1,0 +1,206 @@
+// Tests for PIM analysis and the M-C delay instrumentation (core/pim).
+#include "core/pim.h"
+
+#include <gtest/gtest.h>
+
+#include "mc/query.h"
+#include "ta/print.h"
+#include "util/error.h"
+
+namespace psv::core {
+namespace {
+
+using namespace psv::ta;
+using psv::Error;
+
+Network simple_pim(std::int32_t deadline = 100) {
+  Network net("simple");
+  const ClockId x = net.add_clock("x");
+  const ClockId env_x = net.add_clock("env_x");
+  const ChanId req = net.add_channel("m_Req", ChanKind::kBinary);
+  const ChanId ack = net.add_channel("c_Ack", ChanKind::kBinary);
+
+  Automaton m("M");
+  const LocId idle = m.add_location("Idle");
+  const LocId busy = m.add_location("Busy", LocKind::kNormal, {cc_le(x, deadline)});
+  Edge take;
+  take.src = idle;
+  take.dst = busy;
+  take.sync = SyncLabel::receive(req);
+  take.update.resets = {{x, 0}};
+  m.add_edge(std::move(take));
+  Edge reply;
+  reply.src = busy;
+  reply.dst = idle;
+  reply.sync = SyncLabel::send(ack);
+  m.add_edge(std::move(reply));
+  net.add_automaton(std::move(m));
+
+  Automaton env("ENV");
+  const LocId eidle = env.add_location("Idle");
+  const LocId await = env.add_location("Await");
+  Edge send;
+  send.src = eidle;
+  send.dst = await;
+  send.guard.clocks = {cc_ge(env_x, 10)};
+  send.sync = SyncLabel::send(req);
+  send.update.resets = {{env_x, 0}};
+  env.add_edge(std::move(send));
+  Edge recv;
+  recv.src = await;
+  recv.dst = eidle;
+  recv.sync = SyncLabel::receive(ack);
+  recv.update.resets = {{env_x, 0}};
+  env.add_edge(std::move(recv));
+  net.add_automaton(std::move(env));
+  return net;
+}
+
+TEST(InstrumentMcDelay, AddsProbeObjects) {
+  Network net = simple_pim();
+  TimingRequirement req{"R", "Req", "Ack", 100};
+  const int clocks_before = net.num_clocks();
+  const int vars_before = net.num_vars();
+  RequirementProbe probe = instrument_mc_delay(net, "ENV", req);
+  EXPECT_EQ(net.num_clocks(), clocks_before + 1);
+  EXPECT_EQ(net.num_vars(), vars_before + 2);
+  EXPECT_GE(probe.clock, 0);
+  EXPECT_GE(probe.pending, 0);
+  EXPECT_GE(probe.overlap, 0);
+  EXPECT_TRUE(net.clock_by_name("t_mc_Req").has_value());
+  EXPECT_TRUE(net.var_by_name("mc_pend_Req").has_value());
+}
+
+TEST(InstrumentMcDelay, SplitsSendEdges) {
+  Network net = simple_pim();
+  TimingRequirement req{"R", "Req", "Ack", 100};
+  instrument_mc_delay(net, "ENV", req);
+  const Automaton& env = net.automaton(*net.automaton_by_name("ENV"));
+  // The single m_Req! edge becomes two (fresh + overlapping); the c_Ack?
+  // edge stays single but gains the pending-clear assignment.
+  int sends = 0, recvs = 0;
+  for (const Edge& e : env.edges()) {
+    if (e.sync.dir == SyncDir::kSend) ++sends;
+    if (e.sync.dir == SyncDir::kReceive) {
+      ++recvs;
+      EXPECT_FALSE(e.update.assignments.empty());
+    }
+  }
+  EXPECT_EQ(sends, 2);
+  EXPECT_EQ(recvs, 1);
+}
+
+TEST(InstrumentMcDelay, ProbeMeasuresExactBound) {
+  Network net = simple_pim(70);
+  TimingRequirement req{"R", "Req", "Ack", 70};
+  RequirementProbe probe = instrument_mc_delay(net, "ENV", req);
+  mc::MaxClockResult r = mc::max_clock_value(net, mc::when(var_eq(probe.pending, 1)),
+                                             probe.clock, 10'000);
+  ASSERT_TRUE(r.bounded);
+  EXPECT_EQ(r.bound, 70);
+}
+
+TEST(InstrumentMcDelay, OverlapFlagUnreachableInRequestResponseEnv) {
+  Network net = simple_pim();
+  TimingRequirement req{"R", "Req", "Ack", 100};
+  RequirementProbe probe = instrument_mc_delay(net, "ENV", req);
+  // The environment is strictly request/response: no overlapping requests.
+  EXPECT_FALSE(mc::reachable(net, mc::when(var_eq(probe.overlap, 1))).reachable);
+}
+
+TEST(InstrumentMcDelay, UnknownChannelsRejected) {
+  Network net = simple_pim();
+  TimingRequirement bad_in{"R", "Nope", "Ack", 100};
+  EXPECT_THROW(instrument_mc_delay(net, "ENV", bad_in), Error);
+  TimingRequirement bad_out{"R", "Req", "Nope", 100};
+  EXPECT_THROW(instrument_mc_delay(net, "ENV", bad_out), Error);
+  TimingRequirement ok{"R", "Req", "Ack", 100};
+  EXPECT_THROW(instrument_mc_delay(net, "Nobody", ok), Error);
+}
+
+TEST(VerifyPimRequirement, HoldsAndFailsAtTheRightBound) {
+  Network net = simple_pim(100);
+  PimInfo info = analyze_pim(net);
+  TimingRequirement tight{"R", "Req", "Ack", 99};
+  TimingRequirement exact{"R", "Req", "Ack", 100};
+  PimVerification vt = verify_pim_requirement(net, info, tight, 10'000);
+  EXPECT_FALSE(vt.holds);
+  EXPECT_EQ(vt.max_delay, 100);
+  PimVerification ve = verify_pim_requirement(net, info, exact, 10'000);
+  EXPECT_TRUE(ve.holds);
+}
+
+TEST(VerifyPimRequirement, UnboundedDetected) {
+  // Remove the Busy invariant: M may delay the reply forever.
+  Network net("unbounded");
+  const ClockId env_x = net.add_clock("env_x");
+  const ChanId req = net.add_channel("m_Req", ChanKind::kBinary);
+  const ChanId ack = net.add_channel("c_Ack", ChanKind::kBinary);
+  Automaton m("M");
+  const LocId idle = m.add_location("Idle");
+  const LocId busy = m.add_location("Busy");
+  Edge take;
+  take.src = idle;
+  take.dst = busy;
+  take.sync = SyncLabel::receive(req);
+  m.add_edge(std::move(take));
+  Edge reply;
+  reply.src = busy;
+  reply.dst = idle;
+  reply.sync = SyncLabel::send(ack);
+  m.add_edge(std::move(reply));
+  net.add_automaton(std::move(m));
+  Automaton env("ENV");
+  const LocId eidle = env.add_location("Idle");
+  const LocId await = env.add_location("Await");
+  Edge send;
+  send.src = eidle;
+  send.dst = await;
+  send.guard.clocks = {cc_ge(env_x, 10)};
+  send.sync = SyncLabel::send(req);
+  send.update.resets = {{env_x, 0}};
+  env.add_edge(std::move(send));
+  Edge recv;
+  recv.src = await;
+  recv.dst = eidle;
+  recv.sync = SyncLabel::receive(ack);
+  env.add_edge(std::move(recv));
+  net.add_automaton(std::move(env));
+
+  PimInfo info = analyze_pim(net);
+  TimingRequirement r{"R", "Req", "Ack", 100};
+  PimVerification v = verify_pim_requirement(net, info, r, 2'000);
+  EXPECT_FALSE(v.holds);
+  EXPECT_FALSE(v.bounded);
+}
+
+TEST(AnalyzePim, CustomAutomataNames) {
+  Network net("named");
+  net.add_clock("x");
+  const ChanId req = net.add_channel("m_Req", ChanKind::kBinary);
+  net.add_channel("c_Ack", ChanKind::kBinary);
+  Automaton sw("Controller");
+  const LocId l = sw.add_location("L");
+  Edge e;
+  e.src = l;
+  e.dst = l;
+  e.sync = SyncLabel::receive(req);
+  sw.add_edge(std::move(e));
+  net.add_automaton(std::move(sw));
+  Automaton env("Patient");
+  const LocId p = env.add_location("P");
+  Edge s;
+  s.src = p;
+  s.dst = p;
+  s.sync = SyncLabel::send(req);
+  env.add_edge(std::move(s));
+  net.add_automaton(std::move(env));
+
+  PimInfo info = analyze_pim(net, "Controller", "Patient");
+  EXPECT_EQ(net.automaton(info.software).name(), "Controller");
+  EXPECT_EQ(net.automaton(info.environment).name(), "Patient");
+  EXPECT_THROW(analyze_pim(net), Error);  // default names absent
+}
+
+}  // namespace
+}  // namespace psv::core

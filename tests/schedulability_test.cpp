@@ -1,0 +1,209 @@
+// Tests for the analytic schedulability pre-checks (§V conditions).
+#include "core/schedulability.h"
+
+#include <gtest/gtest.h>
+
+#include "core/constraints.h"
+#include "core/transform.h"
+
+namespace psv::core {
+namespace {
+
+using namespace psv::ta;
+
+// Reuses the ping/pong shape: M replies within [20, 100] of an input; ENV
+// paces requests by `gap`.
+Network paced_pim(std::int32_t gap) {
+  Network net("paced");
+  const ClockId x = net.add_clock("x");
+  const ClockId env_x = net.add_clock("env_x");
+  const ChanId ping = net.add_channel("m_Ping", ChanKind::kBinary);
+  const ChanId pong = net.add_channel("c_Pong", ChanKind::kBinary);
+
+  Automaton m("M");
+  const LocId idle = m.add_location("Idle");
+  const LocId busy = m.add_location("Busy", LocKind::kNormal, {cc_le(x, 100)});
+  Edge take;
+  take.src = idle;
+  take.dst = busy;
+  take.sync = SyncLabel::receive(ping);
+  take.update.resets = {{x, 0}};
+  m.add_edge(std::move(take));
+  Edge reply;
+  reply.src = busy;
+  reply.dst = idle;
+  reply.guard.clocks = {cc_ge(x, 20)};
+  reply.sync = SyncLabel::send(pong);
+  m.add_edge(std::move(reply));
+  net.add_automaton(std::move(m));
+
+  Automaton env("ENV");
+  const LocId eidle = env.add_location("Idle");
+  const LocId await = env.add_location("Await");
+  Edge send;
+  send.src = eidle;
+  send.dst = await;
+  send.guard.clocks = {cc_ge(env_x, gap)};
+  send.sync = SyncLabel::send(ping);
+  send.update.resets = {{env_x, 0}};
+  env.add_edge(std::move(send));
+  Edge recv;
+  recv.src = await;
+  recv.dst = eidle;
+  recv.sync = SyncLabel::receive(pong);
+  recv.update.resets = {{env_x, 0}};
+  env.add_edge(std::move(recv));
+  net.add_automaton(std::move(env));
+  return net;
+}
+
+ImplementationScheme paced_scheme(std::int32_t interarrival) {
+  ImplementationScheme is = example_is1({"Ping"}, {"Pong"});
+  is.inputs.at("Ping").delay_min = 1;
+  is.inputs.at("Ping").delay_max = 3;
+  is.inputs.at("Ping").min_interarrival = interarrival;
+  is.io.period = 20;
+  is.io.read_stage_max = 2;
+  is.io.compute_stage_max = 2;
+  is.io.write_stage_max = 2;
+  is.io.buffer_size = 2;
+  return is;
+}
+
+TEST(WorstCaseAdmission, InterruptAndPolling) {
+  InputSpec spec;
+  spec.read = ReadMechanism::kInterrupt;
+  spec.delay_max = 3;
+  EXPECT_EQ(worst_case_admission(spec), 3);
+  spec.read = ReadMechanism::kPolling;
+  spec.polling_interval = 50;
+  EXPECT_EQ(worst_case_admission(spec), 53);
+}
+
+TEST(EmissionWindows, ComputedFromGuardAndInvariant) {
+  Network pim = paced_pim(60);
+  PimInfo info = analyze_pim(pim);
+  const auto windows = emission_windows(pim, info);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].output, "Pong");
+  EXPECT_EQ(windows[0].location, "Busy");
+  EXPECT_EQ(windows[0].width, 80);  // invariant 100 - guard 20
+}
+
+TEST(EmissionWindows, UnboundedWithoutInvariant) {
+  Network pim = paced_pim(60);
+  PimInfo info = analyze_pim(pim);
+  // Strip the invariant by rebuilding M's location... simpler: a second
+  // model without it.
+  Network net("free");
+  net.add_clock("x");
+  const ChanId ping = net.add_channel("m_Ping", ChanKind::kBinary);
+  const ChanId pong = net.add_channel("c_Pong", ChanKind::kBinary);
+  Automaton m("M");
+  const LocId idle = m.add_location("Idle");
+  const LocId busy = m.add_location("Busy");
+  Edge take;
+  take.src = idle;
+  take.dst = busy;
+  take.sync = SyncLabel::receive(ping);
+  m.add_edge(std::move(take));
+  Edge reply;
+  reply.src = busy;
+  reply.dst = idle;
+  reply.sync = SyncLabel::send(pong);
+  m.add_edge(std::move(reply));
+  net.add_automaton(std::move(m));
+  Automaton env("ENV");
+  const LocId e0 = env.add_location("Idle");
+  Edge s;
+  s.src = e0;
+  s.dst = e0;
+  s.sync = SyncLabel::send(ping);
+  env.add_edge(std::move(s));
+  Edge r;
+  r.src = e0;
+  r.dst = e0;
+  r.sync = SyncLabel::receive(pong);
+  env.add_edge(std::move(r));
+  net.add_automaton(std::move(env));
+
+  const auto windows = emission_windows(net, analyze_pim(net));
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].width, -1);
+}
+
+TEST(Schedulability, CleanSchemePasses) {
+  Network pim = paced_pim(60);
+  PimInfo info = analyze_pim(pim);
+  SchedulabilityReport r = check_schedulability(pim, info, paced_scheme(60));
+  EXPECT_TRUE(r.ok()) << r.to_string();
+}
+
+TEST(Schedulability, SlowAdmissionViolatesC1) {
+  Network pim = paced_pim(10);
+  PimInfo info = analyze_pim(pim);
+  ImplementationScheme is = paced_scheme(10);
+  auto& spec = is.inputs.at("Ping");
+  spec.signal = SignalType::kSustainedUntilRead;
+  spec.read = ReadMechanism::kPolling;
+  spec.polling_interval = 30;  // admission 33 > inter-arrival 10
+  SchedulabilityReport r = check_schedulability(pim, info, is);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.to_string().find("C1"), std::string::npos);
+}
+
+TEST(Schedulability, SmallBufferViolatesC2) {
+  Network pim = paced_pim(5);
+  PimInfo info = analyze_pim(pim);
+  ImplementationScheme is = paced_scheme(5);
+  is.io.buffer_size = 1;  // read gap 22ms / inter-arrival 5ms -> burst 5
+  SchedulabilityReport r = check_schedulability(pim, info, is);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.to_string().find("C2"), std::string::npos);
+}
+
+TEST(Schedulability, NarrowEmissionWindowFlagged) {
+  Network pim = paced_pim(300);
+  PimInfo info = analyze_pim(pim);
+  ImplementationScheme is = paced_scheme(300);
+  // Window [20, 100] is 80ms wide; with a 110ms period the write stage
+  // after the (always too-early) read-cycle write lands at x >= 110 > 100.
+  is.io.period = 110;
+  SchedulabilityReport r = check_schedulability(pim, info, is);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.to_string().find("emission"), std::string::npos);
+
+  // And the model checker agrees: this scheme produces a timelock.
+  PsmArtifacts psm = transform(pim, info, is);
+  ConstraintReport mc_report = check_constraints(psm);
+  EXPECT_FALSE(mc_report.all_hold())
+      << "the analytic emission finding must correspond to a real timelock\n"
+      << mc_report.to_string();
+}
+
+TEST(Schedulability, ConservativeWarningCanBeMcClean) {
+  // Period 90 also trips the analytic check (write latency 96 > window 80),
+  // but the second write stage still lands at x in [90, 96] <= 100 — the
+  // authoritative model checker proves this scheme safe. The analytic
+  // check is a conservative pre-filter, not the final verdict.
+  Network pim = paced_pim(300);
+  PimInfo info = analyze_pim(pim);
+  ImplementationScheme is = paced_scheme(300);
+  is.io.period = 90;
+  EXPECT_FALSE(check_schedulability(pim, info, is).ok());
+  PsmArtifacts psm = transform(pim, info, is);
+  EXPECT_TRUE(check_constraints(psm).all_hold());
+}
+
+TEST(Schedulability, MissingInterarrivalWarnsOnly) {
+  Network pim = paced_pim(60);
+  PimInfo info = analyze_pim(pim);
+  ImplementationScheme is = paced_scheme(0);  // no assumption declared
+  SchedulabilityReport r = check_schedulability(pim, info, is);
+  EXPECT_TRUE(r.ok());  // warnings only
+  EXPECT_FALSE(r.findings.empty());
+  EXPECT_NE(r.to_string().find("warning"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace psv::core

@@ -1,0 +1,156 @@
+// Tests for implementation schemes (§III) and their validation rules.
+#include "core/scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace psv::core {
+namespace {
+
+const std::vector<std::string> kIns = {"BolusReq"};
+const std::vector<std::string> kOuts = {"StartInfusion"};
+
+TEST(Scheme, Example1IsValid) {
+  ImplementationScheme is = example_is1(kIns, kOuts);
+  EXPECT_EQ(is.name, "IS1");
+  EXPECT_TRUE(validate_scheme(is, kIns, kOuts).ok());
+  EXPECT_EQ(is.input("BolusReq").delay_min, 1);
+  EXPECT_EQ(is.input("BolusReq").delay_max, 3);
+  EXPECT_EQ(is.io.period, 100);
+  EXPECT_EQ(is.io.buffer_size, 5);
+}
+
+TEST(Scheme, DescribeMatchesPaperNotation) {
+  ImplementationScheme is = example_is1(kIns, kOuts);
+  const std::string text = is.describe();
+  EXPECT_NE(text.find("pulse"), std::string::npos);
+  EXPECT_NE(text.find("interrupt"), std::string::npos);
+  EXPECT_NE(text.find("buffer-size=5"), std::string::npos);
+  EXPECT_NE(text.find("period=100"), std::string::npos);
+  EXPECT_NE(text.find("read-all"), std::string::npos);
+}
+
+TEST(Scheme, MissingSpecDetected) {
+  ImplementationScheme is = example_is1(kIns, kOuts);
+  SchemeValidation v = validate_scheme(is, {"BolusReq", "EmptySyringe"}, kOuts);
+  EXPECT_FALSE(v.ok());
+  EXPECT_NE(v.to_string().find("EmptySyringe"), std::string::npos);
+}
+
+TEST(Scheme, DanglingSpecDetected) {
+  ImplementationScheme is = example_is1(kIns, kOuts);
+  is.inputs.emplace("Ghost", InputSpec{});
+  SchemeValidation v = validate_scheme(is, kIns, kOuts);
+  EXPECT_FALSE(v.ok());
+}
+
+TEST(Scheme, PulseCannotBePolled) {
+  ImplementationScheme is = example_is1(kIns, kOuts);
+  is.inputs["BolusReq"].read = ReadMechanism::kPolling;
+  is.inputs["BolusReq"].polling_interval = 50;
+  SchemeValidation v = validate_scheme(is, kIns, kOuts);
+  EXPECT_FALSE(v.ok());
+  EXPECT_NE(v.to_string().find("pulse"), std::string::npos);
+}
+
+TEST(Scheme, PollingNeedsPositiveInterval) {
+  ImplementationScheme is = example_is1(kIns, kOuts);
+  is.inputs["BolusReq"].signal = SignalType::kSustainedUntilRead;
+  is.inputs["BolusReq"].read = ReadMechanism::kPolling;
+  is.inputs["BolusReq"].polling_interval = 0;
+  EXPECT_FALSE(validate_scheme(is, kIns, kOuts).ok());
+  is.inputs["BolusReq"].polling_interval = 25;
+  EXPECT_TRUE(validate_scheme(is, kIns, kOuts).ok());
+}
+
+TEST(Scheme, ShortSustainedSignalVsPollingRejected) {
+  ImplementationScheme is = example_is1(kIns, kOuts);
+  auto& spec = is.inputs["BolusReq"];
+  spec.signal = SignalType::kSustainedDuration;
+  spec.read = ReadMechanism::kPolling;
+  spec.polling_interval = 100;
+  spec.sustain_duration = 50;  // shorter than the polling interval
+  SchemeValidation v = validate_scheme(is, kIns, kOuts);
+  EXPECT_FALSE(v.ok());
+  spec.sustain_duration = 150;
+  EXPECT_TRUE(validate_scheme(is, kIns, kOuts).ok());
+}
+
+TEST(Scheme, DelayWindowValidated) {
+  ImplementationScheme is = example_is1(kIns, kOuts);
+  is.inputs["BolusReq"].delay_min = 5;
+  is.inputs["BolusReq"].delay_max = 2;
+  EXPECT_FALSE(validate_scheme(is, kIns, kOuts).ok());
+  is.inputs["BolusReq"].delay_min = -1;
+  EXPECT_FALSE(validate_scheme(is, kIns, kOuts).ok());
+}
+
+TEST(Scheme, PeriodicNeedsPositivePeriod) {
+  ImplementationScheme is = example_is1(kIns, kOuts);
+  is.io.period = 0;
+  EXPECT_FALSE(validate_scheme(is, kIns, kOuts).ok());
+}
+
+TEST(Scheme, BufferNeedsPositiveCapacity) {
+  ImplementationScheme is = example_is1(kIns, kOuts);
+  is.io.buffer_size = 0;
+  EXPECT_FALSE(validate_scheme(is, kIns, kOuts).ok());
+}
+
+TEST(Scheme, StagesMustFitPeriod) {
+  ImplementationScheme is = example_is1(kIns, kOuts);
+  is.io.read_stage_max = 60;
+  is.io.compute_stage_max = 30;
+  is.io.write_stage_max = 30;  // 120 > period 100
+  SchemeValidation v = validate_scheme(is, kIns, kOuts);
+  EXPECT_FALSE(v.ok());
+  EXPECT_NE(v.to_string().find("schedulable"), std::string::npos);
+}
+
+TEST(Scheme, AperiodicIgnoresPeriod) {
+  ImplementationScheme is = example_is1(kIns, kOuts);
+  is.io.invocation = InvocationKind::kAperiodic;
+  is.io.period = 0;
+  EXPECT_TRUE(validate_scheme(is, kIns, kOuts).ok());
+}
+
+TEST(Scheme, UnknownLookupThrows) {
+  ImplementationScheme is = example_is1(kIns, kOuts);
+  EXPECT_THROW(is.input("Nope"), Error);
+  EXPECT_THROW(is.output("Nope"), Error);
+}
+
+// Parameterized sweep over the full mechanism cross-product: validity must
+// match the documented compatibility rules.
+struct ComboCase {
+  SignalType signal;
+  ReadMechanism read;
+  bool expect_valid;
+};
+
+class SchemeComboTest : public ::testing::TestWithParam<ComboCase> {};
+
+TEST_P(SchemeComboTest, CompatibilityMatrix) {
+  const ComboCase& c = GetParam();
+  ImplementationScheme is = example_is1(kIns, kOuts);
+  auto& spec = is.inputs["BolusReq"];
+  spec.signal = c.signal;
+  spec.read = c.read;
+  spec.polling_interval = c.read == ReadMechanism::kPolling ? 20 : 0;
+  spec.sustain_duration = c.signal == SignalType::kSustainedDuration ? 80 : 0;
+  EXPECT_EQ(validate_scheme(is, kIns, kOuts).ok(), c.expect_valid);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCombos, SchemeComboTest,
+    ::testing::Values(
+        ComboCase{SignalType::kPulse, ReadMechanism::kInterrupt, true},
+        ComboCase{SignalType::kPulse, ReadMechanism::kPolling, false},
+        ComboCase{SignalType::kSustainedDuration, ReadMechanism::kInterrupt, true},
+        ComboCase{SignalType::kSustainedDuration, ReadMechanism::kPolling, true},
+        ComboCase{SignalType::kSustainedUntilRead, ReadMechanism::kInterrupt, true},
+        ComboCase{SignalType::kSustainedUntilRead, ReadMechanism::kPolling, true}));
+
+}  // namespace
+}  // namespace psv::core

@@ -1,0 +1,174 @@
+// Tests for the shared utility library.
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+namespace psv {
+namespace {
+
+TEST(Error, RequireThrowsWithMessage) {
+  try {
+    PSV_REQUIRE(false, "bad input");
+    FAIL() << "expected psv::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("bad input"), std::string::npos);
+  }
+}
+
+TEST(Error, RequirePassesSilently) {
+  EXPECT_NO_THROW(PSV_REQUIRE(1 + 1 == 2, "unreachable"));
+}
+
+TEST(Error, AssertThrowsLogicError) {
+  EXPECT_THROW(PSV_ASSERT(false, "broken invariant"), std::logic_error);
+}
+
+TEST(Stats, SummaryOfKnownSample) {
+  Summary s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+}
+
+TEST(Stats, SingleObservation) {
+  Summary s = summarize({7.5});
+  EXPECT_DOUBLE_EQ(s.min, 7.5);
+  EXPECT_DOUBLE_EQ(s.max, 7.5);
+  EXPECT_DOUBLE_EQ(s.median, 7.5);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(Stats, EmptySummaryThrows) {
+  StatsAccumulator acc;
+  EXPECT_THROW(acc.summarize(), Error);
+}
+
+TEST(Stats, MedianOfEvenSampleInterpolates) {
+  Summary s = summarize({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"x"}, ","), "x");
+}
+
+TEST(Strings, PrefixHelpers) {
+  EXPECT_TRUE(starts_with("m_BolusReq", "m_"));
+  EXPECT_FALSE(starts_with("c_Start", "m_"));
+  EXPECT_EQ(replace_prefix("m_BolusReq", "m_", "i_"), "i_BolusReq");
+  EXPECT_EQ(replace_prefix("c_Start", "m_", "i_"), "c_Start");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(lpad("ab", 4), "  ab");
+  EXPECT_EQ(rpad("ab", 4), "ab  ");
+  EXPECT_EQ(lpad("abcd", 2), "abcd");
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  TextTable t("Demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_separator();
+  t.add_row({"beta", "22"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Demo"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+  EXPECT_NE(out.find("+"), std::string::npos);
+}
+
+TEST(Table, RowArityMismatchThrows) {
+  TextTable t("Demo");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, HeaderlessTableRenders) {
+  TextTable t("NoHeader");
+  t.add_row({"a", "bb"});
+  t.add_row({"ccc", "d"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("ccc"), std::string::npos);
+  EXPECT_NE(out.find("bb"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_ms(610.4), "610ms");
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+}
+
+TEST(Rng, UniformIntStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(10, 20);
+    EXPECT_GE(v, 10);
+    EXPECT_LE(v, 20);
+  }
+}
+
+TEST(Rng, DegenerateRanges) {
+  Rng r(1);
+  EXPECT_EQ(r.uniform_int(5, 5), 5);
+  EXPECT_DOUBLE_EQ(r.uniform_real(2.0, 2.0), 2.0);
+  EXPECT_DOUBLE_EQ(r.triangular(3.0, 3.0, 3.0), 3.0);
+}
+
+TEST(Rng, TriangularStaysInRange) {
+  Rng r(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = r.triangular(1.0, 2.0, 10.0);
+    EXPECT_GE(v, 1.0);
+    EXPECT_LE(v, 10.0);
+  }
+}
+
+TEST(Rng, SplitDependsOnParentSeed) {
+  // Regression: split() must incorporate the parent's seed, or every
+  // scenario in a batch would replay the same platform randomness.
+  Rng a = Rng(1).split("platform");
+  Rng b = Rng(2).split("platform");
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i)
+    any_diff = any_diff || (a.uniform_int(0, 1 << 30) != b.uniform_int(0, 1 << 30));
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, SplitProducesIndependentStreams) {
+  Rng root(42);
+  Rng a = root.split("input-device");
+  Rng b = root.split("output-device");
+  // Streams should differ (overwhelmingly likely for distinct tags).
+  bool any_diff = false;
+  Rng a2 = root.split("input-device");
+  for (int i = 0; i < 10; ++i) {
+    const auto va = a.uniform_int(0, 1 << 30);
+    const auto vb = b.uniform_int(0, 1 << 30);
+    const auto va2 = a2.uniform_int(0, 1 << 30);
+    EXPECT_EQ(va, va2) << "same tag must reproduce the same stream";
+    any_diff = any_diff || (va != vb);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, BadRangesThrow) {
+  Rng r(1);
+  EXPECT_THROW(r.uniform_int(3, 2), Error);
+  EXPECT_THROW(r.triangular(1.0, 0.5, 2.0), Error);
+}
+
+}  // namespace
+}  // namespace psv

@@ -1,0 +1,125 @@
+// psv_verify — command-line front end for the framework.
+//
+//   psv_verify MODEL.psv SCHEME.pss "REQ: input -> output within BOUND"
+//              [--sim N] [--limit MS] [--print-psm] [--seed S]
+//
+// Loads a PIM from a model file and an implementation scheme from a scheme
+// file, runs the complete verification pipeline (PIM check, PIM->PSM
+// transformation, constraints C1-C4, Lemma-1/2 bounds, exact PSM delays)
+// and optionally cross-checks with N simulated scenarios.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "core/framework.h"
+#include "lang/model_parser.h"
+#include "lang/scheme_parser.h"
+#include "sim/runner.h"
+#include "ta/print.h"
+#include "util/error.h"
+#include "util/table.h"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  PSV_REQUIRE(in.good(), "cannot open '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+int usage() {
+  std::cerr
+      << "usage: psv_verify MODEL.psv SCHEME.pss \"REQ: in -> out within MS\" [options]\n"
+         "options:\n"
+         "  --sim N       additionally run N simulated scenarios\n"
+         "  --seed S      simulation seed (default 2015)\n"
+         "  --limit MS    delay-search ceiling (default 1000000)\n"
+         "  --print-psm   dump the constructed PSM before verifying\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 4) return usage();
+  try {
+    const std::string model_path = argv[1];
+    const std::string scheme_path = argv[2];
+    const std::string requirement_text = argv[3];
+
+    int sim_scenarios = 0;
+    std::uint64_t seed = 2015;
+    std::int64_t limit = 1'000'000;
+    bool print_psm = false;
+    for (int i = 4; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--sim" && i + 1 < argc) {
+        sim_scenarios = std::stoi(argv[++i]);
+      } else if (arg == "--seed" && i + 1 < argc) {
+        seed = std::stoull(argv[++i]);
+      } else if (arg == "--limit" && i + 1 < argc) {
+        limit = std::stoll(argv[++i]);
+      } else if (arg == "--print-psm") {
+        print_psm = true;
+      } else {
+        std::cerr << "unknown option '" << arg << "'\n";
+        return usage();
+      }
+    }
+
+    const psv::ta::Network pim = psv::lang::parse_model(read_file(model_path));
+    const psv::core::ImplementationScheme scheme =
+        psv::lang::parse_scheme(read_file(scheme_path));
+    const psv::core::TimingRequirement req = psv::lang::parse_requirement(requirement_text);
+    const psv::core::PimInfo info = psv::core::analyze_pim(pim);
+
+    std::cout << scheme.describe() << "\n";
+
+    if (print_psm) {
+      psv::core::PsmArtifacts psm = psv::core::transform(pim, info, scheme);
+      std::cout << psv::ta::network_text(psm.psm) << "\n";
+    }
+
+    psv::core::FrameworkOptions options;
+    options.search_limit = limit;
+    const psv::core::FrameworkResult result =
+        psv::core::run_framework(pim, info, scheme, req, options);
+    std::cout << result.summary() << "\n";
+
+    if (sim_scenarios > 0) {
+      psv::sim::MeasurementConfig config;
+      config.scenarios = sim_scenarios;
+      config.seed = seed;
+      const psv::sim::MeasurementSummary measured =
+          psv::sim::measure_requirement(pim, info, scheme, req, config);
+      psv::TextTable table("simulated measurements (" + std::to_string(sim_scenarios) +
+                           " scenarios, seed " + std::to_string(seed) + ")");
+      table.set_header({"delay", "avg", "max", "min"});
+      table.set_align({psv::Align::kLeft, psv::Align::kRight, psv::Align::kRight,
+                       psv::Align::kRight});
+      table.add_row({"M-C", psv::fmt_ms(measured.mc.mean), psv::fmt_ms(measured.mc.max),
+                     psv::fmt_ms(measured.mc.min)});
+      table.add_row({"Input", psv::fmt_ms(measured.mi.mean), psv::fmt_ms(measured.mi.max),
+                     psv::fmt_ms(measured.mi.min)});
+      table.add_row({"Output", psv::fmt_ms(measured.oc.mean), psv::fmt_ms(measured.oc.max),
+                     psv::fmt_ms(measured.oc.min)});
+      std::cout << table.render();
+      std::cout << "violations of P(" << req.bound_ms
+                << "): " << measured.violations(static_cast<double>(req.bound_ms)) << "/"
+                << sim_scenarios << "\n";
+      std::cout << "measured max within verified bound? "
+                << (measured.mc.max <= static_cast<double>(result.bounds.lemma2_total) ? "yes"
+                                                                                       : "NO")
+                << "\n";
+    }
+
+    const bool ok = result.constraints.all_hold() && result.psm_meets_relaxed;
+    return ok ? 0 : 1;
+  } catch (const psv::Error& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}
