@@ -195,8 +195,8 @@ TEST_P(TransformSweep, VerifiedDelaysWithinAnalytic) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllMechanisms, TransformSweep, ::testing::ValuesIn(all_valid_cases()),
-                         [](const ::testing::TestParamInfo<SweepCase>& info) {
-                           std::string name = info.param.label();
+                         [](const ::testing::TestParamInfo<SweepCase>& param_info) {
+                           std::string name = param_info.param.label();
                            for (char& c : name)
                              if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
                            return name;
