@@ -62,5 +62,32 @@ TEST(ModelFiles, SchemeValidAgainstModel) {
   EXPECT_TRUE(core::validate_scheme(scheme, info.inputs, info.outputs).ok());
 }
 
+// quickstart.psv + fast.pss must stay in sync with examples/quickstart.cpp:
+// same PIM bound and the same Lemma-1 platform delays.
+TEST(ModelFiles, QuickstartModelParsesAndVerifies) {
+  const std::string dir = find_model_dir();
+  if (dir.empty()) GTEST_SKIP() << "example model files not found from test cwd";
+  const ta::Network pim = lang::parse_model(read_file(dir + "quickstart.psv"));
+  const core::PimInfo info = core::analyze_pim(pim);
+  EXPECT_EQ(info.inputs, (std::vector<std::string>{"Req"}));
+  EXPECT_EQ(info.outputs, (std::vector<std::string>{"Ack"}));
+
+  core::TimingRequirement req{"QREQ", "Req", "Ack", 80};
+  const core::PimVerification v = core::verify_pim_requirement(pim, info, req, 10'000);
+  EXPECT_TRUE(v.holds);
+  EXPECT_EQ(v.max_delay, 80);
+}
+
+TEST(ModelFiles, FastSchemeMatchesQuickstartBounds) {
+  const std::string dir = find_model_dir();
+  if (dir.empty()) GTEST_SKIP() << "example model files not found from test cwd";
+  const ta::Network pim = lang::parse_model(read_file(dir + "quickstart.psv"));
+  const core::PimInfo info = core::analyze_pim(pim);
+  const core::ImplementationScheme scheme = lang::parse_scheme(read_file(dir + "fast.pss"));
+  EXPECT_TRUE(core::validate_scheme(scheme, info.inputs, info.outputs).ok());
+  EXPECT_EQ(core::analytic_input_delay_bound(scheme, "Req"), 14);
+  EXPECT_EQ(core::analytic_output_delay_bound(scheme, "Ack"), 3);
+}
+
 }  // namespace
 }  // namespace psv
