@@ -82,19 +82,27 @@ void BM_PsmTransform(benchmark::State& state) {
 }
 BENCHMARK(BM_PsmTransform)->Unit(benchmark::kMicrosecond);
 
+// Arg(0) = jobs knob: 0 -> auto (all hardware threads), 1 -> sequential.
 void BM_PsmFullExploration(benchmark::State& state) {
   gpca::PumpModelOptions opt;
   opt.include_empty_syringe = false;
   ta::Network pim = gpca::build_pump_pim(opt);
   core::PimInfo info = gpca::pump_pim_info(pim);
   core::PsmArtifacts psm = core::transform(pim, info, gpca::board_scheme(opt));
+  mc::ExploreOptions opts;
+  opts.jobs = static_cast<unsigned>(state.range(0));
   for (benchmark::State::StateIterator::value_type _ : state) {
     (void)_;
-    mc::Reachability engine(psm.psm, mc::when(ta::var_eq(psm.input("BolusReq").missed, 1)));
+    mc::Reachability engine(psm.psm, mc::when(ta::var_eq(psm.input("BolusReq").missed, 1)), opts);
     benchmark::DoNotOptimize(engine.run().reachable);
   }
 }
-BENCHMARK(BM_PsmFullExploration)->Unit(benchmark::kMillisecond)->Iterations(3);
+BENCHMARK(BM_PsmFullExploration)
+    ->Arg(1)
+    ->Arg(0)
+    ->ArgNames({"jobs"})
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(3);
 
 }  // namespace
 

@@ -1,0 +1,118 @@
+// Parallel-exploration scaling benchmark.
+//
+//   bench_parallel_scaling [--jobs N]... [--reps R] [--out FILE]
+//
+// Runs the heaviest single exploration in the repo — the full
+// (subsumption-reduced) state-space sweep of the pump PSM — at each
+// requested thread count (default: 1 and all hardware threads), reports the
+// best-of-R wall time per setting, and emits a JSON document with per-job
+// timings and the speedup relative to the first entry. CI runs this on
+// every PR and uploads the JSON as an artifact so the speedup trajectory is
+// visible over time. The run also asserts the engine's determinism
+// contract: states_stored must be identical at every thread count.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/transform.h"
+#include "gpca/pump_model.h"
+#include "mc/reach.h"
+
+namespace {
+
+struct JobResult {
+  unsigned jobs = 0;
+  double best_ms = 0.0;
+  std::size_t states_stored = 0;
+  std::size_t transitions_fired = 0;
+};
+
+int usage() {
+  std::cerr << "usage: bench_parallel_scaling [--jobs N]... [--reps R] [--out FILE]\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<unsigned> job_counts;
+  int reps = 3;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      job_counts.push_back(static_cast<unsigned>(std::stoul(argv[++i])));
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::stoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (job_counts.empty()) {
+    job_counts = {1, std::max(1u, std::thread::hardware_concurrency())};
+  }
+  if (reps < 1) return usage();
+
+  using psv::core::PsmArtifacts;
+  psv::gpca::PumpModelOptions opt;
+  opt.include_empty_syringe = false;
+  const psv::ta::Network pim = psv::gpca::build_pump_pim(opt);
+  const psv::core::PimInfo info = psv::gpca::pump_pim_info(pim);
+  const PsmArtifacts psm = psv::core::transform(pim, info, psv::gpca::board_scheme(opt));
+
+  std::vector<JobResult> results;
+  for (const unsigned jobs : job_counts) {
+    JobResult r;
+    r.jobs = jobs;
+    for (int rep = 0; rep < reps; ++rep) {
+      psv::mc::ExploreOptions opts;
+      opts.jobs = jobs;
+      psv::mc::Reachability engine(psm.psm, psv::mc::StateFormula{}, opts);
+      const auto start = std::chrono::steady_clock::now();
+      const psv::mc::ExploreStats stats = engine.explore_all(nullptr);
+      const auto stop = std::chrono::steady_clock::now();
+      const double ms = std::chrono::duration<double, std::milli>(stop - start).count();
+      if (rep == 0 || ms < r.best_ms) r.best_ms = ms;
+      r.states_stored = stats.states_stored;
+      r.transitions_fired = stats.transitions_fired;
+    }
+    std::cerr << "jobs=" << r.jobs << " best=" << r.best_ms << "ms states=" << r.states_stored
+              << "\n";
+    results.push_back(r);
+  }
+
+  // Determinism contract: identical stored-state counts at every setting.
+  bool deterministic = true;
+  for (const JobResult& r : results)
+    deterministic = deterministic && r.states_stored == results.front().states_stored &&
+                    r.transitions_fired == results.front().transitions_fired;
+
+  std::ostringstream json;
+  json << "{\n  \"model\": \"pump-psm-full-exploration\",\n  \"reps\": " << reps
+       << ",\n  \"hardware_threads\": " << std::thread::hardware_concurrency()
+       << ",\n  \"deterministic\": " << (deterministic ? "true" : "false")
+       << ",\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const JobResult& r = results[i];
+    json << "    {\"jobs\": " << r.jobs << ", \"best_ms\": " << r.best_ms
+         << ", \"states_stored\": " << r.states_stored
+         << ", \"speedup\": " << (results.front().best_ms / (r.best_ms > 0 ? r.best_ms : 1.0))
+         << "}" << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  if (out_path.empty()) {
+    std::cout << json.str();
+  } else {
+    std::ofstream out(out_path);
+    out << json.str();
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return deterministic ? 0 : 1;
+}

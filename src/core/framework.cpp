@@ -33,7 +33,7 @@ FrameworkResult run_framework(const ta::Network& pim, const PimInfo& info,
   result.requirement = req;
 
   // [1] PIM |= P(delta_mc) and the PIM's exact internal bound.
-  result.pim = verify_pim_requirement(pim, info, req, options.search_limit);
+  result.pim = verify_pim_requirement(pim, info, req, options.search_limit, options.explore);
 
   // [2] analytic schedulability pre-check, then PIM -> PSM.
   result.schedulability = check_schedulability(pim, info, scheme);

@@ -119,13 +119,14 @@ RequirementProbe instrument_mc_delay(ta::Network& net, const std::string& enviro
 
 PimVerification verify_pim_requirement(const ta::Network& pim, const PimInfo& info,
                                        const TimingRequirement& req,
-                                       std::int64_t search_limit) {
+                                       std::int64_t search_limit, mc::ExploreOptions explore) {
   ta::Network instrumented = pim;
   const std::string env_name = pim.automaton(info.environment).name();
   const RequirementProbe probe = instrument_mc_delay(instrumented, env_name, req);
 
   mc::StateFormula pending = mc::when(ta::var_eq(probe.pending, 1));
-  mc::MaxClockResult r = mc::max_clock_value(instrumented, pending, probe.clock, search_limit);
+  mc::MaxClockResult r =
+      mc::max_clock_value(instrumented, pending, probe.clock, search_limit, explore);
 
   PimVerification result;
   result.bounded = r.bounded;

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "mc/explore_options.h"
 #include "ta/model.h"
 
 namespace psv::core {
@@ -87,6 +88,7 @@ struct PimVerification {
 };
 PimVerification verify_pim_requirement(const ta::Network& pim, const PimInfo& info,
                                        const TimingRequirement& req,
-                                       std::int64_t search_limit = 1'000'000);
+                                       std::int64_t search_limit = 1'000'000,
+                                       mc::ExploreOptions explore = {});
 
 }  // namespace psv::core

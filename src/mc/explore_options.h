@@ -1,0 +1,34 @@
+// Exploration knobs, split out of reach.h so option-struct consumers (e.g.
+// the core-layer facades with ExploreOptions default arguments) don't pull
+// in the full engine and its threading headers.
+#pragma once
+
+#include <cstddef>
+
+namespace psv::mc {
+
+/// Exploration limits and knobs.
+struct ExploreOptions {
+  /// Hard cap on stored symbolic states; exceeded -> psv::Error. Parallel
+  /// waves check the cap at the wave barrier (where it is deterministic),
+  /// with a hard backstop at twice this value bounding transient memory.
+  std::size_t max_states = 2'000'000;
+
+  /// Worker threads for wave-parallel exploration. 0 picks one per hardware
+  /// thread; 1 runs fully inline (no threads spawned) — the setting for
+  /// step-debugging diagnostics. Exploration is deterministic by
+  /// construction, so results are identical for every value; only wall
+  /// clock changes.
+  unsigned jobs = 0;
+};
+
+/// Exploration statistics for reporting and benchmarks. Deterministic:
+/// identical across `jobs` settings for the same network and query.
+struct ExploreStats {
+  std::size_t states_stored = 0;
+  std::size_t states_explored = 0;
+  std::size_t transitions_fired = 0;
+  std::size_t subsumed = 0;
+};
+
+}  // namespace psv::mc

@@ -1,11 +1,21 @@
 #include "mc/reach.h"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
+#include <thread>
 
 #include "util/error.h"
 
 namespace psv::mc {
+
+namespace {
+
+/// Frontier width from which spawning the worker pool pays for itself;
+/// narrow explorations (unit-test sized models) stay threadless.
+constexpr std::size_t kPoolSpawnWidth = 16;
+
+}  // namespace
 
 std::string Trace::to_string() const {
   std::ostringstream os;
@@ -17,154 +27,295 @@ std::string Trace::to_string() const {
 }
 
 Reachability::Reachability(const ta::Network& net, const StateFormula& goal, ExploreOptions opts)
-    : net_(net), goal_(goal), opts_(opts), gen_(net, formula_clock_constants(net, goal)) {}
+    : net_(net),
+      goal_(goal),
+      opts_(opts),
+      gen_(net, formula_clock_constants(net, goal)),
+      shards_(kNumShards) {
+  jobs_ = opts_.jobs != 0 ? opts_.jobs : std::max(1u, std::thread::hardware_concurrency());
+  jobs_ = std::min(jobs_, 256u);
+  hard_state_limit_ = opts_.max_states > std::numeric_limits<std::size_t>::max() / 2
+                          ? std::numeric_limits<std::size_t>::max()
+                          : 2 * opts_.max_states;
+}
 
-std::optional<std::size_t> Reachability::add_state(SymState state, std::int64_t parent,
-                                                   std::string label) {
-  const std::size_t key = state.discrete_hash();
-  auto& bucket = passed_[key];
-  for (std::size_t idx : bucket) {
-    const Stored& existing = arena_[idx];
+Reachability::~Reachability() = default;
+
+std::optional<std::uint64_t> Reachability::insert(SymState&& state, std::size_t hash,
+                                                  std::uint64_t parent, std::string&& label,
+                                                  bool enforce_cap) {
+  const std::size_t shard_index = shard_of(hash, kNumShards);
+  Shard& shard = shards_[shard_index];
+  auto& bucket = shard.passed[hash];
+  for (std::uint32_t idx : bucket) {
+    const Stored& existing = shard.arena[idx];
     if (existing.state.same_discrete(state) && existing.state.zone.includes(state.zone)) {
-      ++stats_.subsumed;
+      ++shard.subsumed;
       return std::nullopt;
     }
   }
   // Drop stored zones strictly included in the new one from the inclusion
   // list (their arena entries stay alive for parent chains).
   bucket.erase(std::remove_if(bucket.begin(), bucket.end(),
-                              [&](std::size_t idx) {
-                                const Stored& existing = arena_[idx];
+                              [&](std::uint32_t idx) {
+                                const Stored& existing = shard.arena[idx];
                                 return existing.state.same_discrete(state) &&
                                        state.zone.includes(existing.state.zone);
                               }),
                bucket.end());
 
-  PSV_REQUIRE(arena_.size() < opts_.max_states,
+  // Sequential paths enforce the cap per insert (exact legacy behavior);
+  // parallel waves skip it here — a check-then-act on the shared counter
+  // would race — and the wave barrier in insert_wave() applies the same
+  // predicate ("the accepted state count exceeded the cap") afterwards,
+  // where it is deterministic for every thread count. A hard backstop at
+  // twice the cap bounds transient memory on extreme-fan-out waves; it can
+  // only fire in runs where the barrier check throws anyway, so the
+  // throw/no-throw outcome stays deterministic.
+  const std::size_t stored_now = total_stored_.load(std::memory_order_relaxed);
+  PSV_REQUIRE((enforce_cap ? stored_now < opts_.max_states : stored_now < hard_state_limit_),
               "state-space exploration exceeded the configured limit of " +
                   std::to_string(opts_.max_states) + " states");
-  const std::size_t index = arena_.size();
-  arena_.push_back(Stored{std::move(state), parent, std::move(label)});
-  bucket.push_back(index);
-  waiting_.push_back(index);
-  ++stats_.states_stored;
-  return index;
+  const std::size_t local = shard.arena.size();
+  shard.arena.push_back(Stored{std::move(state), parent, std::move(label)});
+  bucket.push_back(static_cast<std::uint32_t>(local));
+  total_stored_.fetch_add(1, std::memory_order_relaxed);
+  return pack_id(shard_index, local);
 }
 
-Trace Reachability::build_trace(std::size_t index) const {
-  std::vector<std::size_t> chain;
-  std::int64_t cursor = static_cast<std::int64_t>(index);
-  while (cursor >= 0) {
-    chain.push_back(static_cast<std::size_t>(cursor));
-    cursor = arena_[static_cast<std::size_t>(cursor)].parent;
+std::uint64_t Reachability::seed_initial() {
+  SymState init = gen_.initial();
+  const std::size_t hash = init.discrete_hash();
+  const auto id = insert(std::move(init), hash, kNoParent, std::string());
+  PSV_ASSERT(id.has_value(), "initial state must be stored");
+  frontier_.assign(1, *id);
+  return *id;
+}
+
+void Reachability::run_parallel(std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (pool_ && n > 1) {
+    pool_->parallel_for(n, body);
+    return;
   }
+  for (std::size_t i = 0; i < n; ++i) body(i);
+}
+
+void Reachability::generate_wave(bool compute_goal, bool compute_blocked) {
+  const std::size_t n = frontier_.size();
+  if (jobs_ > 1 && !pool_ && n >= kPoolSpawnWidth) {
+    pool_ = std::make_unique<WorkerPool>(jobs_ - 1);
+  }
+  if (wave_succs_.size() < n) wave_succs_.resize(n);
+  wave_blocked_.assign(n, 0);
+  run_parallel(n, [&](std::size_t i) {
+    const SymState& current = stored(frontier_[i]).state;
+    std::vector<SymSuccessor> raw = gen_.successors(current);
+    std::vector<GenSucc>& out = wave_succs_[i];
+    out.clear();
+    out.reserve(raw.size());
+    for (SymSuccessor& succ : raw) {
+      GenSucc gs;
+      gs.hash = succ.state.discrete_hash();
+      gs.is_goal = compute_goal && satisfies(net_, succ.state, goal_);
+      gs.state = std::move(succ.state);
+      gs.label = std::move(succ.label);
+      out.push_back(std::move(gs));
+    }
+    if (out.empty() && compute_blocked) {
+      // Stored zones are delay-closed, so "no action successor" means no
+      // action can ever be taken from any valuation in this state. The
+      // state is a timelock when urgency/committedness or an invariant
+      // also prevents time divergence.
+      bool time_blocked = gen_.time_frozen(current.locs);
+      if (!time_blocked) {
+        for (int c = 1; c <= current.zone.num_clocks(); ++c)
+          time_blocked = time_blocked || !dbm::is_inf(current.zone.upper(c));
+      }
+      wave_blocked_[i] = time_blocked ? 1 : 0;
+    }
+  });
+}
+
+void Reachability::insert_wave() {
+  stats_.states_explored += frontier_.size();
+  for (Shard& shard : shards_) {
+    shard.pending.clear();
+    shard.accepted.clear();
+  }
+  // Route every successor to its owning shard, in rank order. Rank order
+  // per shard plus the fixed shard assignment makes each bucket see the
+  // exact insertion sequence of a sequential FIFO exploration.
+  for (std::size_t i = 0; i < frontier_.size(); ++i) {
+    for (std::size_t j = 0; j < wave_succs_[i].size(); ++j) {
+      ++stats_.transitions_fired;
+      const std::uint64_t rank = (static_cast<std::uint64_t>(i) << 32) | j;
+      shards_[shard_of(wave_succs_[i][j].hash, kNumShards)].pending.push_back(rank);
+    }
+  }
+  run_parallel(kNumShards, [&](std::size_t s) {
+    Shard& shard = shards_[s];
+    for (const std::uint64_t rank : shard.pending) {
+      const std::size_t i = static_cast<std::size_t>(rank >> 32);
+      const std::size_t j = static_cast<std::size_t>(rank & 0xffffffffu);
+      GenSucc& gs = wave_succs_[i][j];
+      const auto id = insert(std::move(gs.state), gs.hash, frontier_[i], std::move(gs.label),
+                             /*enforce_cap=*/false);
+      if (id.has_value()) shard.accepted.emplace_back(rank, *id);
+    }
+  });
+  // Deterministic cap enforcement: a sequential exploration throws iff its
+  // accepted-state sequence would exceed max_states, and that sequence is
+  // identical here, so checking the total at the barrier reproduces the
+  // throw/no-throw decision exactly (memory overshoot is bounded by one
+  // wave's accepted states).
+  PSV_REQUIRE(total_stored_.load(std::memory_order_relaxed) <= opts_.max_states,
+              "state-space exploration exceeded the configured limit of " +
+                  std::to_string(opts_.max_states) + " states");
+  // Assemble the next frontier rank-sorted: identical order to the
+  // sequential engine's FIFO waiting queue.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> merged;
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.accepted.size();
+  merged.reserve(total);
+  for (const Shard& shard : shards_)
+    merged.insert(merged.end(), shard.accepted.begin(), shard.accepted.end());
+  std::sort(merged.begin(), merged.end());
+  next_frontier_.clear();
+  next_frontier_.reserve(merged.size());
+  for (const auto& [rank, id] : merged) next_frontier_.push_back(id);
+  frontier_.swap(next_frontier_);
+}
+
+ExploreStats Reachability::snapshot_stats() const {
+  ExploreStats stats = stats_;
+  stats.states_stored = total_stored_.load(std::memory_order_relaxed);
+  stats.subsumed = 0;
+  for (const Shard& shard : shards_) stats.subsumed += shard.subsumed;
+  return stats;
+}
+
+Trace Reachability::build_trace(std::uint64_t id) const {
+  std::vector<std::uint64_t> chain;
+  for (std::uint64_t cursor = id; cursor != kNoParent; cursor = stored(cursor).parent)
+    chain.push_back(cursor);
   std::reverse(chain.begin(), chain.end());
   Trace trace;
-  for (std::size_t idx : chain) {
-    trace.steps.push_back(
-        TraceStep{arena_[idx].label, arena_[idx].state.to_string(net_)});
+  for (std::uint64_t link : chain) {
+    const Stored& entry = stored(link);
+    trace.steps.push_back(TraceStep{entry.label, entry.state.to_string(net_)});
   }
   return trace;
 }
 
 ReachResult Reachability::run() {
   ReachResult result;
-  const auto initial_index = add_state(gen_.initial(), -1, "");
-  PSV_ASSERT(initial_index.has_value(), "initial state must be stored");
-  if (satisfies(net_, arena_[*initial_index].state, goal_)) {
+  const std::uint64_t initial = seed_initial();
+  if (satisfies(net_, stored(initial).state, goal_)) {
     result.reachable = true;
-    result.trace = build_trace(*initial_index);
-    result.stats = stats_;
+    result.trace = build_trace(initial);
+    result.stats = snapshot_stats();
     return result;
   }
-  while (!waiting_.empty()) {
-    const std::size_t index = waiting_.front();
-    waiting_.pop_front();
-    ++stats_.states_explored;
-    // The state may have been subsumed after being queued; explore anyway —
-    // correctness is unaffected and re-checking costs more than exploring.
-    // Copy out locations/vars/zone: arena_ may reallocate during add_state.
-    const SymState current = arena_[index].state;
-    for (SymSuccessor& succ : gen_.successors(current)) {
-      ++stats_.transitions_fired;
-      const bool is_goal = satisfies(net_, succ.state, goal_);
-      const auto added = add_state(std::move(succ.state), static_cast<std::int64_t>(index),
-                                   std::move(succ.label));
-      if (is_goal && added.has_value()) {
-        result.reachable = true;
-        result.trace = build_trace(*added);
-        result.stats = stats_;
-        return result;
+  while (!frontier_.empty()) {
+    generate_wave(/*compute_goal=*/true, /*compute_blocked=*/false);
+    bool any_goal = false;
+    for (std::size_t i = 0; i < frontier_.size() && !any_goal; ++i) {
+      for (const GenSucc& gs : wave_succs_[i]) {
+        if (gs.is_goal) {
+          any_goal = true;
+          break;
+        }
       }
     }
+    if (!any_goal) {
+      insert_wave();
+      continue;
+    }
+    // Terminal wave: a goal candidate exists, so fall back to strictly
+    // sequential rank-order insertion, reproducing the single-threaded
+    // engine's early exit (stop at the first *accepted* goal state; a
+    // subsumed candidate keeps the search going) and its statistics.
+    next_frontier_.clear();
+    for (std::size_t i = 0; i < frontier_.size(); ++i) {
+      ++stats_.states_explored;
+      for (GenSucc& gs : wave_succs_[i]) {
+        ++stats_.transitions_fired;
+        const bool is_goal = gs.is_goal;
+        const auto id = insert(std::move(gs.state), gs.hash, frontier_[i], std::move(gs.label));
+        if (!id.has_value()) continue;
+        if (is_goal) {
+          result.reachable = true;
+          result.trace = build_trace(*id);
+          result.stats = snapshot_stats();
+          return result;
+        }
+        next_frontier_.push_back(*id);
+      }
+    }
+    frontier_.swap(next_frontier_);
   }
   result.reachable = false;
-  result.stats = stats_;
+  result.stats = snapshot_stats();
   return result;
 }
 
 ExploreStats Reachability::explore_all(const std::function<void(const SymState&)>& visit) {
-  const auto initial_index = add_state(gen_.initial(), -1, "");
-  PSV_ASSERT(initial_index.has_value(), "initial state must be stored");
-  while (!waiting_.empty()) {
-    const std::size_t index = waiting_.front();
-    waiting_.pop_front();
-    ++stats_.states_explored;
-    const SymState current = arena_[index].state;
-    if (visit) visit(current);
-    for (SymSuccessor& succ : gen_.successors(current)) {
-      ++stats_.transitions_fired;
-      add_state(std::move(succ.state), static_cast<std::int64_t>(index), std::move(succ.label));
+  seed_initial();
+  while (!frontier_.empty()) {
+    generate_wave(/*compute_goal=*/false, /*compute_blocked=*/false);
+    if (visit) {
+      for (const std::uint64_t id : frontier_) visit(stored(id).state);
     }
+    insert_wave();
   }
-  return stats_;
+  return snapshot_stats();
 }
 
 DeadlockResult Reachability::find_deadlock(const std::function<void(const SymState&)>& visit) {
   DeadlockResult result;
-  std::optional<std::size_t> first_quiescent;
-  const auto initial_index = add_state(gen_.initial(), -1, "");
-  PSV_ASSERT(initial_index.has_value(), "initial state must be stored");
-  while (!waiting_.empty()) {
-    const std::size_t index = waiting_.front();
-    waiting_.pop_front();
-    ++stats_.states_explored;
-    const SymState current = arena_[index].state;
-    if (visit) visit(current);
-    auto succs = gen_.successors(current);
-    if (succs.empty()) {
-      // Stored zones are delay-closed, so "no action successor" means no
-      // action can ever be taken from any valuation in this state.
-      // Timelock when an invariant (or urgency) also prevents time
-      // divergence — that is a modeling/scheme violation and aborts the
-      // search. Plain quiescence (time diverges) is recorded but the
-      // search continues: a quiescent corner must not mask a timelock.
-      bool time_blocked = gen_.time_frozen(current.locs);
-      if (!time_blocked) {
-        for (int c = 1; c <= current.zone.num_clocks(); ++c)
-          time_blocked = time_blocked || !dbm::is_inf(current.zone.upper(c));
+  std::optional<std::uint64_t> first_quiescent;
+  seed_initial();
+  while (!frontier_.empty()) {
+    generate_wave(/*compute_goal=*/false, /*compute_blocked=*/true);
+    // Scan the wave in rank (exploration) order: visit callbacks fire
+    // sequentially, quiescence is recorded at the first occurrence, and a
+    // timelock stops the scan exactly where the sequential engine stopped.
+    std::optional<std::size_t> timelock_rank;
+    for (std::size_t i = 0; i < frontier_.size(); ++i) {
+      if (visit) visit(stored(frontier_[i]).state);
+      if (!wave_succs_[i].empty()) continue;
+      if (wave_blocked_[i]) {
+        timelock_rank = i;
+        break;
       }
-      if (time_blocked) {
-        result.found = true;
-        result.timelock = true;
-        result.trace = build_trace(index);
-        result.stats = stats_;
-        return result;
+      // Plain quiescence (time diverges) is recorded but the search
+      // continues: a benign quiescent corner must not mask a timelock.
+      if (!first_quiescent) first_quiescent = frontier_[i];
+    }
+    if (timelock_rank.has_value()) {
+      // States past the timelock were never explored by the sequential
+      // engine; commit only the earlier ranks' successors and stats.
+      for (std::size_t i = 0; i <= *timelock_rank; ++i) {
+        ++stats_.states_explored;
+        for (GenSucc& gs : wave_succs_[i]) {
+          ++stats_.transitions_fired;
+          insert(std::move(gs.state), gs.hash, frontier_[i], std::move(gs.label));
+        }
       }
-      if (!first_quiescent) first_quiescent = index;
-      continue;
+      result.found = true;
+      result.timelock = true;
+      result.trace = build_trace(frontier_[*timelock_rank]);
+      result.stats = snapshot_stats();
+      return result;
     }
-    for (SymSuccessor& succ : succs) {
-      ++stats_.transitions_fired;
-      add_state(std::move(succ.state), static_cast<std::int64_t>(index), std::move(succ.label));
-    }
+    insert_wave();
   }
-  if (first_quiescent) {
+  if (first_quiescent.has_value()) {
     result.found = true;
     result.timelock = false;
     result.trace = build_trace(*first_quiescent);
   }
-  result.stats = stats_;
+  result.stats = snapshot_stats();
   return result;
 }
 

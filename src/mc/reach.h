@@ -1,32 +1,40 @@
 // Symbolic reachability with inclusion subsumption and diagnostic traces.
+//
+// The engine explores the zone graph in breadth-first waves over a sharded
+// passed/waiting store, hash-partitioned by the discrete part of the state
+// (location vector + variable valuation):
+//
+//   * successor generation for the whole frontier fans out over a
+//     work-stealing worker pool (zone algebra dominates the cost);
+//   * inclusion-subsumption checks and insertions are shard-local — each
+//     shard is owned by exactly one worker per insertion phase, so the hot
+//     path needs no lock at all, not even a per-shard mutex;
+//   * every successor carries a deterministic rank (frontier index,
+//     successor index); shards insert in rank order and the next frontier
+//     is assembled rank-sorted, so stores, statistics, traces, and verified
+//     bounds are BIT-IDENTICAL for every thread count — `jobs` only changes
+//     wall-clock time, never a result.
+//
+// Trace reconstruction follows parent-pointer records (packed shard+index
+// ids) back to the initial state, exactly as in the sequential engine.
 #pragma once
 
+#include <atomic>
+#include <bit>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "mc/explore_options.h"
 #include "mc/state.h"
 #include "mc/succ.h"
+#include "mc/worker_pool.h"
 
 namespace psv::mc {
-
-/// Exploration limits and knobs.
-struct ExploreOptions {
-  /// Hard cap on stored symbolic states; exceeded -> psv::Error.
-  std::size_t max_states = 2'000'000;
-};
-
-/// Exploration statistics for reporting and benchmarks.
-struct ExploreStats {
-  std::size_t states_stored = 0;
-  std::size_t states_explored = 0;
-  std::size_t transitions_fired = 0;
-  std::size_t subsumed = 0;
-};
 
 /// One step of a diagnostic trace.
 struct TraceStep {
@@ -68,41 +76,118 @@ struct DeadlockResult {
 class Reachability {
  public:
   Reachability(const ta::Network& net, const StateFormula& goal, ExploreOptions opts = {});
+  ~Reachability();
+
+  Reachability(const Reachability&) = delete;
+  Reachability& operator=(const Reachability&) = delete;
 
   /// Run until the goal is found or the state space is exhausted.
   ReachResult run();
 
   /// Explore the full (subsumption-reduced) state space, invoking `visit`
   /// on every stored state; used by deadlock search and state-space dumps.
+  /// `visit` is always called sequentially from the calling thread, in
+  /// deterministic exploration order — callbacks need no synchronization.
   ExploreStats explore_all(const std::function<void(const SymState&)>& visit);
 
   /// Deadlock search: find a state with no action successor. The optional
   /// `visit` callback sees every explored state (letting callers piggyback
-  /// flag-reachability analyses on the same exploration).
+  /// flag-reachability analyses on the same exploration); like explore_all,
+  /// it is invoked sequentially in exploration order.
   DeadlockResult find_deadlock(const std::function<void(const SymState&)>& visit = nullptr);
 
  private:
+  /// Shard count of the passed/waiting store. Fixed (independent of `jobs`)
+  /// so the shard assignment — and with it every bucket's insertion
+  /// sequence — never depends on the thread count. Power of two.
+  static constexpr std::size_t kNumShards = 64;
+  static constexpr std::size_t kShardBits = std::bit_width(kNumShards - 1);
+  static_assert((kNumShards & (kNumShards - 1)) == 0, "shard count must be a power of two");
+  static constexpr std::uint64_t kNoParent = ~std::uint64_t{0};
+
   struct Stored {
     SymState state;
-    std::int64_t parent;  ///< arena index, -1 for initial
-    std::string label;    ///< edge label leading here
+    std::uint64_t parent;  ///< packed id, kNoParent for initial
+    std::string label;     ///< edge label leading here
   };
 
-  /// Returns arena index if the state was added, std::nullopt if subsumed.
-  std::optional<std::size_t> add_state(SymState state, std::int64_t parent, std::string label);
+  /// One hash partition of the passed/waiting store. During a parallel
+  /// insertion phase each shard is touched by exactly one worker
+  /// ("owner-computes"), so no per-shard lock is needed.
+  struct Shard {
+    std::vector<Stored> arena;
+    /// discrete-hash -> arena indices with live (non-subsumed) zones.
+    std::unordered_map<std::size_t, std::vector<std::uint32_t>> passed;
+    std::size_t subsumed = 0;
+    /// (rank, id) pairs accepted in the current wave, rank-ascending.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> accepted;
+    /// Ranks ((frontier index << 32) | successor index) routed to this
+    /// shard in the current wave, rank-ascending.
+    std::vector<std::uint64_t> pending;
+  };
 
-  Trace build_trace(std::size_t index) const;
+  /// One generated successor, with everything the insertion phase needs
+  /// precomputed (hash, goal flag) so insertion stays pure bookkeeping.
+  struct GenSucc {
+    SymState state;
+    std::string label;
+    std::size_t hash = 0;
+    bool is_goal = false;
+  };
+
+  static std::uint64_t pack_id(std::size_t shard, std::size_t index) {
+    return (static_cast<std::uint64_t>(index) << kShardBits) | static_cast<std::uint64_t>(shard);
+  }
+  const Stored& stored(std::uint64_t id) const {
+    return shards_[id & (kNumShards - 1)].arena[id >> kShardBits];
+  }
+
+  /// Insert into the owning shard: subsumption check, live-list update,
+  /// arena append. Returns the packed id if stored, nullopt if subsumed.
+  /// Thread-safe only under the owner-computes discipline (one thread per
+  /// shard at a time). `enforce_cap` applies the max_states limit per
+  /// insert (exact legacy semantics — used by the strictly sequential
+  /// paths); parallel waves pass false and enforce the cap at the wave
+  /// barrier instead, where the check is deterministic.
+  std::optional<std::uint64_t> insert(SymState&& state, std::size_t hash, std::uint64_t parent,
+                                      std::string&& label, bool enforce_cap = true);
+
+  /// Store the initial state and seed the frontier.
+  std::uint64_t seed_initial();
+
+  /// Generate successors for the whole frontier in parallel into
+  /// wave_succs_ / wave_blocked_. `compute_goal` also evaluates the goal
+  /// formula per successor; `compute_blocked` evaluates timelock-ness of
+  /// successor-free states.
+  void generate_wave(bool compute_goal, bool compute_blocked);
+
+  /// Insert the whole wave shard-parallel in rank order and assemble the
+  /// next frontier (rank-sorted). Accounts states_explored /
+  /// transitions_fired for the full wave.
+  void insert_wave();
+
+  /// Run body(i) for i in [0, n) on the pool (created lazily) or inline.
+  void run_parallel(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  ExploreStats snapshot_stats() const;
+
+  Trace build_trace(std::uint64_t id) const;
 
   const ta::Network& net_;
   StateFormula goal_;
   ExploreOptions opts_;
   SuccGen gen_;
+  unsigned jobs_ = 1;  ///< resolved thread count (opts_.jobs, 0 -> hw)
+  std::size_t hard_state_limit_ = 0;  ///< 2x max_states memory backstop
 
-  std::vector<Stored> arena_;
-  std::deque<std::size_t> waiting_;
-  /// discrete-hash -> arena indices with live (non-subsumed) zones.
-  std::unordered_map<std::size_t, std::vector<std::size_t>> passed_;
-  ExploreStats stats_;
+  std::vector<Shard> shards_;
+  std::atomic<std::size_t> total_stored_{0};
+  std::vector<std::uint64_t> frontier_;       ///< packed ids, rank order
+  std::vector<std::uint64_t> next_frontier_;  ///< assembled by insert_wave
+  std::vector<std::vector<GenSucc>> wave_succs_;  ///< per frontier state
+  std::vector<unsigned char> wave_blocked_;       ///< per frontier state
+  ExploreStats stats_;  ///< explored/fired only; snapshot_stats adds the rest
+  std::unique_ptr<WorkerPool> pool_;  ///< created on the first big wave
 };
 
 /// Convenience single-call reachability: is some state satisfying `goal`

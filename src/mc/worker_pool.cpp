@@ -1,0 +1,90 @@
+#include "mc/worker_pool.h"
+
+#include <algorithm>
+
+namespace psv::mc {
+
+WorkerPool::WorkerPool(unsigned extra_threads) {
+  threads_.reserve(extra_threads);
+  for (unsigned t = 0; t < extra_threads; ++t)
+    threads_.emplace_back([this] { worker_loop(); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  start_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::worker_loop() {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      start_cv_.wait(lock, [&] { return stop_ || generation_ != seen_generation; });
+      if (stop_) return;
+      seen_generation = generation_;
+    }
+    drain();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::drain() {
+  for (;;) {
+    const std::size_t begin = cursor_.fetch_add(chunk_, std::memory_order_relaxed);
+    if (begin >= n_) return;
+    const std::size_t end = std::min(n_, begin + chunk_);
+    for (std::size_t i = begin; i < end; ++i) {
+      try {
+        (*body_)(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_ || i < error_index_) {
+          error_ = std::current_exception();
+          error_index_ = i;
+        }
+      }
+    }
+  }
+}
+
+void WorkerPool::parallel_for(std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    // Degenerate batch: plain loop, still with min-index exception surfacing
+    // (the first throw wins because indices run in order).
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    body_ = &body;
+    n_ = n;
+    // ~8 chunks per worker balances stealing overhead against tail latency.
+    chunk_ = std::max<std::size_t>(1, n / (static_cast<std::size_t>(width()) * 8));
+    cursor_.store(0, std::memory_order_relaxed);
+    error_ = nullptr;
+    error_index_ = 0;
+    active_ = static_cast<unsigned>(threads_.size());
+    ++generation_;
+  }
+  start_cv_.notify_all();
+  drain();  // the caller is a worker too
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return active_ == 0; });
+    error = error_;
+    body_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+}  // namespace psv::mc

@@ -1,0 +1,31 @@
+// Shared test helpers for locating and reading the shipped example model
+// files. Suites run from the repository root (ctest sets WORKING_DIRECTORY)
+// but may also be invoked from the build tree by hand, so the directory is
+// probed at a few depths.
+#pragma once
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace psv::testing {
+
+inline std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return {};
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+/// Directory holding the shipped `.psv`/`.pss` files, or "" when not found
+/// (callers GTEST_SKIP in that case).
+inline std::string find_model_dir() {
+  for (const char* prefix : {"examples/models/", "../examples/models/",
+                             "../../examples/models/", "../../../examples/models/"}) {
+    if (!read_file(std::string(prefix) + "pump.psv").empty()) return prefix;
+  }
+  return {};
+}
+
+}  // namespace psv::testing

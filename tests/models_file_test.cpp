@@ -3,33 +3,17 @@
 // Table-I bounds of the built-in case study.
 #include <gtest/gtest.h>
 
-#include <fstream>
-#include <sstream>
-
 #include "core/analysis.h"
 #include "core/pim.h"
 #include "lang/model_parser.h"
 #include "lang/scheme_parser.h"
+#include "model_paths.h"
 
 namespace psv {
 namespace {
 
-std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in.good()) return {};
-  std::ostringstream os;
-  os << in.rdbuf();
-  return os.str();
-}
-
-// The test binary runs from the build tree; find the source-tree files.
-std::string find_model_dir() {
-  for (const char* prefix : {"examples/models/", "../examples/models/",
-                             "../../examples/models/", "../../../examples/models/"}) {
-    if (!read_file(std::string(prefix) + "pump.psv").empty()) return prefix;
-  }
-  return {};
-}
+using psv::testing::find_model_dir;
+using psv::testing::read_file;
 
 TEST(ModelFiles, PumpModelParsesAndVerifies) {
   const std::string dir = find_model_dir();

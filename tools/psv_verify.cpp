@@ -1,7 +1,7 @@
 // psv_verify — command-line front end for the framework.
 //
 //   psv_verify MODEL.psv SCHEME.pss "REQ: input -> output within BOUND"
-//              [--sim N] [--limit MS] [--print-psm] [--seed S]
+//              [--sim N] [--limit MS] [--print-psm] [--seed S] [--jobs N]
 //
 // Loads a PIM from a model file and an implementation scheme from a scheme
 // file, runs the complete verification pipeline (PIM check, PIM->PSM
@@ -37,7 +37,10 @@ int usage() {
          "  --sim N       additionally run N simulated scenarios\n"
          "  --seed S      simulation seed (default 2015)\n"
          "  --limit MS    delay-search ceiling (default 1000000)\n"
-         "  --print-psm   dump the constructed PSM before verifying\n";
+         "  --print-psm   dump the constructed PSM before verifying\n"
+         "  --jobs N      exploration worker threads (default: all hardware\n"
+         "                threads; 1 = single-threaded; results are identical\n"
+         "                for every value)\n";
   return 2;
 }
 
@@ -53,6 +56,7 @@ int main(int argc, char** argv) {
     int sim_scenarios = 0;
     std::uint64_t seed = 2015;
     std::int64_t limit = 1'000'000;
+    unsigned jobs = 0;  // 0 = one worker per hardware thread
     bool print_psm = false;
     for (int i = 4; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -62,6 +66,13 @@ int main(int argc, char** argv) {
         seed = std::stoull(argv[++i]);
       } else if (arg == "--limit" && i + 1 < argc) {
         limit = std::stoll(argv[++i]);
+      } else if (arg == "--jobs" && i + 1 < argc) {
+        const int parsed = std::stoi(argv[++i]);
+        if (parsed < 0) {
+          std::cerr << "--jobs expects a non-negative thread count\n";
+          return usage();
+        }
+        jobs = static_cast<unsigned>(parsed);
       } else if (arg == "--print-psm") {
         print_psm = true;
       } else {
@@ -85,6 +96,7 @@ int main(int argc, char** argv) {
 
     psv::core::FrameworkOptions options;
     options.search_limit = limit;
+    options.explore.jobs = jobs;
     const psv::core::FrameworkResult result =
         psv::core::run_framework(pim, info, scheme, req, options);
     std::cout << result.summary() << "\n";
