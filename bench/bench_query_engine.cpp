@@ -1,0 +1,147 @@
+// Query-engine benchmark: sweep vs probe on the pump §V bound analysis.
+//
+//   bench_query_engine [--jobs N] [--reps R] [--out FILE] [--full]
+//
+// Runs the complete delay-bound workload of the paper's §V — every
+// per-variable Input-/Output-Delay maximum plus the end-to-end M-C delay —
+// on the GPCA pump PSM through a VerificationSession, once with the
+// single-sweep engine and once with the probe (gallop + binary search)
+// cross-check engine. Reports best-of-R wall time and the total exploration
+// work per engine, asserts the bounds are bit-identical, and emits a JSON
+// document; CI uploads it so the states-explored reduction is visible per
+// PR. Exit code 1 when the engines disagree.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/transform.h"
+#include "gpca/pump_model.h"
+#include "mc/session.h"
+
+namespace {
+
+struct EngineResult {
+  std::string name;
+  double best_ms = 0.0;
+  psv::mc::SessionStats session;
+  std::vector<std::int64_t> bounds;  ///< inputs, outputs, then M-C
+};
+
+int usage() {
+  std::cerr << "usage: bench_query_engine [--jobs N] [--reps R] [--out FILE] [--full]\n";
+  return 2;
+}
+
+std::vector<std::int64_t> flatten_bounds(const psv::core::BoundAnalysis& bounds) {
+  std::vector<std::int64_t> out;
+  for (const psv::core::DelayBound& b : bounds.input_delays) out.push_back(b.verified);
+  for (const psv::core::DelayBound& b : bounds.output_delays) out.push_back(b.verified);
+  out.push_back(bounds.verified_mc_delay);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned jobs = 0;
+  int reps = 3;
+  bool full = false;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::stoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else if (arg == "--full") {
+      full = true;
+    } else {
+      return usage();
+    }
+  }
+  if (reps < 1) return usage();
+
+  psv::gpca::PumpModelOptions opt;
+  opt.include_empty_syringe = full;
+  const psv::ta::Network pim = psv::gpca::build_pump_pim(opt);
+  const psv::core::PimInfo info = psv::gpca::pump_pim_info(pim);
+  const psv::core::PsmArtifacts psm =
+      psv::core::transform(pim, info, psv::gpca::board_scheme(opt));
+  const psv::core::TimingRequirement req = psv::gpca::req1(opt);
+  // The pump PIM's exact M-C bound (pinned by mc_parallel_test); using it
+  // reproduces the pipeline's Lemma-2 hint for the end-to-end query.
+  const std::int64_t io_internal = 500;
+
+  std::vector<EngineResult> results;
+  for (const psv::mc::QueryEngine engine :
+       {psv::mc::QueryEngine::kSweep, psv::mc::QueryEngine::kProbe}) {
+    EngineResult r;
+    r.name = engine == psv::mc::QueryEngine::kSweep ? "sweep" : "probe";
+    for (int rep = 0; rep < reps; ++rep) {
+      psv::core::InstrumentedPsm instrumented =
+          psv::core::instrument_psm_for_requirement(psm, req);
+      psv::mc::ExploreOptions opts;
+      opts.jobs = jobs;
+      opts.engine = engine;
+      psv::mc::VerificationSession session(std::move(instrumented.net), opts);
+      const auto start = std::chrono::steady_clock::now();
+      const psv::core::BoundAnalysis bounds = psv::core::analyze_bounds(
+          session, psm, instrumented.mc_probe, io_internal, req, 1'000'000);
+      const auto stop = std::chrono::steady_clock::now();
+      const double ms = std::chrono::duration<double, std::milli>(stop - start).count();
+      if (rep == 0 || ms < r.best_ms) r.best_ms = ms;
+      r.session = session.stats();
+      r.bounds = flatten_bounds(bounds);
+    }
+    std::cerr << "engine=" << r.name << " best=" << r.best_ms
+              << "ms explorations=" << r.session.explorations
+              << " states_explored=" << r.session.explore.states_explored << "\n";
+    results.push_back(std::move(r));
+  }
+
+  const bool identical = results[0].bounds == results[1].bounds;
+  const EngineResult& sweep = results[0];
+  const EngineResult& probe = results[1];
+
+  std::ostringstream json;
+  json << "{\n  \"model\": \"pump-psm-sectionV-bounds" << (full ? "-full" : "")
+       << "\",\n  \"reps\": " << reps << ",\n  \"jobs\": " << jobs
+       << ",\n  \"bounds_identical\": " << (identical ? "true" : "false")
+       << ",\n  \"speedup_sweep_vs_probe\": "
+       << (sweep.best_ms > 0 ? probe.best_ms / sweep.best_ms : 0.0)
+       << ",\n  \"states_explored_reduction\": "
+       << (sweep.session.explore.states_explored > 0
+               ? static_cast<double>(probe.session.explore.states_explored) /
+                     static_cast<double>(sweep.session.explore.states_explored)
+               : 0.0)
+       << ",\n  \"engines\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const EngineResult& r = results[i];
+    json << "    {\"engine\": \"" << r.name << "\", \"best_ms\": " << r.best_ms
+         << ", \"explorations\": " << r.session.explorations
+         << ", \"states_explored\": " << r.session.explore.states_explored
+         << ", \"states_stored\": " << r.session.explore.states_stored
+         << ", \"transitions_fired\": " << r.session.explore.transitions_fired << "}"
+         << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+
+  if (out_path.empty()) {
+    std::cout << json.str();
+  } else {
+    std::ofstream out(out_path);
+    out << json.str();
+    std::cout << "wrote " << out_path << "\n";
+  }
+  if (!identical) {
+    std::cerr << "ERROR: sweep and probe bounds differ\n";
+    return 1;
+  }
+  return 0;
+}

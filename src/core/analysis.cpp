@@ -60,60 +60,96 @@ std::int64_t analytic_output_delay_bound(const ImplementationScheme& scheme,
   return spec.delay_max;
 }
 
-BoundAnalysis analyze_bounds(const PsmArtifacts& psm, std::int64_t pim_internal_bound,
-                             const TimingRequirement& req, std::int64_t search_limit,
-                             mc::ExploreOptions explore) {
+InstrumentedPsm instrument_psm_for_requirement(const PsmArtifacts& psm,
+                                               const TimingRequirement& req) {
+  InstrumentedPsm out{psm.psm, {}};
+  out.mc_probe = instrument_mc_delay(out.net, psm.env_name, req);
+  return out;
+}
+
+BoundAnalysis analyze_bounds(mc::VerificationSession& session, const PsmArtifacts& psm,
+                             const RequirementProbe& mc_probe, std::int64_t pim_internal_bound,
+                             const TimingRequirement& req, std::int64_t search_limit) {
   BoundAnalysis out;
   out.io_internal = pim_internal_bound;
 
+  // Lemma 2 for the requirement's input/output pair (also the M-C hint).
+  out.lemma2_total = analytic_input_delay_bound(psm.scheme, req.input) +
+                     analytic_output_delay_bound(psm.scheme, req.output) + pim_internal_bound;
+
+  // One batched query answers every verified bound of the section: the
+  // Lemma-1 closed forms seed the search — they are usually tight upper
+  // bounds, so the first shared sweep (or probe bracket) already covers
+  // the answers.
+  std::vector<mc::BoundQuery> queries;
+  queries.reserve(psm.inputs.size() + psm.outputs.size() + 1);
   for (const InputArtifacts& in : psm.inputs) {
     DelayBound b;
     b.name = "Input-Delay(" + in.base + ")";
     b.analytic = analytic_input_delay_bound(psm.scheme, in.base);
-    mc::StateFormula pending = mc::when(ta::var_eq(in.pending, 1));
-    // The Lemma-1 bound seeds the search: it is usually a tight upper
-    // bound, so the first probe already brackets the answer.
-    mc::MaxClockResult r = mc::max_clock_value(psm.psm, pending, in.delay_clock, search_limit,
-                                               explore, b.analytic);
-    b.verified_bounded = r.bounded;
-    b.verified = r.bounded ? r.bound : search_limit;
     out.input_delays.push_back(std::move(b));
+    mc::BoundQuery q;
+    q.pred = mc::when(ta::var_eq(in.pending, 1));
+    q.clock = in.delay_clock;
+    q.limit = search_limit;
+    q.hint = out.input_delays.back().analytic;
+    queries.push_back(std::move(q));
   }
-
   for (const OutputArtifacts& outv : psm.outputs) {
     DelayBound b;
     b.name = "Output-Delay(" + outv.base + ")";
     b.analytic = analytic_output_delay_bound(psm.scheme, outv.base);
-    mc::StateFormula pending = mc::when(ta::var_eq(outv.pending, 1));
-    mc::MaxClockResult r = mc::max_clock_value(psm.psm, pending, outv.delay_clock, search_limit,
-                                               explore, b.analytic);
-    b.verified_bounded = r.bounded;
-    b.verified = r.bounded ? r.bound : search_limit;
     out.output_delays.push_back(std::move(b));
+    mc::BoundQuery q;
+    q.pred = mc::when(ta::var_eq(outv.pending, 1));
+    q.clock = outv.delay_clock;
+    q.limit = search_limit;
+    q.hint = out.output_delays.back().analytic;
+    queries.push_back(std::move(q));
+  }
+  {
+    mc::BoundQuery q;
+    q.pred = mc::when(ta::var_eq(mc_probe.pending, 1));
+    q.clock = mc_probe.clock;
+    q.limit = search_limit;
+    q.hint = out.lemma2_total;
+    queries.push_back(std::move(q));
   }
 
-  // Lemma 2 for the requirement's input/output pair.
-  out.lemma2_total = analytic_input_delay_bound(psm.scheme, req.input) +
-                     analytic_output_delay_bound(psm.scheme, req.output) + pim_internal_bound;
-
-  // Verified end-to-end M-C delay: instrument a copy of the PSM's ENVMC.
-  ta::Network instrumented = psm.psm;
-  const RequirementProbe probe = instrument_mc_delay(instrumented, psm.env_name, req);
-  mc::StateFormula pending = mc::when(ta::var_eq(probe.pending, 1));
-  mc::MaxClockResult r = mc::max_clock_value(instrumented, pending, probe.clock, search_limit,
-                                             explore, out.lemma2_total);
+  const std::vector<mc::MaxClockResult> results = session.max_clock_values(queries);
+  std::size_t next = 0;
+  for (DelayBound& b : out.input_delays) {
+    const mc::MaxClockResult& r = results[next++];
+    b.verified_bounded = r.bounded;
+    b.verified = r.bounded ? r.bound : search_limit;
+  }
+  for (DelayBound& b : out.output_delays) {
+    const mc::MaxClockResult& r = results[next++];
+    b.verified_bounded = r.bounded;
+    b.verified = r.bounded ? r.bound : search_limit;
+  }
+  const mc::MaxClockResult& r = results[next];
   out.verified_mc_bounded = r.bounded;
   out.verified_mc_delay = r.bounded ? r.bound : search_limit;
   return out;
 }
 
+BoundAnalysis analyze_bounds(const PsmArtifacts& psm, std::int64_t pim_internal_bound,
+                             const TimingRequirement& req, std::int64_t search_limit,
+                             mc::ExploreOptions explore) {
+  InstrumentedPsm instrumented = instrument_psm_for_requirement(psm, req);
+  mc::VerificationSession session(std::move(instrumented.net), explore);
+  return analyze_bounds(session, psm, instrumented.mc_probe, pim_internal_bound, req,
+                        search_limit);
+}
+
 PsmRequirementCheck check_psm_requirement(const PsmArtifacts& psm, const TimingRequirement& req,
                                           std::int64_t delta, mc::ExploreOptions explore) {
-  ta::Network instrumented = psm.psm;
-  const RequirementProbe probe = instrument_mc_delay(instrumented, psm.env_name, req);
-  mc::StateFormula pending = mc::when(ta::var_eq(probe.pending, 1));
+  InstrumentedPsm instrumented = instrument_psm_for_requirement(psm, req);
+  mc::VerificationSession session(std::move(instrumented.net), explore);
+  mc::StateFormula pending = mc::when(ta::var_eq(instrumented.mc_probe.pending, 1));
   mc::BoundedResponseResult r =
-      mc::check_bounded_response(instrumented, pending, probe.clock, delta, explore);
+      session.check_bounded_response(pending, instrumented.mc_probe.clock, delta);
   PsmRequirementCheck out;
   out.holds = r.holds;
   out.checked_bound = delta;

@@ -16,6 +16,7 @@
 
 #include "core/transform.h"
 #include "mc/query.h"
+#include "mc/session.h"
 
 namespace psv::core {
 
@@ -58,6 +59,17 @@ std::int64_t analytic_input_delay_bound(const ImplementationScheme& scheme,
 std::int64_t analytic_output_delay_bound(const ImplementationScheme& scheme,
                                          const std::string& output_base);
 
+/// A PSM with every §V probe instrumented up front: the per-variable
+/// input/output probes come with the transformation already; this adds the
+/// end-to-end M-C requirement probe, so one network (and one verification
+/// session over it) serves the complete query load of the analysis.
+struct InstrumentedPsm {
+  ta::Network net;
+  RequirementProbe mc_probe;
+};
+InstrumentedPsm instrument_psm_for_requirement(const PsmArtifacts& psm,
+                                               const TimingRequirement& req);
+
 /// Run the full §V analysis: analytic bounds for every variable, verified
 /// bounds via the PSM probes, the PIM's internal bound, and the Lemma-2
 /// total for `req`. `psm` is copied internally for M-C instrumentation.
@@ -65,6 +77,16 @@ BoundAnalysis analyze_bounds(const PsmArtifacts& psm, std::int64_t pim_internal_
                              const TimingRequirement& req,
                              std::int64_t search_limit = 1'000'000,
                              mc::ExploreOptions explore = {});
+
+/// Session-backed variant: every verified bound — all per-variable
+/// input/output delay maxima and the end-to-end M-C delay — is answered as
+/// ONE batched query through `session`, which must wrap the network of
+/// instrument_psm_for_requirement(psm, req). The sweep engine answers the
+/// whole batch from a single shared exploration (plus rare refinement
+/// rounds) instead of one gallop-and-bisect run per variable.
+BoundAnalysis analyze_bounds(mc::VerificationSession& session, const PsmArtifacts& psm,
+                             const RequirementProbe& mc_probe, std::int64_t pim_internal_bound,
+                             const TimingRequirement& req, std::int64_t search_limit = 1'000'000);
 
 /// Check P(delta) against the PSM: does the M-C delay always stay within
 /// `delta`? (Used for both the original and the relaxed requirement.)

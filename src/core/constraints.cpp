@@ -27,13 +27,13 @@ std::string ConstraintReport::to_string() const {
 
 namespace {
 
-/// Reachability of a sticky flag == 1.
-ConstraintCheck flag_check(const PsmArtifacts& psm, const std::string& id,
-                           const std::string& name, ta::VarId flag, mc::ExploreOptions explore) {
+/// Reachability of a sticky flag == 1, as an individual session query.
+ConstraintCheck flag_check(mc::VerificationSession& session, const std::string& id,
+                           const std::string& name, ta::VarId flag) {
   ConstraintCheck check;
   check.id = id;
   check.name = name;
-  mc::ReachResult r = mc::reachable(psm.psm, mc::when(ta::var_eq(flag, 1)), explore);
+  mc::ReachResult r = session.query_reachable(mc::when(ta::var_eq(flag, 1)));
   check.holds = !r.reachable;
   if (r.reachable) {
     check.detail = "violation reachable in " + std::to_string(r.trace.steps.size() - 1) + " steps";
@@ -73,41 +73,40 @@ std::vector<FlagSpec> constraint_flags(const PsmArtifacts& psm) {
 
 }  // namespace
 
-ConstraintReport check_constraints(const PsmArtifacts& psm, bool include_deadlock_check,
-                                   mc::ExploreOptions explore) {
+ConstraintReport check_constraints(mc::VerificationSession& session, const PsmArtifacts& psm,
+                                   bool include_deadlock_check) {
   ConstraintReport report;
   const std::vector<FlagSpec> flags = constraint_flags(psm);
 
   if (include_deadlock_check) {
-    // One exploration answers everything: the deadlock search walks the
-    // full (subsumption-reduced) state space, and the visitor checks every
-    // sticky flag along the way. Flags are discrete, so visiting the
+    // One exploration answers everything: the session's shared full-space
+    // sweep walks the (subsumption-reduced) state space once, recording
+    // every sticky flag along the way. Flags are discrete, so visiting the
     // reduced space is exact for them. Only a timelock aborts early; then
     // the per-flag results are not definitive and we fall back to
     // individual reachability checks.
-    std::vector<bool> seen(flags.size(), false);
-    mc::Reachability engine(psm.psm, mc::StateFormula{}, explore);
-    mc::DeadlockResult dl = engine.find_deadlock([&flags, &seen](const mc::SymState& s) {
-      for (std::size_t i = 0; i < flags.size(); ++i)
-        seen[i] = seen[i] || s.vars[static_cast<std::size_t>(flags[i].var)] == 1;
-    });
-    const bool full_space_visited = !(dl.found && dl.timelock);
-    if (full_space_visited) {
+    std::vector<ta::VarId> vars;
+    vars.reserve(flags.size());
+    for (const FlagSpec& f : flags) vars.push_back(f.var);
+    const mc::VerificationSession::FlagReport shared = session.check_flags(vars);
+    if (shared.shared_sweep) {
       for (std::size_t i = 0; i < flags.size(); ++i) {
         ConstraintCheck check;
         check.id = flags[i].id;
         check.name = flags[i].name;
-        check.holds = !seen[i];
-        check.detail = seen[i] ? "violation reachable"
-                               : "verified (" + std::to_string(dl.stats.states_stored) +
-                                     " states, shared exploration)";
+        check.holds = !shared.reachable[i];
+        check.detail = shared.reachable[i]
+                           ? "violation reachable"
+                           : "verified (" + std::to_string(shared.deadlock.stats.states_stored) +
+                                 " states, shared exploration)";
         report.checks.push_back(std::move(check));
       }
     } else {
       for (const FlagSpec& f : flags)
-        report.checks.push_back(flag_check(psm, f.id, f.name, f.var, explore));
+        report.checks.push_back(flag_check(session, f.id, f.name, f.var));
     }
 
+    const mc::DeadlockResult& dl = shared.deadlock;
     ConstraintCheck dlc;
     dlc.id = "C3";
     dlc.name = "C3: environment accepts outputs / scheme schedulable (no timelock)";
@@ -124,8 +123,14 @@ ConstraintReport check_constraints(const PsmArtifacts& psm, bool include_deadloc
   }
 
   for (const FlagSpec& f : flags)
-    report.checks.push_back(flag_check(psm, f.id, f.name, f.var, explore));
+    report.checks.push_back(flag_check(session, f.id, f.name, f.var));
   return report;
+}
+
+ConstraintReport check_constraints(const PsmArtifacts& psm, bool include_deadlock_check,
+                                   mc::ExploreOptions explore) {
+  mc::VerificationSession session(psm.psm, explore);
+  return check_constraints(session, psm, include_deadlock_check);
 }
 
 }  // namespace psv::core

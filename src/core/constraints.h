@@ -19,6 +19,7 @@
 
 #include "core/transform.h"
 #include "mc/reach.h"
+#include "mc/session.h"
 
 namespace psv::core {
 
@@ -45,5 +46,13 @@ struct ConstraintReport {
 /// reads fast enough" and of scheme schedulability).
 ConstraintReport check_constraints(const PsmArtifacts& psm, bool include_deadlock_check = true,
                                    mc::ExploreOptions explore = {});
+
+/// Session-backed variant: every flag is discharged through `session`'s
+/// shared full-space exploration (cached across the session's whole query
+/// load — the delay-bound sweeps and a repeated constraint check reuse it).
+/// The session must wrap `psm.psm` or an instrumentation-extended copy of
+/// it (probe instrumentation never changes flag reachability).
+ConstraintReport check_constraints(mc::VerificationSession& session, const PsmArtifacts& psm,
+                                   bool include_deadlock_check = true);
 
 }  // namespace psv::core

@@ -1,8 +1,28 @@
 #include "core/framework.h"
 
+#include <chrono>
 #include <sstream>
 
 namespace psv::core {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double ms_since(SteadyClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(SteadyClock::now() - start).count();
+}
+
+mc::ExploreStats explore_delta(const mc::ExploreStats& now, const mc::ExploreStats& before) {
+  mc::ExploreStats d;
+  d.states_stored = now.states_stored - before.states_stored;
+  d.states_explored = now.states_explored - before.states_explored;
+  d.transitions_fired = now.transitions_fired - before.transitions_fired;
+  d.subsumed = now.subsumed - before.subsumed;
+  return d;
+}
+
+}  // namespace
 
 std::string FrameworkResult::summary() const {
   std::ostringstream os;
@@ -33,21 +53,39 @@ FrameworkResult run_framework(const ta::Network& pim, const PimInfo& info,
   result.requirement = req;
 
   // [1] PIM |= P(delta_mc) and the PIM's exact internal bound.
+  auto start = SteadyClock::now();
   result.pim = verify_pim_requirement(pim, info, req, options.search_limit, options.explore);
+  result.stages.push_back(
+      StageStats{"pim-verification", ms_since(start), result.pim.stats, result.pim.explorations});
 
-  // [2] analytic schedulability pre-check, then PIM -> PSM.
+  // [2] analytic schedulability pre-check, then PIM -> PSM with every §V
+  // probe instrumented up front; ONE verification session over the
+  // instrumented network serves the whole remaining query load.
+  start = SteadyClock::now();
   result.schedulability = check_schedulability(pim, info, scheme);
   result.psm = transform(pim, info, scheme, options.transform);
+  InstrumentedPsm instrumented = instrument_psm_for_requirement(result.psm, req);
+  mc::VerificationSession session(std::move(instrumented.net), options.explore);
+  result.stages.push_back(StageStats{"transform", ms_since(start), {}, 0});
 
-  // [3] Constraints C1-C4.
+  // [3] Constraints C1-C4, from the session's shared full-space sweep.
+  start = SteadyClock::now();
+  mc::SessionStats before = session.stats();
   if (options.run_constraint_checks)
-    result.constraints = check_constraints(result.psm, /*include_deadlock_check=*/true,
-                                           options.explore);
+    result.constraints = check_constraints(session, result.psm, /*include_deadlock_check=*/true);
+  result.stages.push_back(StageStats{"constraints", ms_since(start),
+                                     explore_delta(session.stats().explore, before.explore),
+                                     session.stats().explorations - before.explorations});
 
-  // [4] Lemma 1 / Lemma 2 / exact bounds.
+  // [4] Lemma 1 / Lemma 2 / exact bounds, as one batched session query.
   const std::int64_t io_internal = result.pim.bounded ? result.pim.max_delay : req.bound_ms;
-  result.bounds =
-      analyze_bounds(result.psm, io_internal, req, options.search_limit, options.explore);
+  start = SteadyClock::now();
+  before = session.stats();
+  result.bounds = analyze_bounds(session, result.psm, instrumented.mc_probe, io_internal, req,
+                                 options.search_limit);
+  result.stages.push_back(StageStats{"bounds", ms_since(start),
+                                     explore_delta(session.stats().explore, before.explore),
+                                     session.stats().explorations - before.explorations});
 
   // [5] P(delta) and P(delta') on the PSM follow from the exact verified
   // maximum — no further exploration needed.

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/analysis.h"
 #include "core/constraints.h"
@@ -28,6 +29,15 @@ struct FrameworkOptions {
   bool run_constraint_checks = true;
 };
 
+/// Machine-readable accounting of one pipeline stage, for bench trend
+/// tracking (psv_verify --stats-json).
+struct StageStats {
+  std::string name;         ///< e.g. "constraints"
+  double wall_ms = 0.0;     ///< wall clock of the stage
+  mc::ExploreStats explore; ///< exploration work (shared runs counted once)
+  int explorations = 0;     ///< reachability runs / sweeps performed
+};
+
 /// Everything the pipeline produced.
 struct FrameworkResult {
   TimingRequirement requirement;
@@ -38,6 +48,8 @@ struct FrameworkResult {
   BoundAnalysis bounds;                  ///< step 4
   bool psm_meets_original = false;  ///< PSM |= P(delta_mc)
   bool psm_meets_relaxed = false;   ///< PSM |= P(delta'_mc), Lemma 2 total
+  /// Per-stage wall clock and exploration statistics, pipeline order.
+  std::vector<StageStats> stages;
 
   /// Multi-line human-readable report.
   std::string summary() const;

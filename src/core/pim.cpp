@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mc/query.h"
+#include "mc/session.h"
 #include "ta/validate.h"
 #include "util/error.h"
 #include "util/strings.h"
@@ -124,14 +125,19 @@ PimVerification verify_pim_requirement(const ta::Network& pim, const PimInfo& in
   const std::string env_name = pim.automaton(info.environment).name();
   const RequirementProbe probe = instrument_mc_delay(instrumented, env_name, req);
 
-  mc::StateFormula pending = mc::when(ta::var_eq(probe.pending, 1));
-  mc::MaxClockResult r =
-      mc::max_clock_value(instrumented, pending, probe.clock, search_limit, explore);
+  mc::VerificationSession session(std::move(instrumented), explore);
+  mc::BoundQuery query;
+  query.pred = mc::when(ta::var_eq(probe.pending, 1));
+  query.clock = probe.clock;
+  query.limit = search_limit;
+  const mc::MaxClockResult r = session.max_clock_value(query);
 
   PimVerification result;
   result.bounded = r.bounded;
   result.max_delay = r.bounded ? r.bound : search_limit;
   result.holds = r.bounded && r.bound <= req.bound_ms;
+  result.stats = session.stats().explore;
+  result.explorations = session.stats().explorations;
   return result;
 }
 

@@ -85,6 +85,8 @@ struct PimVerification {
   bool holds = false;           ///< PIM |= P(bound_ms)
   bool bounded = false;         ///< the delay has any finite bound
   std::int64_t max_delay = 0;   ///< exact worst-case M-C delay in the PIM
+  mc::ExploreStats stats;       ///< exploration work of the verification
+  int explorations = 0;         ///< reachability runs / sweeps performed
 };
 PimVerification verify_pim_requirement(const ta::Network& pim, const PimInfo& info,
                                        const TimingRequirement& req,

@@ -7,6 +7,18 @@
 
 namespace psv::mc {
 
+/// Engine answering maximum-clock-value queries (the paper's delay bounds).
+///
+///   * kSweep — explore the state space ONCE and read, per symbolic state
+///     satisfying the predicate, the DBM upper bound of the probe clock;
+///     a widen-and-refine loop re-explores with doubled extrapolation
+///     constants whenever the running maximum escapes the current constant.
+///     One exploration typically answers a whole batch of queries.
+///   * kProbe — the original gallop + binary search of independent
+///     reachability probes (pred && clock > D); retained as a cross-check
+///     engine. Both engines produce bit-identical bounds.
+enum class QueryEngine { kSweep, kProbe };
+
 /// Exploration limits and knobs.
 struct ExploreOptions {
   /// Hard cap on stored symbolic states; exceeded -> psv::Error. Parallel
@@ -20,6 +32,10 @@ struct ExploreOptions {
   /// construction, so results are identical for every value; only wall
   /// clock changes.
   unsigned jobs = 0;
+
+  /// Bound-query engine. Sweep answers from one shared exploration; probe
+  /// is the legacy binary-search cross-check. Bounds are identical.
+  QueryEngine engine = QueryEngine::kSweep;
 };
 
 /// Exploration statistics for reporting and benchmarks. Deterministic:
@@ -30,5 +46,13 @@ struct ExploreStats {
   std::size_t transitions_fired = 0;
   std::size_t subsumed = 0;
 };
+
+/// Field-wise sum, for aggregating stats across explorations.
+inline void accumulate_stats(ExploreStats& into, const ExploreStats& from) {
+  into.states_stored += from.states_stored;
+  into.states_explored += from.states_explored;
+  into.transitions_fired += from.transitions_fired;
+  into.subsumed += from.subsumed;
+}
 
 }  // namespace psv::mc

@@ -1,17 +1,29 @@
 #include "mc/query.h"
 
+#include <algorithm>
+#include <exception>
+#include <optional>
+
+#include "mc/worker_pool.h"
 #include "util/error.h"
 
 namespace psv::mc {
 
 namespace {
 
-void accumulate(ExploreStats& into, const ExploreStats& from) {
-  into.states_stored += from.states_stored;
-  into.states_explored += from.states_explored;
-  into.transitions_fired += from.transitions_fired;
-  into.subsumed += from.subsumed;
+/// Options for one exploration of a parallel batch of `n`: the thread
+/// budget is split evenly (results never depend on jobs, only wall clock).
+ExploreOptions split_jobs(ExploreOptions opts, std::size_t n) {
+  opts.jobs = std::max<unsigned>(1, resolve_jobs(opts.jobs) / std::max<std::size_t>(1, n));
+  return opts;
 }
+
+void validate_query(const ta::Network& net, ta::ClockId clock, std::int64_t limit) {
+  PSV_REQUIRE(clock >= 0 && clock < net.num_clocks(), "max_clock_value: undeclared clock");
+  PSV_REQUIRE(limit > 0 && limit <= dbm::kMaxBoundValue, "max_clock_value: bad limit");
+}
+
+// --- Probe engine (gallop + binary search over reachability checks) ---------
 
 /// One probe: is (pred && clock > d) reachable?
 ReachResult probe(const ta::Network& net, const StateFormula& pred, ta::ClockId clock,
@@ -22,18 +34,21 @@ ReachResult probe(const ta::Network& net, const StateFormula& pred, ta::ClockId 
   return reachable(net, violated, opts);
 }
 
-}  // namespace
+/// Thresholds probed speculatively per gallop round when threads are
+/// available. Only the prefix up to the first unreachable threshold is ever
+/// accounted (the legacy sequential gallop's exact work), so statistics,
+/// probe counts, and surfaced errors stay bit-identical at every `jobs`
+/// setting — speculation costs idle cores, never determinism.
+constexpr std::size_t kGallopBatch = 4;
 
-MaxClockResult max_clock_value(const ta::Network& net, const StateFormula& pred,
-                               ta::ClockId clock, std::int64_t limit, ExploreOptions opts,
-                               std::int64_t hint) {
-  PSV_REQUIRE(clock >= 0 && clock < net.num_clocks(), "max_clock_value: undeclared clock");
-  PSV_REQUIRE(limit > 0 && limit <= dbm::kMaxBoundValue, "max_clock_value: bad limit");
+MaxClockResult probe_max_clock_value(const ta::Network& net, const StateFormula& pred,
+                                     ta::ClockId clock, std::int64_t limit, ExploreOptions opts,
+                                     std::int64_t hint) {
   MaxClockResult result;
 
   // Is the condition reachable at all?
   ReachResult any = reachable(net, pred, opts);
-  accumulate(result.stats, any.stats);
+  accumulate_stats(result.stats, any.stats);
   ++result.probes;
   if (!any.reachable) {
     result.bounded = true;
@@ -45,26 +60,78 @@ MaxClockResult max_clock_value(const ta::Network& net, const StateFormula& pred,
   // Gallop geometrically from the hint to bracket the bound. Probing at
   // small thresholds first keeps each probe's extrapolation constants (and
   // so its state space) near the true bound instead of the search limit.
-  std::int64_t lo = 0;  // highest threshold known reachable, +1
-  std::int64_t hi = -1; // lowest threshold known unreachable
+  // The hint is probed alone (it usually brackets the answer already);
+  // afterwards rounds of doubled thresholds run as parallel speculative
+  // batches, splitting the exploration thread budget across the probes.
+  std::int64_t lo = 0;   // highest threshold known reachable, +1
+  std::int64_t hi = -1;  // lowest threshold known unreachable
   Trace witness;
-  std::int64_t d = std::max<std::int64_t>(1, std::min(hint, limit));
-  while (true) {
-    ReachResult r = probe(net, pred, clock, d, opts);
-    accumulate(result.stats, r.stats);
-    ++result.probes;
-    if (r.reachable) {
-      witness = std::move(r.trace);
-      lo = d + 1;
-      if (d >= limit) {
-        result.bounded = false;
-        result.witness = std::move(witness);
-        return result;
+  const std::int64_t d0 = std::max<std::int64_t>(1, std::min(hint, limit));
+  ReachResult first = probe(net, pred, clock, d0, opts);
+  accumulate_stats(result.stats, first.stats);
+  ++result.probes;
+  if (!first.reachable) {
+    hi = d0;
+  } else {
+    witness = std::move(first.trace);
+    lo = d0 + 1;
+    if (d0 >= limit) {
+      result.bounded = false;
+      result.witness = std::move(witness);
+      return result;
+    }
+    std::int64_t base = d0;
+    while (hi < 0) {
+      std::vector<std::int64_t> thresholds;
+      for (std::int64_t t = base; thresholds.size() < kGallopBatch && t < limit;)
+        thresholds.push_back(t = std::min(limit, t * 2));
+      std::vector<std::optional<ReachResult>> probed(thresholds.size());
+      std::vector<std::exception_ptr> errors(thresholds.size());
+      if (resolve_jobs(opts.jobs) <= 1 || thresholds.size() == 1) {
+        // Sequential: run in threshold order, stop at the first
+        // unreachable one — exactly the legacy gallop, no wasted probes.
+        for (std::size_t i = 0; i < thresholds.size(); ++i) {
+          try {
+            probed[i].emplace(probe(net, pred, clock, thresholds[i], opts));
+          } catch (...) {
+            errors[i] = std::current_exception();
+            break;
+          }
+          if (!probed[i]->reachable) break;
+        }
+      } else {
+        const ExploreOptions per_probe = split_jobs(opts, thresholds.size());
+        WorkerPool pool(static_cast<unsigned>(thresholds.size()) - 1);
+        pool.parallel_for(thresholds.size(), [&](std::size_t i) {
+          try {
+            probed[i].emplace(probe(net, pred, clock, thresholds[i], per_probe));
+          } catch (...) {
+            errors[i] = std::current_exception();
+          }
+        });
       }
-      d = std::min(limit, d * 2);
-    } else {
-      hi = d;
-      break;
+      // Account exactly the probes the sequential gallop runs: scan in
+      // threshold order and stop after the first unreachable one; parallel
+      // speculation past it is discarded unaccounted.
+      bool bracketed = false;
+      for (std::size_t i = 0; i < thresholds.size() && !bracketed; ++i) {
+        if (errors[i]) std::rethrow_exception(errors[i]);
+        accumulate_stats(result.stats, probed[i]->stats);
+        ++result.probes;
+        if (probed[i]->reachable) {
+          witness = std::move(probed[i]->trace);
+          lo = thresholds[i] + 1;
+          if (thresholds[i] >= limit) {
+            result.bounded = false;
+            result.witness = std::move(witness);
+            return result;
+          }
+        } else {
+          hi = thresholds[i];
+          bracketed = true;
+        }
+      }
+      if (!bracketed) base = thresholds.back();
     }
   }
 
@@ -73,7 +140,7 @@ MaxClockResult max_clock_value(const ta::Network& net, const StateFormula& pred,
   while (lo < hi) {
     const std::int64_t mid = lo + (hi - lo) / 2;
     ReachResult r = probe(net, pred, clock, mid, opts);
-    accumulate(result.stats, r.stats);
+    accumulate_stats(result.stats, r.stats);
     ++result.probes;
     if (r.reachable) {
       witness = std::move(r.trace);
@@ -86,6 +153,310 @@ MaxClockResult max_clock_value(const ta::Network& net, const StateFormula& pred,
   result.bound = lo;
   result.witness = std::move(witness);
   return result;
+}
+
+// --- Sweep engine (single exploration, widen-and-refine) --------------------
+
+/// Refine-loop widening factors tried speculatively (in parallel when
+/// threads are available). Conclusive candidates agree (each is exact), so
+/// only the candidate-order prefix that settles every target is accounted
+/// — like the gallop, speculation never changes results or statistics.
+constexpr std::int64_t kWidenFactors[] = {4, 16, 64};
+
+/// Per-query bookkeeping of the sweep driver.
+struct SweepTarget {
+  std::size_t query = 0;     ///< index into the batch
+  StateFormula discrete;     ///< pred without its clock constraints
+  std::vector<ta::ClockConstraint> pred_clocks;
+  int dbm_index = 0;         ///< probe clock's DBM row
+  std::int64_t k = 1;        ///< current widening candidate
+};
+
+/// What one exploration observed for one target.
+struct SweepOutcome {
+  bool reached = false;   ///< some stored state satisfies pred
+  bool saw_inf = false;   ///< ...with the probe clock abstracted (ambiguous)
+  bool has_max = false;
+  std::int64_t max_value = 0;
+  std::uint64_t max_id = 0;
+  std::uint64_t inf_id = 0;
+  Trace max_trace;  ///< materialized before the engine dies
+  Trace inf_trace;
+};
+
+struct SweepRound {
+  std::vector<SweepOutcome> outcomes;  ///< parallel to the target list
+  std::vector<std::int64_t> consts;    ///< effective candidate per target
+  ExploreStats stats;
+};
+
+bool constrain_by(dbm::Dbm& zone, const ta::ClockConstraint& cc) {
+  const int i = cc.clock + 1;
+  switch (cc.op) {
+    case ta::CmpOp::kLt:
+      return zone.constrain(i, 0, dbm::bound_lt(cc.bound));
+    case ta::CmpOp::kLe:
+      return zone.constrain(i, 0, dbm::bound_le(cc.bound));
+    case ta::CmpOp::kGe:
+      return zone.constrain(0, i, dbm::bound_le(-cc.bound));
+    case ta::CmpOp::kGt:
+      return zone.constrain(0, i, dbm::bound_lt(-cc.bound));
+    case ta::CmpOp::kEq:
+      return zone.constrain(i, 0, dbm::bound_le(cc.bound)) &&
+             zone.constrain(0, i, dbm::bound_le(-cc.bound));
+    case ta::CmpOp::kNe:
+      PSV_FAIL("clock constraints with != are not supported in state formulas");
+  }
+  return false;
+}
+
+/// One full-space exploration serving every target at candidate constant
+/// min(limit, k * factor). Per stored state satisfying a target's pred, the
+/// probe clock's upper bound is read off the zone: finite bounds are exact
+/// under the candidate extrapolation constant, an abstracted (infinite)
+/// bound means the maximum escaped the candidate.
+SweepRound sweep_once(const ta::Network& net, const std::vector<BoundQuery>& queries,
+                      const std::vector<SweepTarget>& targets, std::int64_t factor,
+                      ExploreOptions opts) {
+  SweepRound round;
+  round.consts.resize(targets.size());
+  round.outcomes.assign(targets.size(), SweepOutcome{});
+  std::vector<std::int32_t> extra(static_cast<std::size_t>(net.num_clocks()), -1);
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    const BoundQuery& q = queries[targets[t].query];
+    const std::int64_t k = std::min(q.limit, targets[t].k * factor);
+    round.consts[t] = k;
+    auto& cell = extra[static_cast<std::size_t>(q.clock)];
+    cell = std::max(cell, static_cast<std::int32_t>(k));
+    // Predicate clock constants must stay exact too.
+    for (const ta::ClockConstraint& cc : targets[t].pred_clocks)
+      extra[static_cast<std::size_t>(cc.clock)] =
+          std::max(extra[static_cast<std::size_t>(cc.clock)], cc.bound);
+  }
+  Reachability engine(net, StateFormula{}, opts, std::move(extra));
+  round.stats = engine.explore_all_ids([&](const SymState& state, std::uint64_t id) {
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      const SweepTarget& target = targets[t];
+      if (!satisfies(net, state, target.discrete)) continue;
+      dbm::raw_t upper;
+      if (target.pred_clocks.empty()) {
+        upper = state.zone.upper(target.dbm_index);
+      } else {
+        dbm::Dbm zone = state.zone;
+        bool nonempty = true;
+        for (const ta::ClockConstraint& cc : target.pred_clocks)
+          nonempty = nonempty && constrain_by(zone, cc);
+        if (!nonempty) continue;
+        upper = zone.upper(target.dbm_index);
+      }
+      SweepOutcome& o = round.outcomes[t];
+      o.reached = true;
+      if (dbm::is_inf(upper)) {
+        if (!o.saw_inf) {
+          o.saw_inf = true;
+          o.inf_id = id;
+        }
+      } else {
+        const std::int64_t value = dbm::bound_value(upper);
+        if (!o.has_max || value > o.max_value) {
+          o.has_max = true;
+          o.max_value = value;
+          o.max_id = id;
+        }
+      }
+    }
+  });
+  for (SweepOutcome& o : round.outcomes) {
+    if (o.has_max) o.max_trace = engine.trace_of(o.max_id);
+    if (o.saw_inf) o.inf_trace = engine.trace_of(o.inf_id);
+  }
+  return round;
+}
+
+/// True when the round settles the target (the answer can be read off).
+bool conclusive(const BoundQuery& q, const SweepRound& round, std::size_t t) {
+  const SweepOutcome& o = round.outcomes[t];
+  return !o.reached || !o.saw_inf || round.consts[t] >= q.limit;
+}
+
+/// Interpret one round's outcome for one target; true when conclusive.
+bool resolve_target(const BoundQuery& q, SweepRound& round, std::size_t t, MaxClockResult& out) {
+  SweepOutcome& o = round.outcomes[t];
+  if (!o.reached) {
+    out.bounded = true;
+    out.bound = 0;
+    out.condition_unreachable = true;
+    return true;
+  }
+  if (!o.saw_inf) {
+    out.bounded = true;
+    out.bound = o.max_value;
+    out.condition_unreachable = false;
+    out.witness = std::move(o.max_trace);
+    return true;
+  }
+  if (round.consts[t] >= q.limit) {
+    // Ambiguous even at the search limit: the exact maximum exceeds it.
+    out.bounded = false;
+    out.witness = std::move(o.inf_trace);
+    return true;
+  }
+  return false;
+}
+
+std::vector<MaxClockResult> sweep_max_clock_values(const ta::Network& net,
+                                                   const std::vector<BoundQuery>& queries,
+                                                   ExploreOptions opts,
+                                                   BatchQueryStats* batch_stats) {
+  std::vector<MaxClockResult> results(queries.size());
+  std::vector<SweepTarget> targets;
+  targets.reserve(queries.size());
+  for (std::size_t q = 0; q < queries.size(); ++q) {
+    SweepTarget target;
+    target.query = q;
+    target.discrete = queries[q].pred;
+    target.discrete.clocks.clear();
+    target.pred_clocks = queries[q].pred.clocks;
+    target.dbm_index = queries[q].clock + 1;
+    target.k = std::max<std::int64_t>(1, std::min(queries[q].hint, queries[q].limit));
+    targets.push_back(std::move(target));
+  }
+
+  // Round 0: one exploration at every query's hint answers the whole batch
+  // whenever the hints are honest upper-bound estimates.
+  {
+    SweepRound round = sweep_once(net, queries, targets, 1, opts);
+    if (batch_stats) {
+      accumulate_stats(batch_stats->explore, round.stats);
+      ++batch_stats->explorations;
+    }
+    std::vector<SweepTarget> unresolved;
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      MaxClockResult& out = results[targets[t].query];
+      accumulate_stats(out.stats, round.stats);
+      ++out.probes;
+      if (!resolve_target(queries[targets[t].query], round, t, out)) {
+        targets[t].k = round.consts[t];
+        unresolved.push_back(std::move(targets[t]));
+      }
+    }
+    targets.swap(unresolved);
+  }
+
+  // Widen-and-refine: re-explore the unresolved targets at geometrically
+  // larger candidates. Sequentially the candidates run smallest-first and
+  // stop once every target is settled; with threads they run speculatively
+  // in parallel and only that same candidate-order prefix is accounted.
+  while (!targets.empty()) {
+    std::vector<std::int64_t> factors = {kWidenFactors[0]};
+    for (std::size_t f = 1; f < std::size(kWidenFactors); ++f) {
+      bool useful = false;
+      for (const SweepTarget& t : targets)
+        useful = useful || t.k * kWidenFactors[f - 1] < queries[t.query].limit;
+      if (!useful) break;
+      factors.push_back(kWidenFactors[f]);
+    }
+    std::vector<std::optional<SweepRound>> rounds(factors.size());
+    std::vector<std::exception_ptr> errors(factors.size());
+    if (resolve_jobs(opts.jobs) <= 1 || factors.size() == 1) {
+      std::vector<char> done(targets.size(), 0);
+      for (std::size_t f = 0; f < factors.size(); ++f) {
+        try {
+          rounds[f].emplace(sweep_once(net, queries, targets, factors[f], opts));
+        } catch (...) {
+          errors[f] = std::current_exception();
+          break;
+        }
+        bool all_done = true;
+        for (std::size_t t = 0; t < targets.size(); ++t) {
+          done[t] = done[t] || conclusive(queries[targets[t].query], *rounds[f], t);
+          all_done = all_done && done[t];
+        }
+        if (all_done) break;  // larger candidates are never needed
+      }
+    } else {
+      const ExploreOptions per_round = split_jobs(opts, factors.size());
+      WorkerPool pool(static_cast<unsigned>(factors.size()) - 1);
+      pool.parallel_for(factors.size(), [&](std::size_t f) {
+        try {
+          rounds[f].emplace(sweep_once(net, queries, targets, factors[f], per_round));
+        } catch (...) {
+          errors[f] = std::current_exception();
+        }
+      });
+    }
+    // Count the candidate-order prefix that settles every target — the
+    // rounds a sequential refine loop runs; speculative rounds past it are
+    // discarded unaccounted, keeping statistics and surfaced errors
+    // identical at every thread count.
+    std::size_t counted = 0;
+    {
+      std::vector<char> done(targets.size(), 0);
+      for (std::size_t f = 0; f < factors.size(); ++f) {
+        if (errors[f]) std::rethrow_exception(errors[f]);
+        ++counted;
+        bool all_done = true;
+        for (std::size_t t = 0; t < targets.size(); ++t) {
+          done[t] = done[t] || conclusive(queries[targets[t].query], *rounds[f], t);
+          all_done = all_done && done[t];
+        }
+        if (all_done) break;
+      }
+    }
+    if (batch_stats) {
+      for (std::size_t f = 0; f < counted; ++f)
+        accumulate_stats(batch_stats->explore, rounds[f]->stats);
+      batch_stats->explorations += static_cast<int>(counted);
+    }
+    std::vector<SweepTarget> unresolved;
+    for (std::size_t t = 0; t < targets.size(); ++t) {
+      MaxClockResult& out = results[targets[t].query];
+      for (std::size_t f = 0; f < counted; ++f) accumulate_stats(out.stats, rounds[f]->stats);
+      out.probes += static_cast<int>(counted);
+      bool resolved = false;
+      for (std::size_t f = 0; f < counted && !resolved; ++f)
+        resolved = resolve_target(queries[targets[t].query], *rounds[f], t, out);
+      if (!resolved) {
+        targets[t].k = rounds[counted - 1]->consts[t];
+        unresolved.push_back(std::move(targets[t]));
+      }
+    }
+    targets.swap(unresolved);
+  }
+  return results;
+}
+
+}  // namespace
+
+std::vector<MaxClockResult> max_clock_values(const ta::Network& net,
+                                             const std::vector<BoundQuery>& queries,
+                                             ExploreOptions opts, BatchQueryStats* batch_stats) {
+  for (const BoundQuery& q : queries) validate_query(net, q.clock, q.limit);
+  if (opts.engine == QueryEngine::kProbe) {
+    std::vector<MaxClockResult> results;
+    results.reserve(queries.size());
+    for (const BoundQuery& q : queries) {
+      results.push_back(probe_max_clock_value(net, q.pred, q.clock, q.limit, opts, q.hint));
+      if (batch_stats) {
+        // Probe queries run independently: the batch total is the sum.
+        accumulate_stats(batch_stats->explore, results.back().stats);
+        batch_stats->explorations += results.back().probes;
+      }
+    }
+    return results;
+  }
+  return sweep_max_clock_values(net, queries, opts, batch_stats);
+}
+
+MaxClockResult max_clock_value(const ta::Network& net, const StateFormula& pred,
+                               ta::ClockId clock, std::int64_t limit, ExploreOptions opts,
+                               std::int64_t hint) {
+  std::vector<BoundQuery> queries(1);
+  queries[0].pred = pred;
+  queries[0].clock = clock;
+  queries[0].limit = limit;
+  queries[0].hint = hint;
+  return std::move(max_clock_values(net, queries, opts).front());
 }
 
 BoundedResponseResult check_bounded_response(const ta::Network& net, const StateFormula& pending,

@@ -6,14 +6,22 @@
 //                         condition holds (M-C delay, Input-Delay, ...)
 //   * deadlock freedom  — sanity of constructed PSMs
 //
-// Bounded response is answered by binary search over safety checks:
-// max{ t(clock) | pred } <= D  iff  the state (pred && clock > D) is
-// unreachable. Each individual check extends the extrapolation constants
-// with D, so the search is exact.
+// Bounded response is answered by one of two engines (ExploreOptions::
+// engine), both exact and bit-identical in their bounds:
+//   * sweep (default) — explore the state space ONCE and track, per
+//     symbolic state satisfying pred, the DBM upper bound of the probe
+//     clock. A finite upper bound below the extrapolation constant is
+//     exact; an abstracted (infinite) one triggers a widen-and-refine
+//     re-exploration with larger constants. A whole batch of queries is
+//     answered from the same exploration.
+//   * probe — binary search over safety checks: max{ t(clock) | pred } <= D
+//     iff the state (pred && clock > D) is unreachable. Each check extends
+//     the extrapolation constants with D, so the search is exact.
 #pragma once
 
 #include <cstdint>
 #include <optional>
+#include <vector>
 
 #include "mc/reach.h"
 
@@ -25,16 +33,50 @@ struct MaxClockResult {
   bool bounded = false;
   /// The least D such that A[](pred => clock <= D); valid when bounded.
   std::int64_t bound = 0;
-  /// A witness trace reaching clock == bound (the last failing check),
-  /// empty when the condition itself is unreachable.
+  /// A witness trace reaching clock == bound (probe mode: the last failing
+  /// check; sweep mode: the stored state attaining the maximum), empty when
+  /// the condition itself is unreachable.
   Trace witness;
   /// True when no state satisfying `pred` is reachable at all (bound = 0).
   bool condition_unreachable = false;
-  /// Aggregated exploration statistics across all binary-search probes.
+  /// Aggregated statistics over every exploration that served this query.
+  /// Batched sweep queries share explorations, so summing stats across a
+  /// batch counts the shared work once per query.
   ExploreStats stats;
-  /// Number of reachability probes performed by the binary search.
+  /// Number of reachability explorations performed for this query
+  /// (binary-search probes in probe mode, full sweeps in sweep mode).
   int probes = 0;
 };
+
+/// One maximum-clock query of a batch: the paper's delay measurements reset
+/// `clock` at the triggering event and read it while `pred` holds. `hint`
+/// seeds the search (sweep: the first widening candidate; probe: the gallop
+/// start); `limit` caps it — values above report bounded = false.
+struct BoundQuery {
+  StateFormula pred;
+  ta::ClockId clock = -1;
+  std::int64_t limit = 1'000'000;
+  std::int64_t hint = 1024;
+};
+
+/// Aggregate work of one max_clock_values batch, counting every shared
+/// exploration ONCE (per-query MaxClockResult stats attribute shared work
+/// to each query they served, so summing them over-counts).
+struct BatchQueryStats {
+  ExploreStats explore;
+  int explorations = 0;
+};
+
+/// Answer a batch of maximum-clock queries. The sweep engine (default)
+/// shares each full-space exploration across the whole batch — one sweep
+/// typically answers every query — and runs the refine-loop candidates in
+/// parallel; the probe engine answers the queries independently. Results
+/// are index-aligned with `queries` and identical for both engines.
+/// `batch_stats`, when given, receives the batch's total work.
+std::vector<MaxClockResult> max_clock_values(const ta::Network& net,
+                                             const std::vector<BoundQuery>& queries,
+                                             ExploreOptions opts = {},
+                                             BatchQueryStats* batch_stats = nullptr);
 
 /// Compute the maximum value `clock` can take over all reachable states
 /// satisfying `pred` (the paper's delay measurements: reset the clock at the

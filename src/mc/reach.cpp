@@ -15,6 +15,24 @@ namespace {
 /// narrow explorations (unit-test sized models) stay threadless.
 constexpr std::size_t kPoolSpawnWidth = 16;
 
+/// Rank-chunk width of the parallel terminal (goal-candidate) wave. Bounded
+/// so at most one chunk of inserts can overshoot the first accepted goal —
+/// the overshoot is subtracted from the reported statistics, and capping the
+/// chunk at max_states (see insert_terminal_wave) keeps the 2x hard memory
+/// backstop unreachable for runs the sequential engine completes.
+constexpr std::size_t kTerminalChunk = 1024;
+
+/// Element-wise max of the goal formula's clock constants with the
+/// caller-supplied extras (sweep widening candidates).
+std::vector<std::int32_t> merge_clock_consts(std::vector<std::int32_t> base,
+                                             const std::vector<std::int32_t>& extra) {
+  if (extra.empty()) return base;
+  PSV_REQUIRE(extra.size() == base.size(),
+              "extra_clock_consts must have one entry per network clock");
+  for (std::size_t i = 0; i < base.size(); ++i) base[i] = std::max(base[i], extra[i]);
+  return base;
+}
+
 }  // namespace
 
 std::string Trace::to_string() const {
@@ -26,14 +44,14 @@ std::string Trace::to_string() const {
   return os.str();
 }
 
-Reachability::Reachability(const ta::Network& net, const StateFormula& goal, ExploreOptions opts)
+Reachability::Reachability(const ta::Network& net, const StateFormula& goal, ExploreOptions opts,
+                           std::vector<std::int32_t> extra_clock_consts)
     : net_(net),
       goal_(goal),
       opts_(opts),
-      gen_(net, formula_clock_constants(net, goal)),
+      gen_(net, merge_clock_consts(formula_clock_constants(net, goal), extra_clock_consts)),
       shards_(kNumShards) {
-  jobs_ = opts_.jobs != 0 ? opts_.jobs : std::max(1u, std::thread::hardware_concurrency());
-  jobs_ = std::min(jobs_, 256u);
+  jobs_ = resolve_jobs(opts_.jobs);
   hard_state_limit_ = opts_.max_states > std::numeric_limits<std::size_t>::max() / 2
                           ? std::numeric_limits<std::size_t>::max()
                           : 2 * opts_.max_states;
@@ -231,40 +249,142 @@ ReachResult Reachability::run() {
       insert_wave();
       continue;
     }
-    // Terminal wave: a goal candidate exists, so fall back to strictly
-    // sequential rank-order insertion, reproducing the single-threaded
-    // engine's early exit (stop at the first *accepted* goal state; a
-    // subsumed candidate keeps the search going) and its statistics.
-    next_frontier_.clear();
-    for (std::size_t i = 0; i < frontier_.size(); ++i) {
-      ++stats_.states_explored;
-      for (GenSucc& gs : wave_succs_[i]) {
-        ++stats_.transitions_fired;
-        const bool is_goal = gs.is_goal;
-        const auto id = insert(std::move(gs.state), gs.hash, frontier_[i], std::move(gs.label));
-        if (!id.has_value()) continue;
-        if (is_goal) {
-          result.reachable = true;
-          result.trace = build_trace(*id);
-          result.stats = snapshot_stats();
-          return result;
-        }
-        next_frontier_.push_back(*id);
-      }
-    }
-    frontier_.swap(next_frontier_);
+    // Terminal wave: a goal candidate exists. Insert shard-parallel in
+    // bounded rank chunks; the first *accepted* goal in global rank order
+    // wins (a subsumed candidate keeps the search going), reproducing the
+    // sequential engine's early exit and its statistics exactly.
+    if (insert_terminal_wave(result)) return result;
   }
   result.reachable = false;
   result.stats = snapshot_stats();
   return result;
 }
 
+bool Reachability::insert_terminal_wave(ReachResult& result) {
+  const std::size_t prior_stored = total_stored_.load(std::memory_order_relaxed);
+  for (Shard& shard : shards_) {
+    shard.pending.clear();
+    shard.pending_cursor = 0;
+    shard.accepted.clear();
+    shard.subsumed_ranks.clear();
+  }
+  // Route every successor to its owning shard in rank order, and keep the
+  // global rank sequence for chunk boundaries.
+  std::vector<std::uint64_t> all_ranks;
+  std::size_t total_ranks = 0;
+  for (std::size_t i = 0; i < frontier_.size(); ++i) total_ranks += wave_succs_[i].size();
+  all_ranks.reserve(total_ranks);
+  for (std::size_t i = 0; i < frontier_.size(); ++i) {
+    for (std::size_t j = 0; j < wave_succs_[i].size(); ++j) {
+      const std::uint64_t rank = (static_cast<std::uint64_t>(i) << 32) | j;
+      all_ranks.push_back(rank);
+      shards_[shard_of(wave_succs_[i][j].hash, kNumShards)].pending.push_back(rank);
+    }
+  }
+  // Acceptance of a candidate depends only on its own shard's earlier
+  // insertions (equal discrete hash implies equal shard), so shard-parallel
+  // rank-order insertion decides exactly like the sequential engine; chunk
+  // barriers bound how far past the winning goal the wave can run.
+  const std::size_t chunk =
+      std::max<std::size_t>(1, std::min<std::size_t>(kTerminalChunk, opts_.max_states));
+  for (std::size_t begin = 0; begin < total_ranks; begin += chunk) {
+    const std::uint64_t boundary = all_ranks[std::min(begin + chunk, total_ranks) - 1];
+    for (Shard& shard : shards_) shard.accepted_goals.clear();
+    run_parallel(kNumShards, [&](std::size_t s) {
+      Shard& shard = shards_[s];
+      while (shard.pending_cursor < shard.pending.size() &&
+             shard.pending[shard.pending_cursor] <= boundary) {
+        const std::uint64_t rank = shard.pending[shard.pending_cursor++];
+        const std::size_t i = static_cast<std::size_t>(rank >> 32);
+        const std::size_t j = static_cast<std::size_t>(rank & 0xffffffffu);
+        GenSucc& gs = wave_succs_[i][j];
+        const bool is_goal = gs.is_goal;
+        const auto id = insert(std::move(gs.state), gs.hash, frontier_[i], std::move(gs.label),
+                               /*enforce_cap=*/false);
+        if (!id.has_value()) {
+          shard.subsumed_ranks.push_back(rank);
+          continue;
+        }
+        shard.accepted.emplace_back(rank, *id);
+        if (is_goal) shard.accepted_goals.emplace_back(rank, *id);
+      }
+    });
+    // First accepted goal in global rank order wins.
+    std::optional<std::pair<std::uint64_t, std::uint64_t>> winner;
+    for (const Shard& shard : shards_) {
+      if (!shard.accepted_goals.empty() &&
+          (!winner.has_value() || shard.accepted_goals.front().first < winner->first)) {
+        winner = shard.accepted_goals.front();
+      }
+    }
+    if (winner.has_value()) {
+      const std::uint64_t rank_r = winner->first;
+      // States ranked past the winner were never inserted by the
+      // sequential engine: subtract them from the reported statistics.
+      std::size_t accepted_le = 0;
+      std::size_t accepted_gt = 0;
+      std::size_t subsumed_gt = 0;
+      for (const Shard& shard : shards_) {
+        for (const auto& [rank, id] : shard.accepted) {
+          (void)id;
+          rank <= rank_r ? ++accepted_le : ++accepted_gt;
+        }
+        for (const std::uint64_t rank : shard.subsumed_ranks) {
+          if (rank > rank_r) ++subsumed_gt;
+        }
+      }
+      // The sequential engine checks the cap before every store up to and
+      // including the goal's own: reproduce its throw/no-throw decision.
+      PSV_REQUIRE(prior_stored + accepted_le <= opts_.max_states,
+                  "state-space exploration exceeded the configured limit of " +
+                      std::to_string(opts_.max_states) + " states");
+      const std::size_t i_r = static_cast<std::size_t>(rank_r >> 32);
+      stats_.states_explored += i_r + 1;
+      for (std::size_t i = 0; i < i_r; ++i) stats_.transitions_fired += wave_succs_[i].size();
+      stats_.transitions_fired += static_cast<std::size_t>(rank_r & 0xffffffffu) + 1;
+      result.reachable = true;
+      result.trace = build_trace(winner->second);
+      result.stats = snapshot_stats();
+      result.stats.states_stored -= accepted_gt;
+      result.stats.subsumed -= subsumed_gt;
+      return true;
+    }
+    // No goal accepted yet: the sequential engine processed this whole
+    // chunk too — apply its cap decision at the deterministic barrier.
+    PSV_REQUIRE(total_stored_.load(std::memory_order_relaxed) <= opts_.max_states,
+                "state-space exploration exceeded the configured limit of " +
+                    std::to_string(opts_.max_states) + " states");
+  }
+  // Every goal candidate was subsumed: the wave completed — account it and
+  // assemble the next frontier exactly like insert_wave().
+  stats_.states_explored += frontier_.size();
+  stats_.transitions_fired += total_ranks;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> merged;
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) total += shard.accepted.size();
+  merged.reserve(total);
+  for (const Shard& shard : shards_)
+    merged.insert(merged.end(), shard.accepted.begin(), shard.accepted.end());
+  std::sort(merged.begin(), merged.end());
+  next_frontier_.clear();
+  next_frontier_.reserve(merged.size());
+  for (const auto& [rank, id] : merged) next_frontier_.push_back(id);
+  frontier_.swap(next_frontier_);
+  return false;
+}
+
 ExploreStats Reachability::explore_all(const std::function<void(const SymState&)>& visit) {
+  if (!visit) return explore_all_ids(nullptr);
+  return explore_all_ids([&visit](const SymState& state, std::uint64_t) { visit(state); });
+}
+
+ExploreStats Reachability::explore_all_ids(
+    const std::function<void(const SymState&, std::uint64_t)>& visit) {
   seed_initial();
   while (!frontier_.empty()) {
     generate_wave(/*compute_goal=*/false, /*compute_blocked=*/false);
     if (visit) {
-      for (const std::uint64_t id : frontier_) visit(stored(id).state);
+      for (const std::uint64_t id : frontier_) visit(stored(id).state, id);
     }
     insert_wave();
   }

@@ -75,7 +75,12 @@ struct DeadlockResult {
 /// query remains exact for the constraints it mentions.
 class Reachability {
  public:
-  Reachability(const ta::Network& net, const StateFormula& goal, ExploreOptions opts = {});
+  /// `extra_clock_consts` (entry per clock, -1 = none) extends the
+  /// extrapolation constants beyond what the network and the goal formula
+  /// mention — the sweep bound engine uses this to keep a probe clock's
+  /// upper bounds exact up to its current widening candidate.
+  Reachability(const ta::Network& net, const StateFormula& goal, ExploreOptions opts = {},
+               std::vector<std::int32_t> extra_clock_consts = {});
   ~Reachability();
 
   Reachability(const Reachability&) = delete;
@@ -89,6 +94,16 @@ class Reachability {
   /// `visit` is always called sequentially from the calling thread, in
   /// deterministic exploration order — callbacks need no synchronization.
   ExploreStats explore_all(const std::function<void(const SymState&)>& visit);
+
+  /// explore_all variant whose visitor also receives the packed store id of
+  /// each state, usable with trace_of() to rebuild a witness afterwards
+  /// (the sweep bound engine records the id of the state attaining the
+  /// maximum). Same determinism guarantees as explore_all.
+  ExploreStats explore_all_ids(const std::function<void(const SymState&, std::uint64_t)>& visit);
+
+  /// Diagnostic trace from the initial state to a stored state, by the id
+  /// handed to an explore_all_ids visitor. Valid until the engine dies.
+  Trace trace_of(std::uint64_t id) const { return build_trace(id); }
 
   /// Deadlock search: find a state with no action successor. The optional
   /// `visit` callback sees every explored state (letting callers piggyback
@@ -124,6 +139,14 @@ class Reachability {
     /// Ranks ((frontier index << 32) | successor index) routed to this
     /// shard in the current wave, rank-ascending.
     std::vector<std::uint64_t> pending;
+    /// Cursor into `pending` for chunked terminal-wave insertion.
+    std::size_t pending_cursor = 0;
+    /// Ranks subsumed in the current terminal wave, rank-ascending (used to
+    /// reconstruct the sequential engine's statistics at the early exit).
+    std::vector<std::uint64_t> subsumed_ranks;
+    /// (rank, id) of goal-flagged states accepted in the current terminal
+    /// chunk, rank-ascending.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> accepted_goals;
   };
 
   /// One generated successor, with everything the insertion phase needs
@@ -165,6 +188,14 @@ class Reachability {
   /// next frontier (rank-sorted). Accounts states_explored /
   /// transitions_fired for the full wave.
   void insert_wave();
+
+  /// Insert a wave containing goal candidates, shard-parallel in bounded
+  /// rank chunks, stopping after the chunk holding the first accepted goal
+  /// in global rank order. Returns true (with `result` filled, statistics
+  /// reconstructed to the sequential engine's early-exit accounting) when a
+  /// goal was accepted; false when every candidate was subsumed — the next
+  /// frontier is then assembled exactly like insert_wave().
+  bool insert_terminal_wave(ReachResult& result);
 
   /// Run body(i) for i in [0, n) on the pool (created lazily) or inline.
   void run_parallel(std::size_t n, const std::function<void(std::size_t)>& body);

@@ -1,0 +1,110 @@
+#include "mc/session.h"
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace psv::mc {
+
+VerificationSession::VerificationSession(ta::Network net, ExploreOptions opts)
+    : net_(std::move(net)), opts_(opts) {}
+
+std::string VerificationSession::bound_key(const BoundQuery& query) const {
+  // The rendered formula is a faithful key: it spells out every location,
+  // data and clock conjunct. hint is part of the key only through the
+  // answer's stats, which cached hits reuse as-is.
+  return query.pred.to_string(net_) + "#" + std::to_string(query.clock) + "#" +
+         std::to_string(query.limit);
+}
+
+std::vector<MaxClockResult> VerificationSession::max_clock_values(
+    const std::vector<BoundQuery>& queries) {
+  std::vector<MaxClockResult> results(queries.size());
+  std::vector<BoundQuery> fresh;
+  std::vector<std::size_t> fresh_index;
+  std::vector<std::string> keys(queries.size());
+  for (std::size_t i = 0; i < queries.size(); ++i) {
+    keys[i] = bound_key(queries[i]);
+    ++stats_.queries;
+    const auto hit = bound_cache_.find(keys[i]);
+    if (hit != bound_cache_.end()) {
+      results[i] = hit->second;
+      ++stats_.cache_hits;
+      continue;
+    }
+    fresh.push_back(queries[i]);
+    fresh_index.push_back(i);
+  }
+  if (!fresh.empty()) {
+    BatchQueryStats batch;
+    std::vector<MaxClockResult> answers = mc::max_clock_values(net_, fresh, opts_, &batch);
+    // The batch total counts shared sweep work once (per-query stats
+    // attribute shared explorations to every query they served).
+    accumulate_stats(stats_.explore, batch.explore);
+    stats_.explorations += batch.explorations;
+    for (std::size_t f = 0; f < answers.size(); ++f) {
+      bound_cache_[keys[fresh_index[f]]] = answers[f];
+      results[fresh_index[f]] = std::move(answers[f]);
+    }
+  }
+  return results;
+}
+
+MaxClockResult VerificationSession::max_clock_value(const BoundQuery& query) {
+  std::vector<BoundQuery> batch(1, query);
+  return std::move(max_clock_values(batch).front());
+}
+
+void VerificationSession::ensure_flag_sweep() {
+  if (flag_sweep_done_) return;
+  var_seen_one_.assign(static_cast<std::size_t>(net_.num_vars()), false);
+  Reachability engine(net_, StateFormula{}, opts_);
+  deadlock_ = engine.find_deadlock([this](const SymState& state) {
+    for (std::size_t v = 0; v < state.vars.size(); ++v)
+      if (state.vars[v] == 1) var_seen_one_[v] = true;
+  });
+  accumulate_stats(stats_.explore, deadlock_.stats);
+  ++stats_.explorations;
+  flag_sweep_done_ = true;
+}
+
+VerificationSession::FlagReport VerificationSession::check_flags(
+    const std::vector<ta::VarId>& flags) {
+  const bool first_call = !flag_sweep_done_;
+  ensure_flag_sweep();
+  FlagReport report;
+  report.deadlock = deadlock_;
+  stats_.queries += static_cast<int>(flags.size()) + 1;  // flags + deadlock
+  if (!first_call) stats_.cache_hits += static_cast<int>(flags.size()) + 1;
+  // A timelock aborts the shared sweep before the full space is visited;
+  // the per-flag verdicts are then not definitive.
+  report.shared_sweep = !(deadlock_.found && deadlock_.timelock);
+  if (!report.shared_sweep) return report;
+  report.reachable.reserve(flags.size());
+  for (const ta::VarId flag : flags) {
+    PSV_REQUIRE(flag >= 0 && flag < net_.num_vars(),
+                "check_flags: flag variable outside the session network");
+    report.reachable.push_back(var_seen_one_[static_cast<std::size_t>(flag)]);
+  }
+  return report;
+}
+
+ReachResult VerificationSession::query_reachable(const StateFormula& goal) {
+  ReachResult r = reachable(net_, goal, opts_);
+  accumulate_stats(stats_.explore, r.stats);
+  ++stats_.explorations;
+  ++stats_.queries;
+  return r;
+}
+
+BoundedResponseResult VerificationSession::check_bounded_response(const StateFormula& pending,
+                                                                 ta::ClockId clock,
+                                                                 std::int64_t delta) {
+  BoundedResponseResult r = mc::check_bounded_response(net_, pending, clock, delta, opts_);
+  accumulate_stats(stats_.explore, r.stats);
+  ++stats_.explorations;
+  ++stats_.queries;
+  return r;
+}
+
+}  // namespace psv::mc

@@ -1,0 +1,98 @@
+// Shared verification sessions.
+//
+// A VerificationSession owns one (typically probe-instrumented) network and
+// one engine configuration, and serves every query of a verification run
+// from shared exploration work instead of one independent run per query:
+//
+//   * max_clock_values — a whole batch of delay-bound queries (the paper's
+//     per-variable Input-/Output-Delay maxima plus the end-to-end M-C
+//     delay) answered by the sweep engine from ONE full-space exploration,
+//     with the widen-and-refine candidates running in parallel;
+//   * check_flags — reachability of all C1–C4 sticky flags plus the
+//     deadlock/timelock search from one shared exploration, cached across
+//     calls (the flags are discrete, so visiting the subsumption-reduced
+//     space once is exact for every flag at once);
+//   * repeated queries are memoized — asking the same bound twice costs no
+//     second exploration (SessionStats::cache_hits counts these).
+//
+// The session copies the network it is given, so callers may hand in a
+// temporary instrumented copy and keep the session alive past it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mc/query.h"
+
+namespace psv::mc {
+
+/// Aggregate work performed by a session, across every exploration it ran.
+/// Shared explorations are counted once (unlike per-query MaxClockResult
+/// stats, which attribute shared work to every query it served).
+struct SessionStats {
+  ExploreStats explore;
+  int explorations = 0;  ///< reachability runs / sweeps performed
+  int queries = 0;       ///< queries answered (batched ones count each)
+  int cache_hits = 0;    ///< queries answered from the session cache
+};
+
+class VerificationSession {
+ public:
+  explicit VerificationSession(ta::Network net, ExploreOptions opts = {});
+
+  const ta::Network& net() const { return net_; }
+  const ExploreOptions& options() const { return opts_; }
+
+  /// Answer a batch of maximum-clock queries from shared explorations
+  /// (engine per options().engine). Results are index-aligned with
+  /// `queries`; repeated queries are served from the session cache.
+  std::vector<MaxClockResult> max_clock_values(const std::vector<BoundQuery>& queries);
+
+  /// Single-query convenience; identical answers to the batched form.
+  MaxClockResult max_clock_value(const BoundQuery& query);
+
+  /// Reachability of `flag == 1` for each sticky flag, plus the
+  /// deadlock/timelock search, from one shared full-space exploration. The
+  /// exploration is cached: later calls (any flag set) are free. When a
+  /// timelock aborts the shared sweep early its flag verdicts are not
+  /// definitive: `shared_sweep` is false, `reachable` is empty, and callers
+  /// should fall back to individual query_reachable() calls.
+  struct FlagReport {
+    std::vector<bool> reachable;  ///< index-aligned with the queried flags
+    DeadlockResult deadlock;
+    /// True when the verdicts came from the shared full-space sweep (the
+    /// caller may report its statistics); false for the timelock fallback.
+    bool shared_sweep = true;
+  };
+  FlagReport check_flags(const std::vector<ta::VarId>& flags);
+
+  /// Plain reachability of `goal` under the session options.
+  ReachResult query_reachable(const StateFormula& goal);
+
+  /// Bounded-response check A[](pending => clock <= delta).
+  BoundedResponseResult check_bounded_response(const StateFormula& pending, ta::ClockId clock,
+                                               std::int64_t delta);
+
+  const SessionStats& stats() const { return stats_; }
+
+ private:
+  /// Run (once) the cached full-space deadlock + flag sweep.
+  void ensure_flag_sweep();
+
+  std::string bound_key(const BoundQuery& query) const;
+
+  ta::Network net_;  ///< owned copy; the session outlives caller temporaries
+  ExploreOptions opts_;
+  SessionStats stats_;
+
+  // Cached full-space sweep results.
+  bool flag_sweep_done_ = false;
+  std::vector<bool> var_seen_one_;  ///< per variable: some state has v == 1
+  DeadlockResult deadlock_;
+
+  std::unordered_map<std::string, MaxClockResult> bound_cache_;
+};
+
+}  // namespace psv::mc

@@ -4,6 +4,11 @@
 
 namespace psv::mc {
 
+unsigned resolve_jobs(unsigned jobs) {
+  if (jobs == 0) jobs = std::max(1u, std::thread::hardware_concurrency());
+  return std::min(jobs, 256u);
+}
+
 WorkerPool::WorkerPool(unsigned extra_threads) {
   threads_.reserve(extra_threads);
   for (unsigned t = 0; t < extra_threads; ++t)

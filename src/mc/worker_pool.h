@@ -19,6 +19,10 @@
 
 namespace psv::mc {
 
+/// Resolve an ExploreOptions::jobs value to an actual thread count: 0 means
+/// one per hardware thread, clamped to the engine-wide ceiling.
+unsigned resolve_jobs(unsigned jobs);
+
 class WorkerPool {
  public:
   /// Spawns `extra_threads` workers (the caller of parallel_for is the

@@ -459,10 +459,18 @@ Network request_response_net() {
 
 TEST(MaxClock, RequestResponseBoundIs500) {
   Network net = request_response_net();
-  MaxClockResult r = max_clock_value(net, at(net, "ENV", "Await"), 0, 100000);
-  ASSERT_TRUE(r.bounded);
-  EXPECT_EQ(r.bound, 500);
-  EXPECT_GT(r.probes, 2);
+  // Sweep engine (default): one full-space exploration answers the query.
+  MaxClockResult sweep = max_clock_value(net, at(net, "ENV", "Await"), 0, 100000);
+  ASSERT_TRUE(sweep.bounded);
+  EXPECT_EQ(sweep.bound, 500);
+  EXPECT_LE(sweep.probes, 2) << "hint 1024 covers the bound: no refinement needed";
+  // Probe engine (cross-check): gallop + binary search, identical bound.
+  ExploreOptions probe_opts;
+  probe_opts.engine = QueryEngine::kProbe;
+  MaxClockResult probe = max_clock_value(net, at(net, "ENV", "Await"), 0, 100000, probe_opts);
+  ASSERT_TRUE(probe.bounded);
+  EXPECT_EQ(probe.bound, 500);
+  EXPECT_GT(probe.probes, 2);
 }
 
 TEST(BoundedResponse, HoldsAtExactBound) {

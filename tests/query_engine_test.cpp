@@ -1,0 +1,375 @@
+// Differential coverage for the two bound-query engines and the shared
+// verification sessions.
+//
+// The sweep engine (one full-space exploration, widen-and-refine) and the
+// probe engine (gallop + binary search) must produce bit-identical bounds
+// on every model: the paper's pump case study (Table-I 490/440), the
+// quickstart model, and a seeded family of randomized request/response
+// networks. Session reuse must be invisible: batched queries, one-off
+// queries and repeated (cached) queries all agree.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/framework.h"
+#include "core/pim.h"
+#include "core/transform.h"
+#include "gpca/pump_model.h"
+#include "lang/model_parser.h"
+#include "lang/scheme_parser.h"
+#include "mc/query.h"
+#include "mc/session.h"
+#include "model_paths.h"
+#include "util/rng.h"
+
+namespace psv {
+namespace {
+
+using namespace psv::ta;
+using psv::testing::find_model_dir;
+using psv::testing::read_file;
+
+mc::ExploreOptions engine_opts(mc::QueryEngine engine, unsigned jobs) {
+  mc::ExploreOptions opts;
+  opts.engine = engine;
+  opts.jobs = jobs;
+  return opts;
+}
+
+void expect_same_answer(const mc::MaxClockResult& a, const mc::MaxClockResult& b,
+                        const std::string& label) {
+  EXPECT_EQ(a.bounded, b.bounded) << label;
+  EXPECT_EQ(a.bound, b.bound) << label;
+  EXPECT_EQ(a.condition_unreachable, b.condition_unreachable) << label;
+}
+
+// --- Pump case study (Table I) ----------------------------------------------
+
+TEST(QueryEngineDifferential, PumpTableIBoundsIdenticalAcrossEnginesAndJobs) {
+  gpca::PumpModelOptions opt;
+  opt.include_empty_syringe = false;  // keeps every exploration in seconds
+  const Network pim = gpca::build_pump_pim(opt);
+  const core::PimInfo info = gpca::pump_pim_info(pim);
+  const core::PsmArtifacts psm = core::transform(pim, info, gpca::board_scheme(opt));
+  const core::InputArtifacts& in = psm.input("BolusReq");
+  const core::OutputArtifacts& out = psm.output("StartInfusion");
+
+  std::vector<mc::MaxClockResult> in_results;
+  std::vector<mc::MaxClockResult> out_results;
+  for (const unsigned jobs : {1u, 8u}) {
+    for (const mc::QueryEngine engine : {mc::QueryEngine::kSweep, mc::QueryEngine::kProbe}) {
+      const mc::ExploreOptions opts = engine_opts(engine, jobs);
+      in_results.push_back(mc::max_clock_value(psm.psm, mc::when(var_eq(in.pending, 1)),
+                                               in.delay_clock, 100'000, opts, 490));
+      out_results.push_back(mc::max_clock_value(psm.psm, mc::when(var_eq(out.pending, 1)),
+                                                out.delay_clock, 100'000, opts, 440));
+    }
+  }
+  for (std::size_t i = 1; i < in_results.size(); ++i) {
+    expect_same_answer(in_results[0], in_results[i], "Input-Delay(BolusReq) run " +
+                                                         std::to_string(i));
+    expect_same_answer(out_results[0], out_results[i], "Output-Delay(StartInfusion) run " +
+                                                           std::to_string(i));
+  }
+  ASSERT_TRUE(in_results[0].bounded);
+  EXPECT_EQ(in_results[0].bound, 490) << "Table-I Input-Delay";
+  ASSERT_TRUE(out_results[0].bounded);
+  EXPECT_EQ(out_results[0].bound, 440) << "Table-I Output-Delay";
+}
+
+// --- Quickstart model -------------------------------------------------------
+
+TEST(QueryEngineDifferential, QuickstartPipelineIdenticalAcrossEnginesAndJobs) {
+  const std::string dir = find_model_dir();
+  if (dir.empty()) GTEST_SKIP() << "example model files not found from test cwd";
+  const Network pim = lang::parse_model(read_file(dir + "quickstart.psv"));
+  const core::PimInfo info = core::analyze_pim(pim);
+  const core::ImplementationScheme scheme = lang::parse_scheme(read_file(dir + "fast.pss"));
+  const core::TimingRequirement req{"QREQ", "Req", "Ack", 80};
+
+  std::vector<core::FrameworkResult> results;
+  for (const unsigned jobs : {1u, 8u}) {
+    for (const mc::QueryEngine engine : {mc::QueryEngine::kSweep, mc::QueryEngine::kProbe}) {
+      core::FrameworkOptions options;
+      options.explore = engine_opts(engine, jobs);
+      results.push_back(core::run_framework(pim, info, scheme, req, options));
+    }
+  }
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    // The rendered report embeds every verified bound and the shared
+    // constraint-exploration statistics; string equality pins both engines
+    // and both thread counts to the same pipeline outcome.
+    EXPECT_EQ(results[0].summary(), results[i].summary()) << "run " << i;
+  }
+  EXPECT_EQ(results[0].bounds.input_delays.at(0).verified, 14);
+  EXPECT_EQ(results[0].bounds.output_delays.at(0).verified, 3);
+  EXPECT_EQ(results[0].bounds.lemma2_total, 97);
+}
+
+// --- Seeded randomized networks ---------------------------------------------
+
+// A randomized request/response network: ENV issues req (resetting probe
+// clock t) and awaits resp; M works for a seeded window [lo, hi] (invariant
+// x <= hi), optionally unbounded (no invariant, time diverges at Work); a
+// third automaton interleaves on its own clock to widen the product. The
+// exact maximum of t at ENV.Await is hi (delivery is immediate), or
+// unbounded without the invariant.
+Network random_reqresp_net(std::uint64_t seed, bool bounded, std::int32_t& expected_hi) {
+  Rng rng(seed);
+  Network net("rand" + std::to_string(seed));
+  const ClockId t = net.add_clock("t");
+  const ClockId x = net.add_clock("x");
+  const ClockId z = net.add_clock("z");
+  const ChanId req = net.add_channel("req", ChanKind::kBinary);
+  const ChanId resp = net.add_channel("resp", ChanKind::kBinary);
+  const auto lo = static_cast<std::int32_t>(rng.uniform_int(1, 40));
+  const auto hi = static_cast<std::int32_t>(lo + rng.uniform_int(1, 400));
+  expected_hi = hi;
+
+  Automaton env("ENV");
+  const LocId idle = env.add_location("Idle");
+  const LocId await = env.add_location("Await");
+  Edge send;
+  send.src = idle;
+  send.dst = await;
+  send.sync = SyncLabel::send(req);
+  send.update.resets = {{t, 0}};
+  env.add_edge(send);
+  Edge recv;
+  recv.src = await;
+  recv.dst = idle;
+  recv.sync = SyncLabel::receive(resp);
+  env.add_edge(recv);
+  net.add_automaton(std::move(env));
+
+  Automaton m("M");
+  const LocId midle = m.add_location("Idle");
+  std::vector<ClockConstraint> inv;
+  if (bounded) inv.push_back(cc_le(x, hi));
+  const LocId work = m.add_location("Work", LocKind::kNormal, inv);
+  Edge take;
+  take.src = midle;
+  take.dst = work;
+  take.sync = SyncLabel::receive(req);
+  take.update.resets = {{x, 0}};
+  m.add_edge(take);
+  Edge give;
+  give.src = work;
+  give.dst = midle;
+  give.guard.clocks = {cc_ge(x, lo)};
+  give.sync = SyncLabel::send(resp);
+  m.add_edge(give);
+  net.add_automaton(std::move(m));
+
+  Automaton w("W");
+  const auto period = static_cast<std::int32_t>(rng.uniform_int(3, 25));
+  const LocId w0 = w.add_location("W0", LocKind::kNormal, {cc_le(z, period)});
+  const LocId w1 = w.add_location("W1", LocKind::kNormal, {cc_le(z, period)});
+  Edge tick;
+  tick.src = w0;
+  tick.dst = w1;
+  tick.guard.clocks = {cc_ge(z, 1)};
+  tick.update.resets = {{z, 0}};
+  w.add_edge(tick);
+  Edge tock = tick;
+  tock.src = w1;
+  tock.dst = w0;
+  w.add_edge(tock);
+  net.add_automaton(std::move(w));
+  return net;
+}
+
+TEST(QueryEngineDifferential, SeededRandomizedNetworksAgree) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const bool bounded = seed % 3 != 0;  // every third net is unbounded
+    std::int32_t hi = 0;
+    const Network net = random_reqresp_net(seed, bounded, hi);
+    const mc::StateFormula pred = mc::at(net, "ENV", "Await");
+    // Hints straddling the answer exercise round-0 resolution, the
+    // widen-and-refine loop, and the probe gallop from both sides.
+    for (const std::int64_t hint : {std::int64_t{1}, std::int64_t{hi}, std::int64_t{5000}}) {
+      const mc::MaxClockResult sweep = mc::max_clock_value(
+          net, pred, 0, 10'000, engine_opts(mc::QueryEngine::kSweep, 1), hint);
+      const mc::MaxClockResult probe = mc::max_clock_value(
+          net, pred, 0, 10'000, engine_opts(mc::QueryEngine::kProbe, 1), hint);
+      expect_same_answer(sweep, probe,
+                         "seed " + std::to_string(seed) + " hint " + std::to_string(hint));
+      if (bounded) {
+        ASSERT_TRUE(sweep.bounded) << "seed " << seed;
+        EXPECT_EQ(sweep.bound, hi) << "seed " << seed;
+      } else {
+        EXPECT_FALSE(sweep.bounded) << "seed " << seed;
+      }
+    }
+  }
+}
+
+// --- Session reuse -----------------------------------------------------------
+
+TEST(SessionReuse, BatchedAndOneOffAndCachedQueriesAgree) {
+  gpca::PumpModelOptions opt;
+  opt.include_empty_syringe = false;
+  const Network pim = gpca::build_pump_pim(opt);
+  const core::PimInfo info = gpca::pump_pim_info(pim);
+  const core::PsmArtifacts psm = core::transform(pim, info, gpca::board_scheme(opt));
+
+  std::vector<mc::BoundQuery> batch;
+  for (const core::InputArtifacts& in : psm.inputs) {
+    mc::BoundQuery q;
+    q.pred = mc::when(var_eq(in.pending, 1));
+    q.clock = in.delay_clock;
+    q.limit = 100'000;
+    q.hint = 490;
+    batch.push_back(std::move(q));
+  }
+  for (const core::OutputArtifacts& out : psm.outputs) {
+    mc::BoundQuery q;
+    q.pred = mc::when(var_eq(out.pending, 1));
+    q.clock = out.delay_clock;
+    q.limit = 100'000;
+    q.hint = 440;
+    batch.push_back(std::move(q));
+  }
+  ASSERT_GE(batch.size(), 3u);
+
+  mc::VerificationSession session(psm.psm, {});
+  const std::vector<mc::MaxClockResult> batched = session.max_clock_values(batch);
+  const int explorations_after_batch = session.stats().explorations;
+  EXPECT_EQ(explorations_after_batch, 1)
+      << "the whole batch must be answered from one shared sweep";
+
+  // One-off queries (fresh session each) give the same answers.
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    mc::VerificationSession fresh(psm.psm, {});
+    expect_same_answer(batched[i], fresh.max_clock_value(batch[i]),
+                       "one-off query " + std::to_string(i));
+  }
+
+  // Re-asking the session is answered from the cache: same answers, no new
+  // exploration.
+  for (std::size_t i = 0; i < batch.size(); ++i)
+    expect_same_answer(batched[i], session.max_clock_value(batch[i]),
+                       "cached query " + std::to_string(i));
+  EXPECT_EQ(session.stats().explorations, explorations_after_batch);
+  EXPECT_GE(session.stats().cache_hits, static_cast<int>(batch.size()));
+}
+
+TEST(SessionReuse, RefinementWorkIsAccounted) {
+  // Two sequential work phases with an intermediate reset of x: no single
+  // clock difference bounds the probe clock t (max 400 = 2 phases x 200),
+  // so a low hint abstracts t's upper bound away and forces the sweep
+  // through the widen-and-refine loop, whose explorations must all land in
+  // the session's totals (they feed --stats-json and bench_query_engine).
+  Network net("twophase");
+  const ClockId t = net.add_clock("t");
+  const ClockId x = net.add_clock("x");
+  const ChanId req = net.add_channel("req", ChanKind::kBinary);
+  const ChanId resp = net.add_channel("resp", ChanKind::kBinary);
+  Automaton env("ENV");
+  const LocId idle = env.add_location("Idle");
+  const LocId await = env.add_location("Await");
+  Edge send;
+  send.src = idle;
+  send.dst = await;
+  send.sync = SyncLabel::send(req);
+  send.update.resets = {{t, 0}};
+  env.add_edge(send);
+  Edge recv;
+  recv.src = await;
+  recv.dst = idle;
+  recv.sync = SyncLabel::receive(resp);
+  env.add_edge(recv);
+  net.add_automaton(std::move(env));
+  Automaton m("M");
+  const LocId midle = m.add_location("Idle");
+  const LocId w1 = m.add_location("W1", LocKind::kNormal, {cc_le(x, 200)});
+  const LocId w2 = m.add_location("W2", LocKind::kNormal, {cc_le(x, 200)});
+  Edge take;
+  take.src = midle;
+  take.dst = w1;
+  take.sync = SyncLabel::receive(req);
+  take.update.resets = {{x, 0}};
+  m.add_edge(take);
+  Edge step;
+  step.src = w1;
+  step.dst = w2;
+  step.guard.clocks = {cc_ge(x, 1)};
+  step.update.resets = {{x, 0}};
+  m.add_edge(step);
+  Edge give;
+  give.src = w2;
+  give.dst = midle;
+  give.guard.clocks = {cc_ge(x, 1)};
+  give.sync = SyncLabel::send(resp);
+  m.add_edge(give);
+  net.add_automaton(std::move(m));
+
+  mc::VerificationSession session(net, {});
+  mc::BoundQuery q;
+  q.pred = mc::at(net, "ENV", "Await");
+  q.clock = t;
+  q.limit = 50'000;
+  q.hint = 1;
+  const mc::MaxClockResult r = session.max_clock_value(q);
+  ASSERT_TRUE(r.bounded);
+  EXPECT_EQ(r.bound, 400);
+  EXPECT_GT(r.probes, 1) << "hint 1 must trigger at least one refine round";
+  EXPECT_EQ(session.stats().explorations, r.probes)
+      << "single-query batch: session totals must equal the query's counted sweeps";
+  EXPECT_EQ(session.stats().explore.states_explored, r.stats.states_explored);
+
+  // The probe engine agrees from the same low hint.
+  const mc::MaxClockResult probe = mc::max_clock_value(
+      net, q.pred, t, q.limit, engine_opts(mc::QueryEngine::kProbe, 1), q.hint);
+  ASSERT_TRUE(probe.bounded);
+  EXPECT_EQ(probe.bound, 400);
+}
+
+TEST(SessionReuse, RepeatedFlagChecksShareOneExploration) {
+  gpca::PumpModelOptions opt;
+  opt.include_empty_syringe = false;
+  const Network pim = gpca::build_pump_pim(opt);
+  const core::PimInfo info = gpca::pump_pim_info(pim);
+  const core::PsmArtifacts psm = core::transform(pim, info, gpca::board_scheme(opt));
+
+  mc::VerificationSession session(psm.psm, {});
+  const core::ConstraintReport first = core::check_constraints(session, psm);
+  const int explorations = session.stats().explorations;
+  EXPECT_EQ(explorations, 1) << "all C1-C4 flags and the deadlock search share one sweep";
+  const core::ConstraintReport second = core::check_constraints(session, psm);
+  EXPECT_EQ(session.stats().explorations, explorations) << "repeat must be served from cache";
+  EXPECT_EQ(first.to_string(), second.to_string());
+  EXPECT_TRUE(first.all_hold()) << first.to_string();
+}
+
+TEST(SessionReuse, SessionBackedPipelineMatchesLegacyPaths) {
+  const std::string dir = find_model_dir();
+  if (dir.empty()) GTEST_SKIP() << "example model files not found from test cwd";
+  const Network pim = lang::parse_model(read_file(dir + "quickstart.psv"));
+  const core::PimInfo info = core::analyze_pim(pim);
+  const core::ImplementationScheme scheme = lang::parse_scheme(read_file(dir + "fast.pss"));
+  const core::PsmArtifacts psm = core::transform(pim, info, scheme);
+  const core::TimingRequirement req{"QREQ", "Req", "Ack", 80};
+
+  // Legacy convenience API (internal one-shot session)...
+  const core::BoundAnalysis legacy = core::analyze_bounds(psm, 500, req, 100'000);
+  // ...and an explicitly shared session: identical verified bounds.
+  core::InstrumentedPsm instrumented = core::instrument_psm_for_requirement(psm, req);
+  mc::VerificationSession session(std::move(instrumented.net), {});
+  const core::BoundAnalysis shared =
+      core::analyze_bounds(session, psm, instrumented.mc_probe, 500, req, 100'000);
+  ASSERT_EQ(legacy.input_delays.size(), shared.input_delays.size());
+  for (std::size_t i = 0; i < legacy.input_delays.size(); ++i)
+    EXPECT_EQ(legacy.input_delays[i].verified, shared.input_delays[i].verified);
+  ASSERT_EQ(legacy.output_delays.size(), shared.output_delays.size());
+  for (std::size_t i = 0; i < legacy.output_delays.size(); ++i)
+    EXPECT_EQ(legacy.output_delays[i].verified, shared.output_delays[i].verified);
+  EXPECT_EQ(legacy.verified_mc_delay, shared.verified_mc_delay);
+  EXPECT_EQ(legacy.lemma2_total, shared.lemma2_total);
+}
+
+}  // namespace
+}  // namespace psv

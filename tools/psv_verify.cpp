@@ -2,11 +2,15 @@
 //
 //   psv_verify MODEL.psv SCHEME.pss "REQ: input -> output within BOUND"
 //              [--sim N] [--limit MS] [--print-psm] [--seed S] [--jobs N]
+//              [--engine sweep|probe] [--stats-json FILE]
 //
 // Loads a PIM from a model file and an implementation scheme from a scheme
 // file, runs the complete verification pipeline (PIM check, PIM->PSM
 // transformation, constraints C1-C4, Lemma-1/2 bounds, exact PSM delays)
-// and optionally cross-checks with N simulated scenarios.
+// through a shared verification session and optionally cross-checks with N
+// simulated scenarios.
+#include <chrono>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -40,8 +44,67 @@ int usage() {
          "  --print-psm   dump the constructed PSM before verifying\n"
          "  --jobs N      exploration worker threads (default: all hardware\n"
          "                threads; 1 = single-threaded; results are identical\n"
-         "                for every value)\n";
+         "                for every value)\n"
+         "  --engine E    bound-query engine: 'sweep' (default; one shared\n"
+         "                exploration answers the whole query batch) or\n"
+         "                'probe' (binary-search cross-check); bounds are\n"
+         "                bit-identical for both\n"
+         "  --stats-json FILE\n"
+         "                write per-stage statistics (wall clock, states\n"
+         "                stored/explored, explorations) as JSON\n";
   return 2;
+}
+
+/// Minimal JSON string escaping: quotes, backslashes, control characters.
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(c));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void write_stats_json(const std::string& path, const psv::core::FrameworkResult& result,
+                      const std::string& model_path, unsigned jobs, const std::string& engine,
+                      double total_wall_ms) {
+  std::ofstream out(path);
+  PSV_REQUIRE(out.good(), "cannot write '" + path + "'");
+  out << "{\n";
+  out << "  \"model\": \"" << json_escape(model_path) << "\",\n";
+  out << "  \"requirement\": \"" << json_escape(result.requirement.name) << "\",\n";
+  out << "  \"engine\": \"" << engine << "\",\n";
+  out << "  \"jobs\": " << jobs << ",\n";
+  out << "  \"total_wall_ms\": " << total_wall_ms << ",\n";
+  out << "  \"verified\": {\n";
+  out << "    \"pim_max_delay\": " << result.pim.max_delay << ",\n";
+  out << "    \"lemma2_total\": " << result.bounds.lemma2_total << ",\n";
+  out << "    \"psm_mc_delay\": " << result.bounds.verified_mc_delay << ",\n";
+  out << "    \"constraints_hold\": " << (result.constraints.all_hold() ? "true" : "false")
+      << ",\n";
+  out << "    \"meets_relaxed\": " << (result.psm_meets_relaxed ? "true" : "false") << "\n";
+  out << "  },\n";
+  out << "  \"stages\": [\n";
+  for (std::size_t i = 0; i < result.stages.size(); ++i) {
+    const psv::core::StageStats& s = result.stages[i];
+    out << "    {\"name\": \"" << json_escape(s.name) << "\", \"wall_ms\": " << s.wall_ms
+        << ", \"explorations\": " << s.explorations
+        << ", \"states_stored\": " << s.explore.states_stored
+        << ", \"states_explored\": " << s.explore.states_explored
+        << ", \"transitions_fired\": " << s.explore.transitions_fired
+        << ", \"subsumed\": " << s.explore.subsumed << "}"
+        << (i + 1 < result.stages.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
 }
 
 }  // namespace
@@ -58,6 +121,8 @@ int main(int argc, char** argv) {
     std::int64_t limit = 1'000'000;
     unsigned jobs = 0;  // 0 = one worker per hardware thread
     bool print_psm = false;
+    std::string engine = "sweep";
+    std::string stats_json_path;
     for (int i = 4; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--sim" && i + 1 < argc) {
@@ -73,6 +138,14 @@ int main(int argc, char** argv) {
           return usage();
         }
         jobs = static_cast<unsigned>(parsed);
+      } else if (arg == "--engine" && i + 1 < argc) {
+        engine = argv[++i];
+        if (engine != "sweep" && engine != "probe") {
+          std::cerr << "--engine expects 'sweep' or 'probe'\n";
+          return usage();
+        }
+      } else if (arg == "--stats-json" && i + 1 < argc) {
+        stats_json_path = argv[++i];
       } else if (arg == "--print-psm") {
         print_psm = true;
       } else {
@@ -97,9 +170,20 @@ int main(int argc, char** argv) {
     psv::core::FrameworkOptions options;
     options.search_limit = limit;
     options.explore.jobs = jobs;
+    options.explore.engine =
+        engine == "probe" ? psv::mc::QueryEngine::kProbe : psv::mc::QueryEngine::kSweep;
+    const auto wall_start = std::chrono::steady_clock::now();
     const psv::core::FrameworkResult result =
         psv::core::run_framework(pim, info, scheme, req, options);
+    const double total_wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - wall_start)
+            .count();
     std::cout << result.summary() << "\n";
+
+    if (!stats_json_path.empty()) {
+      write_stats_json(stats_json_path, result, model_path, jobs, engine, total_wall_ms);
+      std::cout << "wrote per-stage stats to " << stats_json_path << "\n";
+    }
 
     if (sim_scenarios > 0) {
       psv::sim::MeasurementConfig config;
