@@ -1,6 +1,7 @@
 #include "core/framework.h"
 
 #include <chrono>
+#include <optional>
 #include <sstream>
 
 namespace psv::core {
@@ -43,6 +44,14 @@ std::string FrameworkResult::summary() const {
      << (psm_meets_original ? "yes" : "NO (platform delays break the original bound)") << "\n";
   os << "  PSM |= P(" << bounds.lemma2_total << ")? "
      << (psm_meets_relaxed ? "yes (relaxed bound verified)" : "NO") << "\n";
+  // Cache accounting renders on its own greppable [cache] lines, so warm
+  // and cold reports stay byte-identical outside this block (the warm-cache
+  // differential gates compare summaries with these lines filtered out).
+  for (const StageStats& s : stages) {
+    if (!s.cache.enabled) continue;
+    os << "[cache] " << s.name << ": " << s.cache.state() << " (hits " << s.cache.hits
+       << ", misses " << s.cache.misses << ", stored " << s.cache.stores << ")\n";
+  }
   return os.str();
 }
 
@@ -52,11 +61,20 @@ FrameworkResult run_framework(const ta::Network& pim, const PimInfo& info,
   FrameworkResult result;
   result.requirement = req;
 
-  // [1] PIM |= P(delta_mc) and the PIM's exact internal bound.
+  // Persistent artifact cache (off unless a directory is configured). Each
+  // exploring stage keys its artifact on the canonical fingerprint of the
+  // network it explores, so edits invalidate exactly the stages they touch.
+  const bool cache_enabled = !options.cache_dir.empty();
+  std::optional<mc::ArtifactStore> store;
+  if (cache_enabled) store.emplace(options.cache_dir);
+
+  // [1] PIM |= P(delta_mc) and the PIM's exact internal bound. Keyed on the
+  // instrumented PIM: scheme edits never invalidate this stage.
   auto start = SteadyClock::now();
-  result.pim = verify_pim_requirement(pim, info, req, options.search_limit, options.explore);
-  result.stages.push_back(
-      StageStats{"pim-verification", ms_since(start), result.pim.stats, result.pim.explorations});
+  result.pim = verify_pim_requirement(pim, info, req, options.search_limit, options.explore,
+                                      store ? &*store : nullptr);
+  result.stages.push_back(StageStats{"pim-verification", ms_since(start), result.pim.stats,
+                                     result.pim.explorations, result.pim.cache});
 
   // [2] analytic schedulability pre-check, then PIM -> PSM with every §V
   // probe instrumented up front; ONE verification session over the
@@ -66,7 +84,8 @@ FrameworkResult run_framework(const ta::Network& pim, const PimInfo& info,
   result.psm = transform(pim, info, scheme, options.transform);
   InstrumentedPsm instrumented = instrument_psm_for_requirement(result.psm, req);
   mc::VerificationSession session(std::move(instrumented.net), options.explore);
-  result.stages.push_back(StageStats{"transform", ms_since(start), {}, 0});
+  if (store) session.load(*store);
+  result.stages.push_back(StageStats{"transform", ms_since(start), {}, 0, {}});
 
   // [3] Constraints C1-C4, from the session's shared full-space sweep.
   start = SteadyClock::now();
@@ -75,7 +94,8 @@ FrameworkResult run_framework(const ta::Network& pim, const PimInfo& info,
     result.constraints = check_constraints(session, result.psm, /*include_deadlock_check=*/true);
   result.stages.push_back(StageStats{"constraints", ms_since(start),
                                      explore_delta(session.stats().explore, before.explore),
-                                     session.stats().explorations - before.explorations});
+                                     session.stats().explorations - before.explorations,
+                                     mc::stage_cache_delta(session, before, cache_enabled)});
 
   // [4] Lemma 1 / Lemma 2 / exact bounds, as one batched session query.
   const std::int64_t io_internal = result.pim.bounded ? result.pim.max_delay : req.bound_ms;
@@ -85,7 +105,9 @@ FrameworkResult run_framework(const ta::Network& pim, const PimInfo& info,
                                  options.search_limit);
   result.stages.push_back(StageStats{"bounds", ms_since(start),
                                      explore_delta(session.stats().explore, before.explore),
-                                     session.stats().explorations - before.explorations});
+                                     session.stats().explorations - before.explorations,
+                                     mc::stage_cache_delta(session, before, cache_enabled)});
+  if (store) session.store(*store);
 
   // [5] P(delta) and P(delta') on the PSM follow from the exact verified
   // maximum — no further exploration needed.

@@ -27,6 +27,11 @@ struct FrameworkOptions {
   mc::ExploreOptions explore;
   TransformOptions transform;
   bool run_constraint_checks = true;
+  /// Persistent verification-artifact cache directory; empty = disabled.
+  /// Stages 1 and 3–5 key their artifacts on the canonical fingerprint of
+  /// the network they explore (instrumented PIM for stage 1, instrumented
+  /// PSM for 3–5), so a scheme edit only invalidates the downstream stages.
+  std::string cache_dir;
 };
 
 /// Machine-readable accounting of one pipeline stage, for bench trend
@@ -36,6 +41,7 @@ struct StageStats {
   double wall_ms = 0.0;     ///< wall clock of the stage
   mc::ExploreStats explore; ///< exploration work (shared runs counted once)
   int explorations = 0;     ///< reachability runs / sweeps performed
+  mc::StageCacheStats cache; ///< persistent-cache accounting of the stage
 };
 
 /// Everything the pipeline produced.

@@ -120,17 +120,20 @@ RequirementProbe instrument_mc_delay(ta::Network& net, const std::string& enviro
 
 PimVerification verify_pim_requirement(const ta::Network& pim, const PimInfo& info,
                                        const TimingRequirement& req,
-                                       std::int64_t search_limit, mc::ExploreOptions explore) {
+                                       std::int64_t search_limit, mc::ExploreOptions explore,
+                                       const mc::ArtifactStore* cache) {
   ta::Network instrumented = pim;
   const std::string env_name = pim.automaton(info.environment).name();
   const RequirementProbe probe = instrument_mc_delay(instrumented, env_name, req);
 
   mc::VerificationSession session(std::move(instrumented), explore);
+  if (cache != nullptr) session.load(*cache);
   mc::BoundQuery query;
   query.pred = mc::when(ta::var_eq(probe.pending, 1));
   query.clock = probe.clock;
   query.limit = search_limit;
   const mc::MaxClockResult r = session.max_clock_value(query);
+  if (cache != nullptr) session.store(*cache);
 
   PimVerification result;
   result.bounded = r.bounded;
@@ -138,6 +141,7 @@ PimVerification verify_pim_requirement(const ta::Network& pim, const PimInfo& in
   result.holds = r.bounded && r.bound <= req.bound_ms;
   result.stats = session.stats().explore;
   result.explorations = session.stats().explorations;
+  result.cache = mc::stage_cache_delta(session, mc::SessionStats{}, cache != nullptr);
   return result;
 }
 

@@ -17,6 +17,10 @@
 #include "mc/explore_options.h"
 #include "ta/model.h"
 
+namespace psv::mc {
+class ArtifactStore;  // mc/artifact.h; kept out of this header's includes
+}
+
 namespace psv::core {
 
 /// Channel-name prefixes of the four-variable convention.
@@ -87,10 +91,16 @@ struct PimVerification {
   std::int64_t max_delay = 0;   ///< exact worst-case M-C delay in the PIM
   mc::ExploreStats stats;       ///< exploration work of the verification
   int explorations = 0;         ///< reachability runs / sweeps performed
+  mc::StageCacheStats cache;    ///< persistent-cache accounting (when used)
 };
+/// `cache`, when given, keys a persistent artifact on the instrumented PIM's
+/// canonical fingerprint: a repeat run on an unchanged PIM answers without
+/// exploration, and a scheme edit (which only affects the PSM) never
+/// invalidates this stage.
 PimVerification verify_pim_requirement(const ta::Network& pim, const PimInfo& info,
                                        const TimingRequirement& req,
                                        std::int64_t search_limit = 1'000'000,
-                                       mc::ExploreOptions explore = {});
+                                       mc::ExploreOptions explore = {},
+                                       const mc::ArtifactStore* cache = nullptr);
 
 }  // namespace psv::core

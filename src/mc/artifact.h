@@ -1,0 +1,113 @@
+// Persistent, content-addressed verification artifacts.
+//
+// A VerificationArtifact is the externalized memo of a VerificationSession:
+// every answered bound query (keyed by a canonical query digest) plus the
+// shared C1–C4 flag/deadlock sweep. An ArtifactStore keeps artifacts in a
+// cache directory, one file per key, where the key is composed of
+//
+//   { canonical network fingerprint (ta::fingerprint — probe instrumentation
+//     is part of the network, so the probe set is part of the key),
+//     the ExploreOptions knobs that can affect results (max_states, engine;
+//     jobs is excluded — exploration is deterministic across thread counts),
+//     the artifact format version }.
+//
+// A warm session therefore answers the whole §V query load of an unchanged
+// model without exploring a single state, with results — bounds, witness
+// traces, statistics — bit-identical to the cold run that stored them.
+//
+// Robustness: the on-disk format carries a magic, a format version, a native
+// endianness marker, an echo of the key, and a 128-bit payload checksum.
+// load() treats ANY mismatch — truncation, bit flips, version or endianness
+// drift, a foreign key — as a miss: one warning line, no crash, and the
+// caller falls back to exploration. Individual query_reachable() /
+// check_bounded_response() calls are not persisted (only memoized batch
+// bounds and the shared flag sweep are).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mc/query.h"
+#include "ta/fingerprint.h"
+#include "util/hash.h"
+
+namespace psv::mc {
+
+/// Bumped whenever the artifact payload layout or the canonical fingerprint
+/// encoding changes; files with any other version are ignored.
+inline constexpr std::uint32_t kArtifactFormatVersion = 1;
+
+/// Content-addressed cache key; hex() names the artifact file.
+struct ArtifactKey {
+  Digest128 digest;
+
+  std::string hex() const { return digest.hex(); }
+  friend bool operator==(const ArtifactKey& a, const ArtifactKey& b) {
+    return a.digest == b.digest;
+  }
+};
+
+/// Compose the cache key for a fingerprinted network under `opts`.
+ArtifactKey artifact_key(const ta::NetworkFingerprint& fp, const ExploreOptions& opts);
+
+/// Canonical digest of one bound query. Uses the network's canonical id
+/// ranks, so the digest survives declaration reorders and renames that keep
+/// the fingerprint unchanged; location/automaton indices are raw because
+/// the artifact key's fingerprint already pins their order. The hint is
+/// deliberately excluded: it cannot change a bound (only how much work
+/// finding it costs), matching the in-session memoization semantics.
+Digest128 bound_query_digest(const ta::CanonicalIds& ids, const BoundQuery& query);
+
+/// The serializable memo of a verification session.
+struct VerificationArtifact {
+  struct BoundEntry {
+    Digest128 query;        ///< bound_query_digest of the answered query
+    MaxClockResult result;  ///< served verbatim on a hit (incl. stats/trace)
+  };
+  /// Sorted by query digest so serialization is deterministic.
+  std::vector<BoundEntry> bounds;
+
+  /// The shared full-space C1–C4 flag + deadlock sweep, when it ran.
+  bool has_flag_sweep = false;
+  std::vector<std::uint8_t> var_seen_one;  ///< canonical var order, 0/1
+  DeadlockResult deadlock;
+
+  /// Payload encoding (header-less; ArtifactStore adds framing + checksum).
+  std::vector<std::uint8_t> serialize() const;
+  /// Throws psv::Error on any malformed input; never reads out of bounds.
+  static VerificationArtifact deserialize(ByteReader& in);
+};
+
+/// Directory-backed artifact store: one `<key-hex>.psvart` file per key.
+/// Writes go through a temp file + rename, so concurrent writers of the
+/// same key cannot tear each other's files.
+class ArtifactStore {
+ public:
+  using WarnFn = std::function<void(const std::string&)>;
+
+  /// `warn` receives one line per ignored (corrupt/mismatched) or unwritable
+  /// artifact; the default prints to stderr.
+  explicit ArtifactStore(std::string dir, WarnFn warn = {});
+
+  const std::string& dir() const { return dir_; }
+  std::string path_of(const ArtifactKey& key) const;
+
+  /// Load the artifact for `key`. Missing file -> silent miss; invalid file
+  /// (truncated, bit-flipped, wrong version/endianness/key) -> warned miss.
+  std::optional<VerificationArtifact> load(const ArtifactKey& key) const;
+
+  /// Persist `artifact` under `key` (creating the directory if needed).
+  /// Returns false with a warning when the filesystem refuses.
+  bool store(const ArtifactKey& key, const VerificationArtifact& artifact) const;
+
+ private:
+  void warn(const std::string& message) const;
+
+  std::string dir_;
+  WarnFn warn_;
+};
+
+}  // namespace psv::mc

@@ -47,6 +47,24 @@ struct ExploreStats {
   std::size_t subsumed = 0;
 };
 
+/// Persistent-cache accounting for one pipeline stage (or a whole session),
+/// derived from SessionStats deltas. Feeds psv_verify --stats-json and the
+/// [cache] lines of FrameworkResult::summary() so bench trend tracking can
+/// tell warm runs from cold ones.
+struct StageCacheStats {
+  /// This stage participates in the persistent cache. Stays false for
+  /// stages that never explore (e.g. the transform stage) even when a
+  /// cache directory is configured.
+  bool enabled = false;
+  bool warm = false;     ///< served entirely from a loaded artifact
+  int hits = 0;          ///< queries answered from memo entries
+  int misses = 0;        ///< queries that required fresh exploration
+  int stores = 0;        ///< fresh entries recorded for persistence
+
+  /// "disabled" | "warm" | "cold" — the per-stage cache state string.
+  const char* state() const { return !enabled ? "disabled" : (warm ? "warm" : "cold"); }
+};
+
 /// Field-wise sum, for aggregating stats across explorations.
 inline void accumulate_stats(ExploreStats& into, const ExploreStats& from) {
   into.states_stored += from.states_stored;

@@ -1,5 +1,6 @@
 #include "mc/session.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/error.h"
@@ -7,14 +8,16 @@
 namespace psv::mc {
 
 VerificationSession::VerificationSession(ta::Network net, ExploreOptions opts)
-    : net_(std::move(net)), opts_(opts) {}
+    : net_(std::move(net)),
+      opts_(opts),
+      fingerprint_(ta::fingerprint(net_)),
+      cache_key_(artifact_key(fingerprint_, opts_)) {}
 
-std::string VerificationSession::bound_key(const BoundQuery& query) const {
-  // The rendered formula is a faithful key: it spells out every location,
-  // data and clock conjunct. hint is part of the key only through the
-  // answer's stats, which cached hits reuse as-is.
-  return query.pred.to_string(net_) + "#" + std::to_string(query.clock) + "#" +
-         std::to_string(query.limit);
+Digest128 VerificationSession::bound_key(const BoundQuery& query) const {
+  // Canonical digest over the formula structure and ranks: every location,
+  // data and clock conjunct enters the key. hint is part of the key only
+  // through the answer's stats, which cached hits reuse as-is.
+  return bound_query_digest(fingerprint_.ids, query);
 }
 
 std::vector<MaxClockResult> VerificationSession::max_clock_values(
@@ -22,7 +25,7 @@ std::vector<MaxClockResult> VerificationSession::max_clock_values(
   std::vector<MaxClockResult> results(queries.size());
   std::vector<BoundQuery> fresh;
   std::vector<std::size_t> fresh_index;
-  std::vector<std::string> keys(queries.size());
+  std::vector<Digest128> keys(queries.size());
   for (std::size_t i = 0; i < queries.size(); ++i) {
     keys[i] = bound_key(queries[i]);
     ++stats_.queries;
@@ -43,7 +46,10 @@ std::vector<MaxClockResult> VerificationSession::max_clock_values(
     accumulate_stats(stats_.explore, batch.explore);
     stats_.explorations += batch.explorations;
     for (std::size_t f = 0; f < answers.size(); ++f) {
-      bound_cache_[keys[fresh_index[f]]] = answers[f];
+      if (bound_cache_.emplace(keys[fresh_index[f]], answers[f]).second) {
+        ++stats_.entries_added;
+        dirty_ = true;
+      }
       results[fresh_index[f]] = std::move(answers[f]);
     }
   }
@@ -65,17 +71,21 @@ void VerificationSession::ensure_flag_sweep() {
   });
   accumulate_stats(stats_.explore, deadlock_.stats);
   ++stats_.explorations;
+  ++stats_.entries_added;
+  dirty_ = true;
   flag_sweep_done_ = true;
 }
 
 VerificationSession::FlagReport VerificationSession::check_flags(
     const std::vector<ta::VarId>& flags) {
-  const bool first_call = !flag_sweep_done_;
+  // Any prior sweep — from an earlier call or a loaded artifact — serves
+  // this call for free.
+  const bool served_from_memo = flag_sweep_done_;
   ensure_flag_sweep();
   FlagReport report;
   report.deadlock = deadlock_;
   stats_.queries += static_cast<int>(flags.size()) + 1;  // flags + deadlock
-  if (!first_call) stats_.cache_hits += static_cast<int>(flags.size()) + 1;
+  if (served_from_memo) stats_.cache_hits += static_cast<int>(flags.size()) + 1;
   // A timelock aborts the shared sweep before the full space is visited;
   // the per-flag verdicts are then not definitive.
   report.shared_sweep = !(deadlock_.found && deadlock_.timelock);
@@ -105,6 +115,67 @@ BoundedResponseResult VerificationSession::check_bounded_response(const StateFor
   ++stats_.explorations;
   ++stats_.queries;
   return r;
+}
+
+bool VerificationSession::load(const ArtifactStore& store) {
+  std::optional<VerificationArtifact> artifact = store.load(cache_key_);
+  if (!artifact) return false;
+  if (artifact->has_flag_sweep &&
+      artifact->var_seen_one.size() != static_cast<std::size_t>(net_.num_vars())) {
+    // A hash collision would be required to get here; treat it as a miss.
+    return false;
+  }
+  for (VerificationArtifact::BoundEntry& entry : artifact->bounds) {
+    if (bound_cache_.emplace(entry.query, std::move(entry.result)).second)
+      ++stats_.entries_loaded;
+  }
+  if (artifact->has_flag_sweep && !flag_sweep_done_) {
+    // var_seen_one is stored in canonical rank order; map back to VarIds.
+    var_seen_one_.assign(static_cast<std::size_t>(net_.num_vars()), false);
+    for (ta::VarId v = 0; v < net_.num_vars(); ++v)
+      var_seen_one_[static_cast<std::size_t>(v)] =
+          artifact->var_seen_one[static_cast<std::size_t>(fingerprint_.ids.var(v))] != 0;
+    deadlock_ = std::move(artifact->deadlock);
+    flag_sweep_done_ = true;
+    ++stats_.entries_loaded;
+  }
+  warm_loaded_ = true;
+  return true;
+}
+
+bool VerificationSession::store(const ArtifactStore& store) const {
+  if (!dirty_) return false;
+  VerificationArtifact artifact;
+  artifact.bounds.reserve(bound_cache_.size());
+  for (const auto& [key, result] : bound_cache_)
+    artifact.bounds.push_back(VerificationArtifact::BoundEntry{key, result});
+  // Deterministic file bytes regardless of memo insertion order.
+  std::sort(artifact.bounds.begin(), artifact.bounds.end(),
+            [](const VerificationArtifact::BoundEntry& a,
+               const VerificationArtifact::BoundEntry& b) { return a.query < b.query; });
+  artifact.has_flag_sweep = flag_sweep_done_;
+  if (flag_sweep_done_) {
+    artifact.var_seen_one.assign(static_cast<std::size_t>(net_.num_vars()), 0);
+    for (ta::VarId v = 0; v < net_.num_vars(); ++v)
+      artifact.var_seen_one[static_cast<std::size_t>(fingerprint_.ids.var(v))] =
+          var_seen_one_[static_cast<std::size_t>(v)] ? 1 : 0;
+    artifact.deadlock = deadlock_;
+  }
+  return store.store(cache_key_, artifact);
+}
+
+StageCacheStats stage_cache_delta(const VerificationSession& session, const SessionStats& before,
+                                  bool enabled) {
+  StageCacheStats cache;
+  cache.enabled = enabled;
+  const SessionStats& now = session.stats();
+  cache.hits = now.cache_hits - before.cache_hits;
+  cache.misses = (now.queries - before.queries) - cache.hits;
+  cache.stores = now.entries_added - before.entries_added;
+  // "warm" means the loaded artifact actually served this stage; a stage
+  // that issued no queries at all stays "cold" rather than claiming credit.
+  cache.warm = enabled && session.warm_loaded() && cache.misses == 0 && cache.hits > 0;
+  return cache;
 }
 
 }  // namespace psv::mc

@@ -15,6 +15,12 @@
 //   * repeated queries are memoized — asking the same bound twice costs no
 //     second exploration (SessionStats::cache_hits counts these).
 //
+// The memo is content-addressed: queries key on canonical digests
+// (mc/artifact.h) over the network's semantic fingerprint, and the whole
+// memo can round-trip through a persistent ArtifactStore — load() before
+// querying turns a repeat run on an unchanged model into pure cache hits
+// (zero states explored), store() persists fresh work for the next run.
+//
 // The session copies the network it is given, so callers may hand in a
 // temporary instrumented copy and keep the session alive past it.
 #pragma once
@@ -24,7 +30,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "mc/artifact.h"
 #include "mc/query.h"
+#include "ta/fingerprint.h"
 
 namespace psv::mc {
 
@@ -35,7 +43,9 @@ struct SessionStats {
   ExploreStats explore;
   int explorations = 0;  ///< reachability runs / sweeps performed
   int queries = 0;       ///< queries answered (batched ones count each)
-  int cache_hits = 0;    ///< queries answered from the session cache
+  int cache_hits = 0;    ///< queries answered from the session memo
+  int entries_added = 0;   ///< memo entries created by fresh work
+  int entries_loaded = 0;  ///< memo entries pre-populated by load()
 };
 
 class VerificationSession {
@@ -68,12 +78,36 @@ class VerificationSession {
   };
   FlagReport check_flags(const std::vector<ta::VarId>& flags);
 
-  /// Plain reachability of `goal` under the session options.
+  /// Plain reachability of `goal` under the session options. Not persisted
+  /// by store() — only batched bounds and the shared flag sweep are.
   ReachResult query_reachable(const StateFormula& goal);
 
-  /// Bounded-response check A[](pending => clock <= delta).
+  /// Bounded-response check A[](pending => clock <= delta). Not persisted.
   BoundedResponseResult check_bounded_response(const StateFormula& pending, ta::ClockId clock,
                                                std::int64_t delta);
+
+  // --- Persistent artifact cache -----------------------------------------
+
+  /// Pre-populate the memo from `store` under this session's cache_key().
+  /// Returns true when an artifact was loaded; a missing or invalid file is
+  /// a miss (invalid ones warn through the store), never an error. Queries
+  /// already answered are kept; call load() before querying for full effect.
+  bool load(const ArtifactStore& store);
+
+  /// Persist the memo (all answered bounds + the shared flag sweep) under
+  /// cache_key(). Skips the write and returns false when the session holds
+  /// nothing beyond what load() brought in.
+  bool store(const ArtifactStore& store) const;
+
+  /// True when load() populated this session from a persistent artifact.
+  bool warm_loaded() const { return warm_loaded_; }
+
+  /// Content-addressed key of this session: {network fingerprint,
+  /// result-affecting options, artifact format version}.
+  const ArtifactKey& cache_key() const { return cache_key_; }
+
+  /// The canonical fingerprint of the session network.
+  const ta::NetworkFingerprint& fingerprint() const { return fingerprint_; }
 
   const SessionStats& stats() const { return stats_; }
 
@@ -81,18 +115,27 @@ class VerificationSession {
   /// Run (once) the cached full-space deadlock + flag sweep.
   void ensure_flag_sweep();
 
-  std::string bound_key(const BoundQuery& query) const;
+  Digest128 bound_key(const BoundQuery& query) const;
 
   ta::Network net_;  ///< owned copy; the session outlives caller temporaries
   ExploreOptions opts_;
+  ta::NetworkFingerprint fingerprint_;  ///< canonical digest + id ranks
+  ArtifactKey cache_key_;
   SessionStats stats_;
+  bool warm_loaded_ = false;
+  bool dirty_ = false;  ///< fresh results exist that store() should persist
 
   // Cached full-space sweep results.
   bool flag_sweep_done_ = false;
   std::vector<bool> var_seen_one_;  ///< per variable: some state has v == 1
   DeadlockResult deadlock_;
 
-  std::unordered_map<std::string, MaxClockResult> bound_cache_;
+  std::unordered_map<Digest128, MaxClockResult, Digest128Hash> bound_cache_;
 };
+
+/// Per-stage cache accounting: the delta of `session`'s stats since
+/// `before`, labeled warm when a loaded artifact answered everything.
+StageCacheStats stage_cache_delta(const VerificationSession& session, const SessionStats& before,
+                                  bool enabled);
 
 }  // namespace psv::mc

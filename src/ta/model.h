@@ -71,8 +71,9 @@ struct ClockReset {
   std::int32_t value = 0;
 };
 
-/// Edge effect: assignments then resets (assignment expressions read the
-/// pre-state of all variables; sequencing among assignments is in order).
+/// Edge effect: assignments then resets. Assignments apply sequentially —
+/// each expression sees the writes of earlier assignments on the same edge
+/// (SuccGen::apply_assignments and the generated step code agree on this).
 struct Update {
   std::vector<Assignment> assignments;
   std::vector<ClockReset> resets;

@@ -1,0 +1,93 @@
+#include "util/hash.h"
+
+namespace psv {
+
+namespace {
+
+// FNV 128-bit prime 2^88 + 2^8 + 0x3b, split into 64-bit words.
+constexpr std::uint64_t kPrimeHi = 0x0000000001000000ull;
+constexpr std::uint64_t kPrimeLo = 0x000000000000013bull;
+
+/// 64x64 -> 128 multiply.
+inline void mul64(std::uint64_t a, std::uint64_t b, std::uint64_t& hi, std::uint64_t& lo) {
+#if defined(__SIZEOF_INT128__)
+  const unsigned __int128 p = static_cast<unsigned __int128>(a) * b;
+  hi = static_cast<std::uint64_t>(p >> 64);
+  lo = static_cast<std::uint64_t>(p);
+#else
+  const std::uint64_t a_lo = a & 0xffffffffull, a_hi = a >> 32;
+  const std::uint64_t b_lo = b & 0xffffffffull, b_hi = b >> 32;
+  const std::uint64_t p0 = a_lo * b_lo;
+  const std::uint64_t p1 = a_lo * b_hi;
+  const std::uint64_t p2 = a_hi * b_lo;
+  const std::uint64_t p3 = a_hi * b_hi;
+  const std::uint64_t mid = (p0 >> 32) + (p1 & 0xffffffffull) + (p2 & 0xffffffffull);
+  lo = (p0 & 0xffffffffull) | (mid << 32);
+  hi = p3 + (p1 >> 32) + (p2 >> 32) + (mid >> 32);
+#endif
+}
+
+/// (hi, lo) *= FNV prime, mod 2^128.
+inline void mul_prime(std::uint64_t& hi, std::uint64_t& lo) {
+  std::uint64_t prod_hi = 0, prod_lo = 0;
+  mul64(lo, kPrimeLo, prod_hi, prod_lo);
+  prod_hi += lo * kPrimeHi;  // low word of lo * primeHi lands in the high lane
+  prod_hi += hi * kPrimeLo;  // likewise for hi * primeLo
+  hi = prod_hi;              // hi * primeHi overflows 2^128 entirely
+  lo = prod_lo;
+}
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+void append_hex64(std::string& out, std::uint64_t v) {
+  for (int shift = 60; shift >= 0; shift -= 4)
+    out.push_back(kHexDigits[(v >> shift) & 0xf]);
+}
+
+}  // namespace
+
+std::string Digest128::hex() const {
+  std::string out;
+  out.reserve(32);
+  append_hex64(out, hi);
+  append_hex64(out, lo);
+  return out;
+}
+
+Hasher128& Hasher128::bytes(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    lo_ ^= p[i];
+    mul_prime(hi_, lo_);
+  }
+  return *this;
+}
+
+Hasher128& Hasher128::u8(std::uint8_t v) { return bytes(&v, 1); }
+
+Hasher128& Hasher128::u32(std::uint32_t v) {
+  unsigned char buf[4];
+  for (int i = 0; i < 4; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  return bytes(buf, sizeof buf);
+}
+
+Hasher128& Hasher128::u64(std::uint64_t v) {
+  unsigned char buf[8];
+  for (int i = 0; i < 8; ++i) buf[i] = static_cast<unsigned char>(v >> (8 * i));
+  return bytes(buf, sizeof buf);
+}
+
+Hasher128& Hasher128::str(std::string_view s) {
+  u64(s.size());
+  return bytes(s.data(), s.size());
+}
+
+Digest128 Hasher128::digest() const { return {hi_, lo_}; }
+
+Digest128 digest128(const void* data, std::size_t size) {
+  Hasher128 h;
+  h.bytes(data, size);
+  return h.digest();
+}
+
+}  // namespace psv

@@ -2,13 +2,83 @@
 #include <gtest/gtest.h>
 
 #include "util/error.h"
+#include "util/hash.h"
 #include "util/rng.h"
+#include "util/serde.h"
 #include "util/stats.h"
 #include "util/strings.h"
 #include "util/table.h"
 
 namespace psv {
 namespace {
+
+TEST(Hash, EmptyInputIsTheFnvOffsetBasis) {
+  // Pins the implementation to the published FNV-1a 128-bit parameters: the
+  // digest of zero bytes is the offset basis. Any platform or refactor that
+  // changes this silently invalidates every cache key.
+  EXPECT_EQ(Hasher128().digest().hex(), "6c62272e07bb014262b821756295c58d");
+}
+
+TEST(Hash, KnownByteSequenceIsStable) {
+  Hasher128 h;
+  h.str("psv").u64(42).u8(7);
+  const Digest128 d1 = h.digest();
+  Hasher128 again;
+  again.str("psv").u64(42).u8(7);
+  EXPECT_EQ(d1, again.digest());
+  EXPECT_NE(d1, Hasher128().str("psv").u64(42).u8(8).digest());
+  EXPECT_EQ(d1.hex().size(), 32u);
+}
+
+TEST(Hash, TypedAppendersAreSelfDelimiting) {
+  const Digest128 a = Hasher128().str("ab").str("c").digest();
+  const Digest128 b = Hasher128().str("a").str("bc").digest();
+  EXPECT_NE(a, b);
+}
+
+TEST(Serde, RoundTripsEveryFieldKind) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0xFEFF);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  w.i64(-17);
+  w.boolean(true);
+  w.str("hello\0world");
+  ByteReader r(w.buffer());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0xFEFF);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_EQ(r.i64(), -17);
+  EXPECT_TRUE(r.boolean());
+  EXPECT_EQ(r.str(), std::string("hello\0world", 5));  // literal ends at NUL
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(Serde, ReaderThrowsOnTruncation) {
+  ByteWriter w;
+  w.u64(7);
+  w.str("payload");
+  const std::vector<std::uint8_t>& bytes = w.buffer();
+  for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
+    ByteReader r(bytes.data(), cut);
+    EXPECT_THROW(
+        {
+          r.u64();
+          r.str();
+        },
+        Error)
+        << "prefix length " << cut;
+  }
+}
+
+TEST(Serde, LengthPrefixValidatedAgainstRemainder) {
+  ByteWriter w;
+  w.u64(1'000'000'000);  // claims a billion 8-byte elements
+  ByteReader r(w.buffer());
+  EXPECT_THROW(r.length(8), Error);
+}
 
 TEST(Error, RequireThrowsWithMessage) {
   try {

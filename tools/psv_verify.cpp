@@ -3,14 +3,19 @@
 //   psv_verify MODEL.psv SCHEME.pss "REQ: input -> output within BOUND"
 //              [--sim N] [--limit MS] [--print-psm] [--seed S] [--jobs N]
 //              [--engine sweep|probe] [--stats-json FILE]
+//              [--cache-dir DIR] [--no-cache]
 //
 // Loads a PIM from a model file and an implementation scheme from a scheme
 // file, runs the complete verification pipeline (PIM check, PIM->PSM
 // transformation, constraints C1-C4, Lemma-1/2 bounds, exact PSM delays)
 // through a shared verification session and optionally cross-checks with N
-// simulated scenarios.
+// simulated scenarios. With a cache directory (--cache-dir, or the
+// PSV_CACHE_DIR environment variable), verification artifacts persist
+// across invocations: a repeat run on an unchanged model answers every
+// bound and constraint without exploring a single state.
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -51,7 +56,13 @@ int usage() {
          "                bit-identical for both\n"
          "  --stats-json FILE\n"
          "                write per-stage statistics (wall clock, states\n"
-         "                stored/explored, explorations) as JSON\n";
+         "                stored/explored, explorations, cache state) as JSON\n"
+         "  --cache-dir DIR\n"
+         "                persist verification artifacts in DIR, keyed on the\n"
+         "                model's canonical fingerprint: a repeat run on an\n"
+         "                unchanged model re-verifies without exploration\n"
+         "                (default: $PSV_CACHE_DIR when set, else disabled)\n"
+         "  --no-cache    ignore $PSV_CACHE_DIR and run without the cache\n";
   return 2;
 }
 
@@ -76,15 +87,24 @@ std::string json_escape(const std::string& s) {
 
 void write_stats_json(const std::string& path, const psv::core::FrameworkResult& result,
                       const std::string& model_path, unsigned jobs, const std::string& engine,
-                      double total_wall_ms) {
+                      double total_wall_ms, const std::string& cache_dir) {
   std::ofstream out(path);
   PSV_REQUIRE(out.good(), "cannot write '" + path + "'");
+  int cache_hits = 0, cache_misses = 0, cache_stores = 0;
+  for (const psv::core::StageStats& s : result.stages) {
+    cache_hits += s.cache.hits;
+    cache_misses += s.cache.misses;
+    cache_stores += s.cache.stores;
+  }
   out << "{\n";
   out << "  \"model\": \"" << json_escape(model_path) << "\",\n";
   out << "  \"requirement\": \"" << json_escape(result.requirement.name) << "\",\n";
   out << "  \"engine\": \"" << engine << "\",\n";
   out << "  \"jobs\": " << jobs << ",\n";
   out << "  \"total_wall_ms\": " << total_wall_ms << ",\n";
+  out << "  \"cache\": {\"enabled\": " << (cache_dir.empty() ? "false" : "true")
+      << ", \"dir\": \"" << json_escape(cache_dir) << "\", \"hits\": " << cache_hits
+      << ", \"misses\": " << cache_misses << ", \"stores\": " << cache_stores << "},\n";
   out << "  \"verified\": {\n";
   out << "    \"pim_max_delay\": " << result.pim.max_delay << ",\n";
   out << "    \"lemma2_total\": " << result.bounds.lemma2_total << ",\n";
@@ -101,7 +121,11 @@ void write_stats_json(const std::string& path, const psv::core::FrameworkResult&
         << ", \"states_stored\": " << s.explore.states_stored
         << ", \"states_explored\": " << s.explore.states_explored
         << ", \"transitions_fired\": " << s.explore.transitions_fired
-        << ", \"subsumed\": " << s.explore.subsumed << "}"
+        << ", \"subsumed\": " << s.explore.subsumed
+        << ", \"cache\": \"" << s.cache.state() << "\""
+        << ", \"cache_hits\": " << s.cache.hits
+        << ", \"cache_misses\": " << s.cache.misses
+        << ", \"cache_stores\": " << s.cache.stores << "}"
         << (i + 1 < result.stages.size() ? "," : "") << "\n";
   }
   out << "  ]\n}\n";
@@ -123,6 +147,8 @@ int main(int argc, char** argv) {
     bool print_psm = false;
     std::string engine = "sweep";
     std::string stats_json_path;
+    std::string cache_dir;
+    bool no_cache = false;
     for (int i = 4; i < argc; ++i) {
       const std::string arg = argv[i];
       if (arg == "--sim" && i + 1 < argc) {
@@ -146,6 +172,10 @@ int main(int argc, char** argv) {
         }
       } else if (arg == "--stats-json" && i + 1 < argc) {
         stats_json_path = argv[++i];
+      } else if (arg == "--cache-dir" && i + 1 < argc) {
+        cache_dir = argv[++i];
+      } else if (arg == "--no-cache") {
+        no_cache = true;
       } else if (arg == "--print-psm") {
         print_psm = true;
       } else {
@@ -167,11 +197,20 @@ int main(int argc, char** argv) {
       std::cout << psv::ta::network_text(psm.psm) << "\n";
     }
 
+    // Cache resolution: --no-cache wins, then --cache-dir, then PSV_CACHE_DIR.
+    if (no_cache) {
+      cache_dir.clear();
+    } else if (cache_dir.empty()) {
+      if (const char* env = std::getenv("PSV_CACHE_DIR"); env != nullptr) cache_dir = env;
+    }
+
     psv::core::FrameworkOptions options;
     options.search_limit = limit;
     options.explore.jobs = jobs;
     options.explore.engine =
         engine == "probe" ? psv::mc::QueryEngine::kProbe : psv::mc::QueryEngine::kSweep;
+    options.cache_dir = cache_dir;
+    if (!cache_dir.empty()) std::cout << "verification cache: " << cache_dir << "\n";
     const auto wall_start = std::chrono::steady_clock::now();
     const psv::core::FrameworkResult result =
         psv::core::run_framework(pim, info, scheme, req, options);
@@ -181,7 +220,8 @@ int main(int argc, char** argv) {
     std::cout << result.summary() << "\n";
 
     if (!stats_json_path.empty()) {
-      write_stats_json(stats_json_path, result, model_path, jobs, engine, total_wall_ms);
+      write_stats_json(stats_json_path, result, model_path, jobs, engine, total_wall_ms,
+                       cache_dir);
       std::cout << "wrote per-stage stats to " << stats_json_path << "\n";
     }
 
