@@ -1,0 +1,202 @@
+// Batch-verification benchmark: 1 vs 5 requirements on the pump model
+// through the Verifier service.
+//
+//   bench_batch_verify [--jobs N] [--reps R] [--out FILE]
+//
+// Runs the full pipeline (stage 1 + transform + constraints + bounds) for
+// one pump requirement, then for a batch of five requirements in ONE
+// VerifyRequest, and finally for the same five requirements as five
+// sequential run_framework() pipelines. Reports best-of-R wall time and the
+// exploration work per configuration, asserts the batch answers every
+// requirement with at most ONE cold PSM exploration for stages 3-5
+// combined, bit-identical bounds to the sequential runs, and emits a JSON
+// document that CI uploads so the batch-amortization trendline is visible
+// per PR. Exit code 1 on any violated invariant.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+#include "core/service.h"
+#include "gpca/pump_model.h"
+#include "util/json.h"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: bench_batch_verify [--jobs N] [--reps R] [--out FILE]\n";
+  return 2;
+}
+
+struct RunResult {
+  std::string name;
+  double best_ms = 0.0;
+  int psm_explorations = 0;          ///< stages 3-5 ("constraints" + "bounds")
+  std::size_t psm_states_explored = 0;
+  int pim_explorations = 0;
+  std::vector<std::string> bounds;   ///< rendered BoundAnalysis per requirement
+};
+
+std::vector<psv::core::TimingRequirement> pump_requirements(std::size_t count) {
+  const std::vector<psv::core::TimingRequirement> all = {
+      {"REQ1", "BolusReq", "StartInfusion", 500},
+      {"REQ2", "BolusReq", "StopInfusion", 2500},
+      {"REQ3", "BolusReq", "StartInfusion", 1200},
+      {"REQ4", "BolusReq", "StopInfusion", 2000},
+      {"REQ5", "BolusReq", "StartInfusion", 800},
+  };
+  return {all.begin(), all.begin() + static_cast<std::ptrdiff_t>(count)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  unsigned jobs = 0;
+  int reps = 1;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--jobs" && i + 1 < argc) {
+      jobs = static_cast<unsigned>(std::stoul(argv[++i]));
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::stoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (reps < 1) return usage();
+
+  psv::gpca::PumpModelOptions opt;
+  opt.include_empty_syringe = false;
+  const psv::ta::Network pim = psv::gpca::build_pump_pim(opt);
+  const psv::core::PimInfo info = psv::gpca::pump_pim_info(pim);
+  const psv::core::ImplementationScheme scheme = psv::gpca::board_scheme(opt);
+
+  psv::core::VerifyOptions options;
+  options.explore.jobs = jobs;
+
+  auto run_batch = [&](const std::string& name, std::size_t count) {
+    RunResult r;
+    r.name = name;
+    for (int rep = 0; rep < reps; ++rep) {
+      psv::core::Verifier verifier;  // fresh per rep: always a cold run
+      psv::core::VerifyRequest request;
+      request.pim = pim;
+      request.info = info;
+      request.schemes = {scheme};
+      request.requirements = pump_requirements(count);
+      request.options = options;
+      const auto start = std::chrono::steady_clock::now();
+      const psv::core::VerifyReport report = verifier.verify(request);
+      const double ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+      if (rep == 0 || ms < r.best_ms) r.best_ms = ms;
+      r.psm_explorations =
+          report.explorations_in("constraints") + report.explorations_in("bounds");
+      r.psm_states_explored = 0;
+      for (const psv::core::VerifyStageStats& s : report.schemes.front().stages)
+        if (s.name == "constraints" || s.name == "bounds")
+          r.psm_states_explored += s.explore.states_explored;
+      r.pim_explorations = report.pim_stages.front().explorations;
+      r.bounds.clear();
+      for (const psv::core::RequirementResult& rr : report.schemes.front().requirements)
+        r.bounds.push_back(rr.bounds.to_string());
+    }
+    return r;
+  };
+
+  const RunResult one = run_batch("batch-1", 1);
+  const RunResult five = run_batch("batch-5", 5);
+
+  // Reference: the same five requirements as five sequential pipelines.
+  RunResult sequential;
+  sequential.name = "sequential-5";
+  for (int rep = 0; rep < reps; ++rep) {
+    double ms_total = 0.0;
+    sequential.psm_explorations = 0;
+    sequential.psm_states_explored = 0;
+    sequential.pim_explorations = 0;
+    sequential.bounds.clear();
+    for (const psv::core::TimingRequirement& req : pump_requirements(5)) {
+      const auto start = std::chrono::steady_clock::now();
+      const psv::core::FrameworkResult result =
+          psv::core::run_framework(pim, info, scheme, req, options);
+      ms_total += std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+      for (const psv::core::StageStats& s : result.stages) {
+        if (s.name == "constraints" || s.name == "bounds") {
+          sequential.psm_explorations += s.explorations;
+          sequential.psm_states_explored += s.explore.states_explored;
+        } else if (s.name == "pim-verification") {
+          sequential.pim_explorations += s.explorations;
+        }
+      }
+      sequential.bounds.push_back(result.bounds.to_string());
+    }
+    if (rep == 0 || ms_total < sequential.best_ms) sequential.best_ms = ms_total;
+  }
+
+  const std::vector<RunResult> results = {one, five, sequential};
+  for (const RunResult& r : results)
+    std::cerr << r.name << ": best=" << r.best_ms << "ms psm_explorations="
+              << r.psm_explorations << " psm_states_explored=" << r.psm_states_explored
+              << "\n";
+
+  const bool batch_single_sweep = five.psm_explorations <= 1 && one.psm_explorations <= 1;
+  const bool bounds_identical = five.bounds == sequential.bounds;
+  const double amortization =
+      five.psm_states_explored > 0
+          ? static_cast<double>(sequential.psm_states_explored) /
+                static_cast<double>(five.psm_states_explored)
+          : 0.0;
+
+  std::ostringstream os;
+  {
+    psv::json::Writer w(os);
+    w.begin_object();
+    w.field("model", "pump-batch-verify");
+    w.field("reps", reps);
+    w.field("jobs", jobs);
+    w.field("batch_single_psm_exploration", batch_single_sweep);
+    w.field("bounds_identical_to_sequential", bounds_identical);
+    w.field("states_explored_amortization_5req", amortization);
+    w.key("runs");
+    w.begin_array();
+    for (const RunResult& r : results) {
+      w.begin_object();
+      w.field("name", r.name);
+      w.field("best_ms", r.best_ms);
+      w.field("pim_explorations", r.pim_explorations);
+      w.field("psm_explorations", r.psm_explorations);
+      w.field("psm_states_explored", r.psm_states_explored);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  os << "\n";
+
+  if (out_path.empty()) {
+    std::cout << os.str();
+  } else {
+    std::ofstream out(out_path);
+    out << os.str();
+    std::cout << "wrote " << out_path << "\n";
+  }
+  if (!batch_single_sweep) {
+    std::cerr << "ERROR: a batch took more than one cold PSM exploration for stages 3-5\n";
+    return 1;
+  }
+  if (!bounds_identical) {
+    std::cerr << "ERROR: batch bounds differ from sequential run_framework bounds\n";
+    return 1;
+  }
+  return 0;
+}

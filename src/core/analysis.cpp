@@ -67,71 +67,106 @@ InstrumentedPsm instrument_psm_for_requirement(const PsmArtifacts& psm,
   return out;
 }
 
-BoundAnalysis analyze_bounds(mc::VerificationSession& session, const PsmArtifacts& psm,
-                             const RequirementProbe& mc_probe, std::int64_t pim_internal_bound,
-                             const TimingRequirement& req, std::int64_t search_limit) {
-  BoundAnalysis out;
-  out.io_internal = pim_internal_bound;
+InstrumentedPsmBatch instrument_psm_for_requirements(const PsmArtifacts& psm,
+                                                     const std::vector<TimingRequirement>& reqs) {
+  InstrumentedPsmBatch out{psm.psm, {}};
+  out.mc_probes = instrument_mc_delays(out.net, psm.env_name, reqs);
+  return out;
+}
 
-  // Lemma 2 for the requirement's input/output pair (also the M-C hint).
-  out.lemma2_total = analytic_input_delay_bound(psm.scheme, req.input) +
-                     analytic_output_delay_bound(psm.scheme, req.output) + pim_internal_bound;
-
-  // One batched query answers every verified bound of the section: the
-  // Lemma-1 closed forms seed the search — they are usually tight upper
-  // bounds, so the first shared sweep (or probe bracket) already covers
-  // the answers.
-  std::vector<mc::BoundQuery> queries;
-  queries.reserve(psm.inputs.size() + psm.outputs.size() + 1);
+BoundQueryPlan plan_bound_queries(const PsmArtifacts& psm,
+                                  const std::vector<RequirementProbe>& mc_probes,
+                                  const std::vector<TimingRequirement>& reqs,
+                                  const std::vector<std::int64_t>& pim_internal_bounds,
+                                  std::int64_t search_limit) {
+  PSV_REQUIRE(mc_probes.size() == reqs.size() && pim_internal_bounds.size() == reqs.size(),
+              "plan_bound_queries: probes/requirements/internal bounds must align");
+  BoundQueryPlan plan;
+  plan.queries.reserve(psm.inputs.size() + psm.outputs.size() + reqs.size());
+  // The Lemma-1 closed forms seed every search — they are usually tight
+  // upper bounds, so the first shared sweep (or probe bracket) already
+  // covers the answers.
   for (const InputArtifacts& in : psm.inputs) {
-    DelayBound b;
-    b.name = "Input-Delay(" + in.base + ")";
-    b.analytic = analytic_input_delay_bound(psm.scheme, in.base);
-    out.input_delays.push_back(std::move(b));
     mc::BoundQuery q;
     q.pred = mc::when(ta::var_eq(in.pending, 1));
     q.clock = in.delay_clock;
     q.limit = search_limit;
-    q.hint = out.input_delays.back().analytic;
-    queries.push_back(std::move(q));
+    q.hint = analytic_input_delay_bound(psm.scheme, in.base);
+    plan.queries.push_back(std::move(q));
   }
   for (const OutputArtifacts& outv : psm.outputs) {
-    DelayBound b;
-    b.name = "Output-Delay(" + outv.base + ")";
-    b.analytic = analytic_output_delay_bound(psm.scheme, outv.base);
-    out.output_delays.push_back(std::move(b));
     mc::BoundQuery q;
     q.pred = mc::when(ta::var_eq(outv.pending, 1));
     q.clock = outv.delay_clock;
     q.limit = search_limit;
-    q.hint = out.output_delays.back().analytic;
-    queries.push_back(std::move(q));
+    q.hint = analytic_output_delay_bound(psm.scheme, outv.base);
+    plan.queries.push_back(std::move(q));
   }
-  {
+  plan.lemma2_totals.reserve(reqs.size());
+  for (std::size_t r = 0; r < reqs.size(); ++r) {
+    plan.lemma2_totals.push_back(analytic_input_delay_bound(psm.scheme, reqs[r].input) +
+                                 analytic_output_delay_bound(psm.scheme, reqs[r].output) +
+                                 pim_internal_bounds[r]);
     mc::BoundQuery q;
-    q.pred = mc::when(ta::var_eq(mc_probe.pending, 1));
-    q.clock = mc_probe.clock;
+    q.pred = mc::when(ta::var_eq(mc_probes[r].pending, 1));
+    q.clock = mc_probes[r].clock;
     q.limit = search_limit;
-    q.hint = out.lemma2_total;
-    queries.push_back(std::move(q));
+    q.hint = plan.lemma2_totals.back();
+    plan.queries.push_back(std::move(q));
   }
+  return plan;
+}
 
-  const std::vector<mc::MaxClockResult> results = session.max_clock_values(queries);
-  std::size_t next = 0;
-  for (DelayBound& b : out.input_delays) {
-    const mc::MaxClockResult& r = results[next++];
-    b.verified_bounded = r.bounded;
-    b.verified = r.bounded ? r.bound : search_limit;
+std::vector<BoundAnalysis> assemble_bound_analyses(
+    const BoundQueryPlan& plan, const PsmArtifacts& psm,
+    const std::vector<TimingRequirement>& reqs,
+    const std::vector<std::int64_t>& pim_internal_bounds,
+    const std::vector<mc::MaxClockResult>& answers, std::int64_t search_limit) {
+  PSV_REQUIRE(answers.size() == plan.queries.size(),
+              "assemble_bound_analyses: answers must align with the plan");
+  std::vector<BoundAnalysis> out;
+  out.reserve(reqs.size());
+  for (std::size_t r = 0; r < reqs.size(); ++r) {
+    BoundAnalysis analysis;
+    analysis.io_internal = pim_internal_bounds[r];
+    analysis.lemma2_total = plan.lemma2_totals[r];
+    std::size_t next = 0;
+    for (const InputArtifacts& in : psm.inputs) {
+      DelayBound b;
+      b.name = "Input-Delay(" + in.base + ")";
+      b.analytic = analytic_input_delay_bound(psm.scheme, in.base);
+      const mc::MaxClockResult& a = answers[next++];
+      b.verified_bounded = a.bounded;
+      b.verified = a.bounded ? a.bound : search_limit;
+      analysis.input_delays.push_back(std::move(b));
+    }
+    for (const OutputArtifacts& outv : psm.outputs) {
+      DelayBound b;
+      b.name = "Output-Delay(" + outv.base + ")";
+      b.analytic = analytic_output_delay_bound(psm.scheme, outv.base);
+      const mc::MaxClockResult& a = answers[next++];
+      b.verified_bounded = a.bounded;
+      b.verified = a.bounded ? a.bound : search_limit;
+      analysis.output_delays.push_back(std::move(b));
+    }
+    const mc::MaxClockResult& a = answers[next + r];
+    analysis.verified_mc_bounded = a.bounded;
+    analysis.verified_mc_delay = a.bounded ? a.bound : search_limit;
+    out.push_back(std::move(analysis));
   }
-  for (DelayBound& b : out.output_delays) {
-    const mc::MaxClockResult& r = results[next++];
-    b.verified_bounded = r.bounded;
-    b.verified = r.bounded ? r.bound : search_limit;
-  }
-  const mc::MaxClockResult& r = results[next];
-  out.verified_mc_bounded = r.bounded;
-  out.verified_mc_delay = r.bounded ? r.bound : search_limit;
   return out;
+}
+
+BoundAnalysis analyze_bounds(mc::VerificationSession& session, const PsmArtifacts& psm,
+                             const RequirementProbe& mc_probe, std::int64_t pim_internal_bound,
+                             const TimingRequirement& req, std::int64_t search_limit) {
+  const std::vector<TimingRequirement> reqs{req};
+  const std::vector<std::int64_t> internals{pim_internal_bound};
+  const BoundQueryPlan plan =
+      plan_bound_queries(psm, {mc_probe}, reqs, internals, search_limit);
+  const std::vector<mc::MaxClockResult> answers = session.max_clock_values(plan.queries);
+  return std::move(
+      assemble_bound_analyses(plan, psm, reqs, internals, answers, search_limit).front());
 }
 
 BoundAnalysis analyze_bounds(const PsmArtifacts& psm, std::int64_t pim_internal_bound,

@@ -70,6 +70,45 @@ struct InstrumentedPsm {
 InstrumentedPsm instrument_psm_for_requirement(const PsmArtifacts& psm,
                                                const TimingRequirement& req);
 
+/// Batch variant: ONE copy of the PSM carrying the end-to-end M-C probe of
+/// every requirement (plus the per-variable probes that come with the
+/// transformation), so a single verification session serves the complete
+/// query load of a whole requirement batch. A batch of one instruments the
+/// network identically to instrument_psm_for_requirement.
+struct InstrumentedPsmBatch {
+  ta::Network net;
+  std::vector<RequirementProbe> mc_probes;  ///< aligned with the batch
+};
+InstrumentedPsmBatch instrument_psm_for_requirements(const PsmArtifacts& psm,
+                                                     const std::vector<TimingRequirement>& reqs);
+
+/// The batch planner's §V query plan: the per-variable Input-/Output-Delay
+/// queries (requirement-independent — issued ONCE for the whole batch)
+/// followed by one end-to-end M-C query per requirement, hint-seeded with
+/// the Lemma-1/Lemma-2 closed forms. Feed `queries` to one session call
+/// (e.g. VerificationSession::verify_batch) and decode with
+/// assemble_bound_analyses.
+struct BoundQueryPlan {
+  std::vector<mc::BoundQuery> queries;
+  /// Lemma-2 totals per requirement (analytic input + output bound of the
+  /// requirement's pair + its PIM-internal bound).
+  std::vector<std::int64_t> lemma2_totals;
+};
+BoundQueryPlan plan_bound_queries(const PsmArtifacts& psm,
+                                  const std::vector<RequirementProbe>& mc_probes,
+                                  const std::vector<TimingRequirement>& reqs,
+                                  const std::vector<std::int64_t>& pim_internal_bounds,
+                                  std::int64_t search_limit);
+
+/// Decode one batch of query answers (index-aligned with plan.queries) into
+/// per-requirement BoundAnalysis values. Per-variable delays are shared
+/// across the batch; the M-C figures are per requirement.
+std::vector<BoundAnalysis> assemble_bound_analyses(
+    const BoundQueryPlan& plan, const PsmArtifacts& psm,
+    const std::vector<TimingRequirement>& reqs,
+    const std::vector<std::int64_t>& pim_internal_bounds,
+    const std::vector<mc::MaxClockResult>& answers, std::int64_t search_limit);
+
 /// Run the full §V analysis: analytic bounds for every variable, verified
 /// bounds via the PSM probes, the PIM's internal bound, and the Lemma-2
 /// total for `req`. `psm` is copied internally for M-C instrumentation.

@@ -73,6 +73,14 @@ std::vector<FlagSpec> constraint_flags(const PsmArtifacts& psm) {
 
 }  // namespace
 
+std::vector<ta::VarId> constraint_flag_vars(const PsmArtifacts& psm) {
+  std::vector<ta::VarId> vars;
+  const std::vector<FlagSpec> flags = constraint_flags(psm);
+  vars.reserve(flags.size());
+  for (const FlagSpec& f : flags) vars.push_back(f.var);
+  return vars;
+}
+
 ConstraintReport check_constraints(mc::VerificationSession& session, const PsmArtifacts& psm,
                                    bool include_deadlock_check) {
   ConstraintReport report;

@@ -55,4 +55,10 @@ ConstraintReport check_constraints(const PsmArtifacts& psm, bool include_deadloc
 ConstraintReport check_constraints(mc::VerificationSession& session, const PsmArtifacts& psm,
                                    bool include_deadlock_check = true);
 
+/// The sticky flag variables check_constraints() discharges, in check
+/// order. Batch planners pass these to VerificationSession::verify_batch so
+/// the flag sweep shares the bound queries' round-0 exploration; the later
+/// check_constraints() call is then served entirely from the session memo.
+std::vector<ta::VarId> constraint_flag_vars(const PsmArtifacts& psm);
+
 }  // namespace psv::core

@@ -1,29 +1,11 @@
 #include "core/framework.h"
 
-#include <chrono>
-#include <optional>
 #include <sstream>
+#include <utility>
+
+#include "util/error.h"
 
 namespace psv::core {
-
-namespace {
-
-using SteadyClock = std::chrono::steady_clock;
-
-double ms_since(SteadyClock::time_point start) {
-  return std::chrono::duration<double, std::milli>(SteadyClock::now() - start).count();
-}
-
-mc::ExploreStats explore_delta(const mc::ExploreStats& now, const mc::ExploreStats& before) {
-  mc::ExploreStats d;
-  d.states_stored = now.states_stored - before.states_stored;
-  d.states_explored = now.states_explored - before.states_explored;
-  d.transitions_fired = now.transitions_fired - before.transitions_fired;
-  d.subsumed = now.subsumed - before.subsumed;
-  return d;
-}
-
-}  // namespace
 
 std::string FrameworkResult::summary() const {
   std::ostringstream os;
@@ -55,67 +37,47 @@ std::string FrameworkResult::summary() const {
   return os.str();
 }
 
+FrameworkResult framework_result_from(const VerifyReport& report, std::size_t scheme_index,
+                                      std::size_t requirement_index) {
+  PSV_REQUIRE(scheme_index < report.schemes.size(),
+              "framework_result_from: scheme index out of range");
+  const SchemeVerification& sv = report.schemes[scheme_index];
+  PSV_REQUIRE(requirement_index < sv.requirements.size(),
+              "framework_result_from: requirement index out of range");
+  const RequirementResult& rr = sv.requirements[requirement_index];
+  FrameworkResult result;
+  result.requirement = rr.requirement;
+  result.pim = rr.pim;
+  result.schedulability = sv.schedulability;
+  result.psm = sv.psm;
+  result.constraints = sv.constraints;
+  result.bounds = rr.bounds;
+  result.psm_meets_original = rr.psm_meets_original;
+  result.psm_meets_relaxed = rr.psm_meets_relaxed;
+  // Legacy stage order: pim-verification, transform, constraints, bounds.
+  result.stages.reserve(report.pim_stages.size() + sv.stages.size());
+  for (const StageStats& s : report.pim_stages) result.stages.push_back(s);
+  for (const StageStats& s : sv.stages) result.stages.push_back(s);
+  return result;
+}
+
 FrameworkResult run_framework(const ta::Network& pim, const PimInfo& info,
                               const ImplementationScheme& scheme, const TimingRequirement& req,
                               FrameworkOptions options) {
-  FrameworkResult result;
-  result.requirement = req;
-
-  // Persistent artifact cache (off unless a directory is configured). Each
-  // exploring stage keys its artifact on the canonical fingerprint of the
-  // network it explores, so edits invalidate exactly the stages they touch.
-  const bool cache_enabled = !options.cache_dir.empty();
-  std::optional<mc::ArtifactStore> store;
-  if (cache_enabled) store.emplace(options.cache_dir);
-
-  // [1] PIM |= P(delta_mc) and the PIM's exact internal bound. Keyed on the
-  // instrumented PIM: scheme edits never invalidate this stage.
-  auto start = SteadyClock::now();
-  result.pim = verify_pim_requirement(pim, info, req, options.search_limit, options.explore,
-                                      store ? &*store : nullptr);
-  result.stages.push_back(StageStats{"pim-verification", ms_since(start), result.pim.stats,
-                                     result.pim.explorations, result.pim.cache});
-
-  // [2] analytic schedulability pre-check, then PIM -> PSM with every §V
-  // probe instrumented up front; ONE verification session over the
-  // instrumented network serves the whole remaining query load.
-  start = SteadyClock::now();
-  result.schedulability = check_schedulability(pim, info, scheme);
-  result.psm = transform(pim, info, scheme, options.transform);
-  InstrumentedPsm instrumented = instrument_psm_for_requirement(result.psm, req);
-  mc::VerificationSession session(std::move(instrumented.net), options.explore);
-  if (store) session.load(*store);
-  result.stages.push_back(StageStats{"transform", ms_since(start), {}, 0, {}});
-
-  // [3] Constraints C1-C4, from the session's shared full-space sweep.
-  start = SteadyClock::now();
-  mc::SessionStats before = session.stats();
-  if (options.run_constraint_checks)
-    result.constraints = check_constraints(session, result.psm, /*include_deadlock_check=*/true);
-  result.stages.push_back(StageStats{"constraints", ms_since(start),
-                                     explore_delta(session.stats().explore, before.explore),
-                                     session.stats().explorations - before.explorations,
-                                     mc::stage_cache_delta(session, before, cache_enabled)});
-
-  // [4] Lemma 1 / Lemma 2 / exact bounds, as one batched session query.
-  const std::int64_t io_internal = result.pim.bounded ? result.pim.max_delay : req.bound_ms;
-  start = SteadyClock::now();
-  before = session.stats();
-  result.bounds = analyze_bounds(session, result.psm, instrumented.mc_probe, io_internal, req,
-                                 options.search_limit);
-  result.stages.push_back(StageStats{"bounds", ms_since(start),
-                                     explore_delta(session.stats().explore, before.explore),
-                                     session.stats().explorations - before.explorations,
-                                     mc::stage_cache_delta(session, before, cache_enabled)});
-  if (store) session.store(*store);
-
-  // [5] P(delta) and P(delta') on the PSM follow from the exact verified
-  // maximum — no further exploration needed.
-  result.psm_meets_original =
-      result.bounds.verified_mc_bounded && result.bounds.verified_mc_delay <= req.bound_ms;
-  result.psm_meets_relaxed = result.bounds.verified_mc_bounded &&
-                             result.bounds.verified_mc_delay <= result.bounds.lemma2_total;
-  return result;
+  // A one-request batch through a private Verifier: same pipeline, same
+  // artifacts, same cache keys — the service is the implementation, this
+  // facade only reshapes the report. A fresh Verifier per call keeps the
+  // facade stateless (no cross-call session pooling), exactly like the
+  // historical implementation.
+  Verifier verifier;
+  VerifyRequest request;
+  request.pim = pim;
+  request.info = info;
+  request.schemes = {scheme};
+  request.requirements = {req};
+  request.options = std::move(options);
+  const VerifyReport report = verifier.verify(request);
+  return framework_result_from(report, 0, 0);
 }
 
 }  // namespace psv::core

@@ -1,12 +1,22 @@
-// End-to-end facade of the platform-specific timing verification framework.
+// End-to-end single-run facade of the platform-specific timing verification
+// framework — a thin compatibility wrapper over the batched Verifier
+// service (core/service.h).
 //
-// run_framework() performs the complete pipeline of the paper:
+// run_framework() performs the complete pipeline of the paper for ONE
+// requirement under ONE implementation scheme:
 //   1. verify the requirement on the PIM (PIM |= P(delta_mc)),
 //   2. transform the PIM into a PSM under the implementation scheme,
 //   3. discharge the boundedness constraints C1-C4 on the PSM,
 //   4. compute the delay bounds (Lemma 1, Lemma 2, exact model checking),
 //   5. check the original requirement P(delta_mc) and the relaxed
 //      requirement P(delta'_mc) on the PSM.
+//
+// It is implemented as a one-request batch (one scheme, one requirement)
+// through a private Verifier, with bit-identical bounds and verdicts.
+// Callers that check several requirements or compare candidate schemes
+// should use psv::core::Verifier directly — a batch shares the parsed
+// networks, the instrumented sessions, and the exploration work that this
+// facade re-does per call.
 #pragma once
 
 #include <string>
@@ -17,32 +27,17 @@
 #include "core/pim.h"
 #include "core/scheme.h"
 #include "core/schedulability.h"
+#include "core/service.h"
 #include "core/transform.h"
 
 namespace psv::core {
 
-/// Pipeline knobs.
-struct FrameworkOptions {
-  std::int64_t search_limit = 1'000'000;  ///< delay-search ceiling [ms]
-  mc::ExploreOptions explore;
-  TransformOptions transform;
-  bool run_constraint_checks = true;
-  /// Persistent verification-artifact cache directory; empty = disabled.
-  /// Stages 1 and 3–5 key their artifacts on the canonical fingerprint of
-  /// the network they explore (instrumented PIM for stage 1, instrumented
-  /// PSM for 3–5), so a scheme edit only invalidates the downstream stages.
-  std::string cache_dir;
-};
+/// Pipeline knobs (the request options of the service API).
+using FrameworkOptions = VerifyOptions;
 
 /// Machine-readable accounting of one pipeline stage, for bench trend
 /// tracking (psv_verify --stats-json).
-struct StageStats {
-  std::string name;         ///< e.g. "constraints"
-  double wall_ms = 0.0;     ///< wall clock of the stage
-  mc::ExploreStats explore; ///< exploration work (shared runs counted once)
-  int explorations = 0;     ///< reachability runs / sweeps performed
-  mc::StageCacheStats cache; ///< persistent-cache accounting of the stage
-};
+using StageStats = VerifyStageStats;
 
 /// Everything the pipeline produced.
 struct FrameworkResult {
@@ -65,5 +60,12 @@ struct FrameworkResult {
 FrameworkResult run_framework(const ta::Network& pim, const PimInfo& info,
                               const ImplementationScheme& scheme, const TimingRequirement& req,
                               FrameworkOptions options = {});
+
+/// Reshape one (scheme, requirement) cell of a batch report into the legacy
+/// single-run result shape (shared artifacts are copied; the per-scheme
+/// stages carry the whole batch's work, not a per-requirement split).
+/// run_framework() is exactly verify() + this, at cell (0, 0).
+FrameworkResult framework_result_from(const VerifyReport& report, std::size_t scheme_index,
+                                      std::size_t requirement_index);
 
 }  // namespace psv::core

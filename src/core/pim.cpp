@@ -68,8 +68,13 @@ PimInfo analyze_pim(const ta::Network& pim, const std::string& software_name,
   return info;
 }
 
-RequirementProbe instrument_mc_delay(ta::Network& net, const std::string& environment_name,
-                                     const TimingRequirement& req) {
+namespace {
+
+/// instrument_mc_delay with an explicit probe-name tag, so batch
+/// instrumentation can uniquify names when requirements share an input.
+RequirementProbe instrument_mc_delay_tagged(ta::Network& net, const std::string& environment_name,
+                                            const TimingRequirement& req,
+                                            const std::string& tag) {
   const auto env_id = net.automaton_by_name(environment_name);
   PSV_REQUIRE(env_id.has_value(), "no environment automaton named '" + environment_name + "'");
   const auto m_chan = net.channel_by_name(kInputPrefix + req.input);
@@ -78,9 +83,9 @@ RequirementProbe instrument_mc_delay(ta::Network& net, const std::string& enviro
   PSV_REQUIRE(c_chan.has_value(), "no output channel 'c_" + req.output + "'");
 
   RequirementProbe probe;
-  probe.clock = net.add_clock("t_mc_" + req.input);
-  probe.pending = net.add_var("mc_pend_" + req.input, 0, 0, 1);
-  probe.overlap = net.add_var("mc_overlap_" + req.input, 0, 0, 1);
+  probe.clock = net.add_clock("t_mc_" + tag);
+  probe.pending = net.add_var("mc_pend_" + tag, 0, 0, 1);
+  probe.overlap = net.add_var("mc_overlap_" + tag, 0, 0, 1);
 
   ta::Automaton& env = net.automaton(*env_id);
   std::vector<ta::Edge> rewritten;
@@ -118,6 +123,30 @@ RequirementProbe instrument_mc_delay(ta::Network& net, const std::string& enviro
   return probe;
 }
 
+}  // namespace
+
+RequirementProbe instrument_mc_delay(ta::Network& net, const std::string& environment_name,
+                                     const TimingRequirement& req) {
+  return instrument_mc_delay_tagged(net, environment_name, req, req.input);
+}
+
+std::vector<RequirementProbe> instrument_mc_delays(ta::Network& net,
+                                                   const std::string& environment_name,
+                                                   const std::vector<TimingRequirement>& reqs) {
+  std::vector<RequirementProbe> probes;
+  probes.reserve(reqs.size());
+  for (const TimingRequirement& req : reqs) {
+    // First probe of an input keeps the single-requirement names (a batch
+    // of one instruments the network identically to instrument_mc_delay);
+    // later probes on the same input get a numeric suffix.
+    std::string tag = req.input;
+    for (int n = 2; net.clock_by_name("t_mc_" + tag).has_value(); ++n)
+      tag = req.input + "_" + std::to_string(n);
+    probes.push_back(instrument_mc_delay_tagged(net, environment_name, req, tag));
+  }
+  return probes;
+}
+
 PimVerification verify_pim_requirement(const ta::Network& pim, const PimInfo& info,
                                        const TimingRequirement& req,
                                        std::int64_t search_limit, mc::ExploreOptions explore,
@@ -143,6 +172,68 @@ PimVerification verify_pim_requirement(const ta::Network& pim, const PimInfo& in
   result.explorations = session.stats().explorations;
   result.cache = mc::stage_cache_delta(session, mc::SessionStats{}, cache != nullptr);
   return result;
+}
+
+PimBatchVerification verify_pim_requirements_in_session(
+    mc::VerificationSession& session, const std::vector<RequirementProbe>& probes,
+    const std::vector<TimingRequirement>& reqs, std::int64_t search_limit, bool cache_enabled) {
+  PSV_REQUIRE(probes.size() == reqs.size(),
+              "verify_pim_requirements_in_session: probes must align with requirements");
+  const mc::SessionStats before = session.stats();
+  std::vector<mc::BoundQuery> queries;
+  queries.reserve(reqs.size());
+  for (const RequirementProbe& probe : probes) {
+    mc::BoundQuery query;
+    query.pred = mc::when(ta::var_eq(probe.pending, 1));
+    query.clock = probe.clock;
+    query.limit = search_limit;
+    queries.push_back(std::move(query));
+  }
+  const std::vector<mc::MaxClockResult> answers = session.max_clock_values(queries);
+
+  PimBatchVerification batch;
+  batch.requirements.reserve(reqs.size());
+  for (std::size_t i = 0; i < reqs.size(); ++i) {
+    PimVerification result;
+    result.bounded = answers[i].bounded;
+    result.max_delay = answers[i].bounded ? answers[i].bound : search_limit;
+    result.holds = answers[i].bounded && answers[i].bound <= reqs[i].bound_ms;
+    result.stats = answers[i].stats;
+    result.explorations = answers[i].probes;
+    batch.requirements.push_back(std::move(result));
+  }
+  const mc::SessionStats& now = session.stats();
+  batch.stats.states_stored = now.explore.states_stored - before.explore.states_stored;
+  batch.stats.states_explored = now.explore.states_explored - before.explore.states_explored;
+  batch.stats.transitions_fired = now.explore.transitions_fired - before.explore.transitions_fired;
+  batch.stats.subsumed = now.explore.subsumed - before.explore.subsumed;
+  batch.explorations = now.explorations - before.explorations;
+  batch.cache = mc::stage_cache_delta(session, before, cache_enabled);
+  // A batch of one is the single-requirement path: report the batch totals
+  // on the entry too, exactly like verify_pim_requirement().
+  if (batch.requirements.size() == 1) {
+    batch.requirements.front().stats = batch.stats;
+    batch.requirements.front().explorations = batch.explorations;
+    batch.requirements.front().cache = batch.cache;
+  }
+  return batch;
+}
+
+PimBatchVerification verify_pim_requirements(const ta::Network& pim, const PimInfo& info,
+                                             const std::vector<TimingRequirement>& reqs,
+                                             std::int64_t search_limit,
+                                             mc::ExploreOptions explore,
+                                             const mc::ArtifactStore* cache) {
+  ta::Network instrumented = pim;
+  const std::string env_name = pim.automaton(info.environment).name();
+  const std::vector<RequirementProbe> probes = instrument_mc_delays(instrumented, env_name, reqs);
+
+  mc::VerificationSession session(std::move(instrumented), explore);
+  if (cache != nullptr) session.load(*cache);
+  PimBatchVerification batch =
+      verify_pim_requirements_in_session(session, probes, reqs, search_limit, cache != nullptr);
+  if (cache != nullptr) session.store(*cache);
+  return batch;
 }
 
 }  // namespace psv::core

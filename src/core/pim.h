@@ -18,7 +18,8 @@
 #include "ta/model.h"
 
 namespace psv::mc {
-class ArtifactStore;  // mc/artifact.h; kept out of this header's includes
+class ArtifactStore;        // mc/artifact.h; kept out of this header's includes
+class VerificationSession;  // mc/session.h; likewise
 }
 
 namespace psv::core {
@@ -83,6 +84,18 @@ struct RequirementProbe {
 RequirementProbe instrument_mc_delay(ta::Network& net, const std::string& environment_name,
                                      const TimingRequirement& req);
 
+/// Batch variant: instrument one M-C probe per requirement into `net`, in
+/// requirement order, so ONE network (and one verification session over it)
+/// serves a whole batch of requirements. Each probe only partitions the
+/// relevant send edges on its own pending flag, so additional probes never
+/// change the behavior another probe measures — bounds are identical to
+/// instrumenting each requirement into its own copy. Probe names are
+/// uniquified when requirements share an input base name (names never enter
+/// the canonical fingerprint, so naming is purely cosmetic).
+std::vector<RequirementProbe> instrument_mc_delays(ta::Network& net,
+                                                   const std::string& environment_name,
+                                                   const std::vector<TimingRequirement>& reqs);
+
 /// Verify a requirement against the PIM itself (the paper's starting point:
 /// PIM |= P(delta_mc)) and compute the exact worst-case M-C delay.
 struct PimVerification {
@@ -102,5 +115,34 @@ PimVerification verify_pim_requirement(const ta::Network& pim, const PimInfo& in
                                        std::int64_t search_limit = 1'000'000,
                                        mc::ExploreOptions explore = {},
                                        const mc::ArtifactStore* cache = nullptr);
+
+/// Batched stage 1: verify a whole set of requirements against the PIM
+/// through ONE probe-instrumented network and one verification session —
+/// the sweep engine answers all per-requirement maxima from a single
+/// exploration. Verdicts and bounds are identical to N independent
+/// verify_pim_requirement() calls (which explore N times). The shared
+/// exploration work is reported once in `stats`/`explorations`; each
+/// per-requirement entry carries its query's own (shared-attributed) stats.
+struct PimBatchVerification {
+  std::vector<PimVerification> requirements;  ///< aligned with `reqs`
+  mc::ExploreStats stats;     ///< batch exploration work, counted once
+  int explorations = 0;       ///< reachability runs / sweeps performed
+  mc::StageCacheStats cache;  ///< persistent-cache accounting of the stage
+};
+PimBatchVerification verify_pim_requirements(const ta::Network& pim, const PimInfo& info,
+                                             const std::vector<TimingRequirement>& reqs,
+                                             std::int64_t search_limit = 1'000'000,
+                                             mc::ExploreOptions explore = {},
+                                             const mc::ArtifactStore* cache = nullptr);
+
+/// Session-backed stage 1 for callers that pool sessions (the Verifier
+/// service): `session` must wrap the network produced by
+/// instrument_mc_delays(pim, ..., reqs), `probes` its return value. All
+/// statistics are deltas against the session state at entry, so a pooled
+/// (possibly warm) session reports only this batch's work.
+PimBatchVerification verify_pim_requirements_in_session(
+    mc::VerificationSession& session, const std::vector<RequirementProbe>& probes,
+    const std::vector<TimingRequirement>& reqs, std::int64_t search_limit = 1'000'000,
+    bool cache_enabled = false);
 
 }  // namespace psv::core

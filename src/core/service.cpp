@@ -1,0 +1,288 @@
+#include "core/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "mc/artifact.h"
+#include "ta/print.h"
+#include "util/error.h"
+#include "util/hash.h"
+#include "util/table.h"
+
+namespace psv::core {
+
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+double ms_since(SteadyClock::time_point start) {
+  return std::chrono::duration<double, std::milli>(SteadyClock::now() - start).count();
+}
+
+mc::ExploreStats explore_delta(const mc::ExploreStats& now, const mc::ExploreStats& before) {
+  mc::ExploreStats d;
+  d.states_stored = now.states_stored - before.states_stored;
+  d.states_explored = now.states_explored - before.states_explored;
+  d.transitions_fired = now.transitions_fired - before.transitions_fired;
+  d.subsumed = now.subsumed - before.subsumed;
+  return d;
+}
+
+}  // namespace
+
+bool SchemeVerification::all_passed() const {
+  for (const RequirementResult& r : requirements)
+    if (!r.passed) return false;
+  return true;
+}
+
+bool VerifyReport::all_passed() const {
+  for (const SchemeVerification& s : schemes)
+    if (!s.all_passed()) return false;
+  return true;
+}
+
+int VerifyReport::explorations_in(const std::string& name) const {
+  int total = 0;
+  for (const SchemeVerification& s : schemes)
+    for (const VerifyStageStats& stage : s.stages)
+      if (stage.name == name) total += stage.explorations;
+  return total;
+}
+
+std::string VerifyReport::summary() const {
+  std::ostringstream os;
+  os << "=== batch verification: " << requirements.size() << " requirement(s) x "
+     << schemes.size() << " scheme(s) ===\n";
+  for (std::size_t r = 0; r < requirements.size(); ++r) {
+    const TimingRequirement& req = requirements[r];
+    os << "  " << req.name << ": " << req.input << " -> " << req.output << " within "
+       << req.bound_ms << "ms";
+    // Stage-1 verdicts are scheme-independent; read them off the first scheme.
+    if (!schemes.empty() && r < schemes.front().requirements.size()) {
+      const PimVerification& pim = schemes.front().requirements[r].pim;
+      os << " — PIM |= P? " << (pim.holds ? "yes" : "NO");
+      if (pim.bounded) os << " (exact max " << pim.max_delay << "ms)";
+    }
+    os << "\n";
+  }
+  for (const SchemeVerification& s : schemes) {
+    os << "\n--- scheme " << s.scheme_name << " ---\n";
+    if (!s.schedulability.findings.empty())
+      os << "  analytic pre-check:\n" << s.schedulability.to_string();
+    if (!s.constraints.checks.empty())
+      os << "  constraints: " << (s.constraints.all_hold() ? "all hold" : "VIOLATED") << "\n";
+    for (const RequirementResult& r : s.requirements) {
+      os << "  [" << (r.passed ? "PASS" : "FAIL") << "] " << r.requirement.name
+         << ": verified M-C ";
+      if (r.bounds.verified_mc_bounded) {
+        os << r.bounds.verified_mc_delay << "ms";
+      } else {
+        os << "unbounded";
+      }
+      os << ", relaxed bound " << r.bounds.lemma2_total << "ms (original "
+         << r.requirement.bound_ms << "ms "
+         << (r.psm_meets_original ? "met" : "NOT met") << ")\n";
+    }
+    for (const VerifyStageStats& stage : s.stages) {
+      if (!stage.cache.enabled) continue;
+      os << "  [cache] " << stage.name << ": " << stage.cache.state() << " (hits "
+         << stage.cache.hits << ", misses " << stage.cache.misses << ", stored "
+         << stage.cache.stores << ")\n";
+    }
+  }
+  if (schemes.size() > 1) {
+    TextTable table("scheme comparison (" + std::to_string(requirements.size()) +
+                    " requirement(s))");
+    table.set_header({"scheme", "constraints", "passed", "worst verified M-C"});
+    table.set_align({Align::kLeft, Align::kLeft, Align::kRight, Align::kRight});
+    for (const SchemeVerification& s : schemes) {
+      std::int64_t worst = 0;
+      bool worst_bounded = true;
+      std::size_t passed = 0;
+      for (const RequirementResult& r : s.requirements) {
+        if (r.passed) ++passed;
+        if (!r.bounds.verified_mc_bounded) worst_bounded = false;
+        worst = std::max(worst, r.bounds.verified_mc_delay);
+      }
+      table.add_row({s.scheme_name,
+                     s.constraints.checks.empty()
+                         ? "skipped"
+                         : (s.constraints.all_hold() ? "ok" : "violated"),
+                     std::to_string(passed) + "/" + std::to_string(s.requirements.size()),
+                     worst_bounded ? fmt_ms(static_cast<double>(worst)) : "unbounded"});
+    }
+    os << "\n" << table.render();
+  }
+  return os.str();
+}
+
+std::shared_ptr<Verifier::Slot> Verifier::acquire(ta::Network&& net,
+                                                  const mc::ExploreOptions& explore) {
+  // Construct outside the pool lock: fingerprinting and the network copy
+  // dominate the cost, and a losing racer merely discards its session.
+  mc::VerificationSession session(std::move(net), explore);
+  // The pool key extends the (rename/reorder-invariant) artifact cache key
+  // with a digest of the RAW network rendering. Callers query pooled
+  // sessions with raw clock/variable ids, so two semantically equal but
+  // differently declared networks must NOT share a slot — only the
+  // persistent artifact store may be shared across representations (its
+  // load path remaps through the canonical id ranks; see
+  // VerificationSession::load()).
+  Hasher128 raw_hash;
+  raw_hash.str(ta::network_text(session.net()));
+  const std::string key = session.cache_key().hex() + "-" + raw_hash.digest().hex();
+
+  if (config_.max_sessions == 0) {
+    auto slot = std::make_shared<Slot>();
+    slot->session.emplace(std::move(session));
+    return slot;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (auto it = pool_.find(key); it != pool_.end()) {
+    lru_.remove(key);
+    lru_.push_back(key);
+    return it->second;
+  }
+  auto slot = std::make_shared<Slot>();
+  slot->session.emplace(std::move(session));
+  pool_.emplace(key, slot);
+  lru_.push_back(key);
+  while (pool_.size() > config_.max_sessions) {
+    // Evict the least recently used entry; a request still holding the
+    // shared_ptr keeps its session alive until it finishes.
+    pool_.erase(lru_.front());
+    lru_.pop_front();
+  }
+  return slot;
+}
+
+std::size_t Verifier::pooled_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pool_.size();
+}
+
+VerifyReport Verifier::verify(const VerifyRequest& request) {
+  PSV_REQUIRE(!request.requirements.empty(), "VerifyRequest carries no timing requirements");
+  PSV_REQUIRE(!request.schemes.empty(), "VerifyRequest carries no implementation schemes");
+  const PimInfo info = request.info.has_value() ? *request.info : analyze_pim(request.pim);
+  const VerifyOptions& opts = request.options;
+  const std::vector<TimingRequirement>& reqs = request.requirements;
+
+  const std::string cache_dir =
+      !opts.cache_dir.empty() ? opts.cache_dir : config_.cache_dir;
+  std::optional<mc::ArtifactStore> store;
+  if (!cache_dir.empty()) store.emplace(cache_dir);
+
+  VerifyReport report;
+  report.requirements = reqs;
+
+  // [1] PIM |= P(delta) for the WHOLE requirement set, from one session
+  // over one fully probe-instrumented PIM. Scheme-independent, so every
+  // candidate scheme below reuses these verdicts. Keyed on the
+  // instrumented-PIM fingerprint: scheme edits never invalidate this stage.
+  auto start = SteadyClock::now();
+  ta::Network pim_net = request.pim;
+  const std::string env_name = request.pim.automaton(info.environment).name();
+  const std::vector<RequirementProbe> pim_probes =
+      instrument_mc_delays(pim_net, env_name, reqs);
+  PimBatchVerification pim_batch;
+  {
+    std::shared_ptr<Slot> slot = acquire(std::move(pim_net), opts.explore);
+    std::lock_guard<std::mutex> lock(slot->mu);
+    if (store && !slot->load_attempted) {
+      slot->session->load(*store);
+      slot->load_attempted = true;
+    }
+    pim_batch = verify_pim_requirements_in_session(*slot->session, pim_probes, reqs,
+                                                   opts.search_limit, store.has_value());
+    if (store) slot->session->store(*store);
+  }
+  report.pim_stages.push_back(VerifyStageStats{"pim-verification", ms_since(start),
+                                               pim_batch.stats, pim_batch.explorations,
+                                               pim_batch.cache});
+
+  // Per-requirement io-internal bounds (Lemma 2's delta_io term).
+  std::vector<std::int64_t> internals;
+  internals.reserve(reqs.size());
+  for (std::size_t r = 0; r < reqs.size(); ++r)
+    internals.push_back(pim_batch.requirements[r].bounded
+                            ? pim_batch.requirements[r].max_delay
+                            : reqs[r].bound_ms);
+
+  // Candidate schemes: each shares stage 1 above and answers its own
+  // stages 3–5 from one combined batch sweep.
+  for (const ImplementationScheme& scheme : request.schemes) {
+    SchemeVerification sv;
+    sv.scheme_name = scheme.name;
+
+    // [2] analytic pre-check + PIM -> PSM with the full batch probe set.
+    start = SteadyClock::now();
+    sv.schedulability = check_schedulability(request.pim, info, scheme);
+    sv.psm = transform(request.pim, info, scheme, opts.transform);
+    InstrumentedPsmBatch instrumented = instrument_psm_for_requirements(sv.psm, reqs);
+    std::shared_ptr<Slot> slot = acquire(std::move(instrumented.net), opts.explore);
+    std::lock_guard<std::mutex> lock(slot->mu);
+    mc::VerificationSession& session = *slot->session;
+    if (store && !slot->load_attempted) {
+      session.load(*store);
+      slot->load_attempted = true;
+    }
+    sv.stages.push_back(VerifyStageStats{"transform", ms_since(start), {}, 0, {}});
+
+    const BoundQueryPlan plan =
+        plan_bound_queries(sv.psm, instrumented.mc_probes, reqs, internals, opts.search_limit);
+
+    // [3] Constraints C1–C4 + deadlock — the batch planner's combined call:
+    // one full-space exploration answers the flag sweep AND (typically) the
+    // whole bound-query plan. The exploration is attributed to this stage;
+    // the bounds stage below reads its answers from the session memo.
+    start = SteadyClock::now();
+    mc::SessionStats before = session.stats();
+    if (opts.run_constraint_checks) {
+      session.verify_batch(plan.queries, constraint_flag_vars(sv.psm));
+      sv.constraints = check_constraints(session, sv.psm, /*include_deadlock_check=*/true);
+    }
+    sv.stages.push_back(VerifyStageStats{
+        "constraints", ms_since(start), explore_delta(session.stats().explore, before.explore),
+        session.stats().explorations - before.explorations,
+        mc::stage_cache_delta(session, before, store.has_value())});
+
+    // [4] Lemma 1 / Lemma 2 / exact bounds for every requirement, as one
+    // batched session query (memo hits when [3] primed the sweep).
+    start = SteadyClock::now();
+    before = session.stats();
+    const std::vector<mc::MaxClockResult> answers = session.max_clock_values(plan.queries);
+    std::vector<BoundAnalysis> analyses =
+        assemble_bound_analyses(plan, sv.psm, reqs, internals, answers, opts.search_limit);
+    sv.stages.push_back(VerifyStageStats{
+        "bounds", ms_since(start), explore_delta(session.stats().explore, before.explore),
+        session.stats().explorations - before.explorations,
+        mc::stage_cache_delta(session, before, store.has_value())});
+    if (store) session.store(*store);
+
+    // [5] P(delta) and P(delta') per requirement follow from the exact
+    // verified maxima — no further exploration.
+    const bool constraints_ok = sv.constraints.all_hold();
+    sv.requirements.reserve(reqs.size());
+    for (std::size_t r = 0; r < reqs.size(); ++r) {
+      RequirementResult rr;
+      rr.requirement = reqs[r];
+      rr.pim = pim_batch.requirements[r];
+      rr.bounds = std::move(analyses[r]);
+      rr.psm_meets_original =
+          rr.bounds.verified_mc_bounded && rr.bounds.verified_mc_delay <= reqs[r].bound_ms;
+      rr.psm_meets_relaxed = rr.bounds.verified_mc_bounded &&
+                             rr.bounds.verified_mc_delay <= rr.bounds.lemma2_total;
+      rr.passed = constraints_ok && rr.psm_meets_relaxed;
+      sv.requirements.push_back(std::move(rr));
+    }
+    report.schemes.push_back(std::move(sv));
+  }
+  return report;
+}
+
+}  // namespace psv::core

@@ -1,0 +1,124 @@
+#include "lang/manifest.h"
+
+#include <cctype>
+
+#include "lang/scheme_parser.h"
+#include "util/error.h"
+
+namespace psv::lang {
+
+namespace {
+
+/// Trim ASCII whitespace on both ends.
+std::string trim(const std::string& s) {
+  std::size_t begin = 0;
+  std::size_t end = s.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(s[begin])) != 0) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(s[end - 1])) != 0) --end;
+  return s.substr(begin, end - begin);
+}
+
+/// Split source into (line_number, trimmed_content) pairs, dropping blank
+/// lines and full-line # comments.
+std::vector<std::pair<int, std::string>> content_lines(const std::string& source) {
+  std::vector<std::pair<int, std::string>> lines;
+  std::size_t pos = 0;
+  int line_no = 0;
+  while (pos <= source.size()) {
+    const std::size_t eol = source.find('\n', pos);
+    const std::size_t len = (eol == std::string::npos ? source.size() : eol) - pos;
+    ++line_no;
+    const std::string line = trim(source.substr(pos, len));
+    if (!line.empty() && line[0] != '#') lines.emplace_back(line_no, line);
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  return lines;
+}
+
+[[noreturn]] void fail_at(int line, const std::string& message) {
+  PSV_FAIL("manifest, line " + std::to_string(line) + ": " + message);
+}
+
+/// "key rest-of-line" -> {key, rest}; rest may be empty.
+std::pair<std::string, std::string> split_key(const std::string& line) {
+  std::size_t space = 0;
+  while (space < line.size() && std::isspace(static_cast<unsigned char>(line[space])) == 0)
+    ++space;
+  return {line.substr(0, space), trim(line.substr(space))};
+}
+
+}  // namespace
+
+std::vector<ManifestJob> parse_manifest(const std::string& source) {
+  std::vector<ManifestJob> jobs;
+  const std::vector<std::pair<int, std::string>> lines = content_lines(source);
+
+  std::size_t i = 0;
+  while (i < lines.size()) {
+    const auto& [line_no, line] = lines[i];
+    auto [key, rest] = split_key(line);
+    if (key != "job") fail_at(line_no, "expected 'job NAME {', got '" + line + "'");
+    ManifestJob job;
+    if (!rest.empty() && rest.back() == '{') rest = trim(rest.substr(0, rest.size() - 1));
+    job.name = rest;
+    if (job.name.empty()) fail_at(line_no, "job needs a name: 'job NAME {'");
+    // The opening brace may trail the name or sit on its own line.
+    if (line.back() != '{') {
+      ++i;
+      if (i >= lines.size() || lines[i].second != "{")
+        fail_at(line_no, "expected '{' after 'job " + job.name + "'");
+    }
+    ++i;
+
+    bool closed = false;
+    while (i < lines.size()) {
+      const auto& [body_no, body] = lines[i];
+      if (body == "}") {
+        closed = true;
+        ++i;
+        break;
+      }
+      const auto [body_key, value] = split_key(body);
+      if (value.empty()) fail_at(body_no, "'" + body_key + "' needs a value");
+      if (body_key == "model") {
+        if (!job.model_path.empty()) fail_at(body_no, "job '" + job.name + "' has two models");
+        job.model_path = value;
+      } else if (body_key == "scheme") {
+        job.scheme_paths.push_back(value);
+      } else if (body_key == "req") {
+        try {
+          job.requirements.push_back(parse_requirement(value));
+        } catch (const Error& e) {
+          fail_at(body_no, std::string("bad requirement: ") + e.what());
+        }
+      } else {
+        fail_at(body_no, "unknown key '" + body_key + "' (expected model/scheme/req)");
+      }
+      ++i;
+    }
+    if (!closed) fail_at(line_no, "job '" + job.name + "' is missing its closing '}'");
+    if (job.model_path.empty()) fail_at(line_no, "job '" + job.name + "' declares no model");
+    if (job.scheme_paths.empty()) fail_at(line_no, "job '" + job.name + "' declares no scheme");
+    if (job.requirements.empty())
+      fail_at(line_no, "job '" + job.name + "' declares no requirements");
+    jobs.push_back(std::move(job));
+  }
+  PSV_REQUIRE(!jobs.empty(), "manifest declares no jobs");
+  return jobs;
+}
+
+std::vector<core::TimingRequirement> parse_requirement_list(const std::string& source) {
+  std::vector<core::TimingRequirement> requirements;
+  for (const auto& [line_no, line] : content_lines(source)) {
+    try {
+      requirements.push_back(parse_requirement(line));
+    } catch (const Error& e) {
+      PSV_FAIL("requirement list, line " + std::to_string(line_no) + ": " + e.what());
+    }
+  }
+  PSV_REQUIRE(!requirements.empty(), "requirement list is empty");
+  return requirements;
+}
+
+}  // namespace psv::lang

@@ -1,0 +1,59 @@
+// Parser for .psvb batch manifests and requirement lists — the file-based
+// front end of the batched Verifier service (core/service.h).
+//
+// A manifest names a sequence of verification jobs. Each job is one
+// VerifyRequest: a model, one or more candidate schemes, and a set of
+// timing requirements:
+//
+//   # pump: two requirements against the reference board
+//   job pump {
+//     model examples/models/pump.psv
+//     scheme examples/models/board.pss
+//     req REQ1: BolusReq -> StartInfusion within 500
+//     req REQ2: BolusReq -> StopInfusion within 2500
+//   }
+//
+//   # several scheme lines turn the job into a candidate comparison
+//   job quickstart {
+//     model examples/models/quickstart.psv
+//     scheme examples/models/fast.pss
+//     scheme examples/models/late.pss
+//     req QREQ: Req -> Ack within 80
+//   }
+//
+// The format is line-based: `#` starts a full-line comment, keys are
+// `model` (exactly one), `scheme` (one or more) and `req` (one or more,
+// taking the rest of the line in the paper's P(delta) phrasing). Paths are
+// recorded verbatim; the caller resolves them (psv_verify resolves relative
+// to the manifest's directory).
+//
+// A requirement list is the degenerate form — one requirement per line,
+// same comment rules — used wherever a set of requirements is given as a
+// block of text.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/pim.h"
+
+namespace psv::lang {
+
+/// One `job { ... }` block of a manifest.
+struct ManifestJob {
+  std::string name;
+  std::string model_path;                ///< exactly one per job
+  std::vector<std::string> scheme_paths; ///< at least one per job
+  std::vector<core::TimingRequirement> requirements;  ///< at least one
+};
+
+/// Parse a .psvb manifest's contents. Throws psv::Error with line context
+/// on syntax errors, duplicate keys, or empty jobs.
+std::vector<ManifestJob> parse_manifest(const std::string& source);
+
+/// Parse a block of requirement lines ("NAME: in -> out within MS", one per
+/// line; blank lines and #-comments ignored). Throws psv::Error (with the
+/// offending line) on malformed entries or when no requirement remains.
+std::vector<core::TimingRequirement> parse_requirement_list(const std::string& source);
+
+}  // namespace psv::lang

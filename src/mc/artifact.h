@@ -36,9 +36,12 @@
 
 namespace psv::mc {
 
-/// Bumped whenever the artifact payload layout or the canonical fingerprint
-/// encoding changes; files with any other version are ignored.
-inline constexpr std::uint32_t kArtifactFormatVersion = 1;
+/// Bumped whenever the artifact payload layout, the canonical fingerprint
+/// encoding, or the semantics of a stored field change; files with any
+/// other version are ignored. Version 2: the flag sweep may now be produced
+/// by the combined batch sweep (extra probe-clock extrapolation constants),
+/// so its stored statistics are not comparable with version-1 artifacts.
+inline constexpr std::uint32_t kArtifactFormatVersion = 2;
 
 /// Content-addressed cache key; hex() names the artifact file.
 struct ArtifactKey {

@@ -215,9 +215,14 @@ bool constrain_by(dbm::Dbm& zone, const ta::ClockConstraint& cc) {
 /// probe clock's upper bound is read off the zone: finite bounds are exact
 /// under the candidate extrapolation constant, an abstracted (infinite)
 /// bound means the maximum escaped the candidate.
+///
+/// With `flags`, the exploration additionally records per-variable ==1
+/// reachability and runs the deadlock search (combined batch sweep). A
+/// timelock then aborts the exploration early — `flags->valid` turns false
+/// and the round's bound outcomes are partial; the caller must discard them.
 SweepRound sweep_once(const ta::Network& net, const std::vector<BoundQuery>& queries,
                       const std::vector<SweepTarget>& targets, std::int64_t factor,
-                      ExploreOptions opts) {
+                      ExploreOptions opts, FlagSweepOutcome* flags = nullptr) {
   SweepRound round;
   round.consts.resize(targets.size());
   round.outcomes.assign(targets.size(), SweepOutcome{});
@@ -234,7 +239,7 @@ SweepRound sweep_once(const ta::Network& net, const std::vector<BoundQuery>& que
           std::max(extra[static_cast<std::size_t>(cc.clock)], cc.bound);
   }
   Reachability engine(net, StateFormula{}, opts, std::move(extra));
-  round.stats = engine.explore_all_ids([&](const SymState& state, std::uint64_t id) {
+  const auto visit = [&](const SymState& state, std::uint64_t id) {
     for (std::size_t t = 0; t < targets.size(); ++t) {
       const SweepTarget& target = targets[t];
       if (!satisfies(net, state, target.discrete)) continue;
@@ -265,7 +270,23 @@ SweepRound sweep_once(const ta::Network& net, const std::vector<BoundQuery>& que
         }
       }
     }
-  });
+  };
+  if (flags == nullptr) {
+    round.stats = engine.explore_all_ids(visit);
+  } else {
+    flags->var_seen_one.assign(static_cast<std::size_t>(net.num_vars()), 0);
+    DeadlockResult deadlock =
+        engine.find_deadlock_ids([&](const SymState& state, std::uint64_t id) {
+          for (std::size_t v = 0; v < state.vars.size(); ++v)
+            if (state.vars[v] == 1) flags->var_seen_one[v] = 1;
+          visit(state, id);
+        });
+    flags->ran = true;
+    flags->valid = !(deadlock.found && deadlock.timelock);
+    round.stats = deadlock.stats;
+    flags->deadlock = std::move(deadlock);
+    if (!flags->valid) return round;  // partial outcomes; caller discards them
+  }
   for (SweepOutcome& o : round.outcomes) {
     if (o.has_max) o.max_trace = engine.trace_of(o.max_id);
     if (o.saw_inf) o.inf_trace = engine.trace_of(o.inf_id);
@@ -307,7 +328,8 @@ bool resolve_target(const BoundQuery& q, SweepRound& round, std::size_t t, MaxCl
 std::vector<MaxClockResult> sweep_max_clock_values(const ta::Network& net,
                                                    const std::vector<BoundQuery>& queries,
                                                    ExploreOptions opts,
-                                                   BatchQueryStats* batch_stats) {
+                                                   BatchQueryStats* batch_stats,
+                                                   FlagSweepOutcome* flags) {
   std::vector<MaxClockResult> results(queries.size());
   std::vector<SweepTarget> targets;
   targets.reserve(queries.size());
@@ -323,9 +345,23 @@ std::vector<MaxClockResult> sweep_max_clock_values(const ta::Network& net,
   }
 
   // Round 0: one exploration at every query's hint answers the whole batch
-  // whenever the hints are honest upper-bound estimates.
+  // whenever the hints are honest upper-bound estimates. With a flag
+  // piggyback this same exploration also serves the C1–C4 flag recording
+  // and the deadlock search.
   {
-    SweepRound round = sweep_once(net, queries, targets, 1, opts);
+    SweepRound round = sweep_once(net, queries, targets, 1, opts, flags);
+    if (flags != nullptr && flags->ran && !flags->valid) {
+      // A timelock aborted the combined sweep: the deadlock verdict stands,
+      // but the bound outcomes cover only part of the space. Account the
+      // aborted exploration to the batch and redo round 0 without the
+      // piggyback (a plain sweep runs to completion — only the deadlock
+      // search honors the timelock early exit).
+      if (batch_stats) {
+        accumulate_stats(batch_stats->explore, round.stats);
+        ++batch_stats->explorations;
+      }
+      round = sweep_once(net, queries, targets, 1, opts);
+    }
     if (batch_stats) {
       accumulate_stats(batch_stats->explore, round.stats);
       ++batch_stats->explorations;
@@ -430,9 +466,13 @@ std::vector<MaxClockResult> sweep_max_clock_values(const ta::Network& net,
 
 std::vector<MaxClockResult> max_clock_values(const ta::Network& net,
                                              const std::vector<BoundQuery>& queries,
-                                             ExploreOptions opts, BatchQueryStats* batch_stats) {
+                                             ExploreOptions opts, BatchQueryStats* batch_stats,
+                                             FlagSweepOutcome* flags) {
   for (const BoundQuery& q : queries) validate_query(net, q.clock, q.limit);
   if (opts.engine == QueryEngine::kProbe) {
+    // Probe explorations are goal-directed (early exit on reachability), so
+    // no full-space sweep exists to piggyback on: flags->ran stays false and
+    // the caller runs a dedicated flag sweep.
     std::vector<MaxClockResult> results;
     results.reserve(queries.size());
     for (const BoundQuery& q : queries) {
@@ -445,7 +485,7 @@ std::vector<MaxClockResult> max_clock_values(const ta::Network& net,
     }
     return results;
   }
-  return sweep_max_clock_values(net, queries, opts, batch_stats);
+  return sweep_max_clock_values(net, queries, opts, batch_stats, flags);
 }
 
 MaxClockResult max_clock_value(const ta::Network& net, const StateFormula& pred,

@@ -67,16 +67,38 @@ struct BatchQueryStats {
   int explorations = 0;
 };
 
+/// Flag/deadlock results piggybacked on a sweep batch's round-0 exploration
+/// (the batch planner's "one probe-instrumented sweep answers everything"):
+/// while the sweep reads the probe-clock maxima off every stored state, the
+/// same exploration records which variables ever reach value 1 (the C1–C4
+/// sticky flags are a subset) and runs the deadlock/timelock search.
+struct FlagSweepOutcome {
+  /// True when a combined exploration ran (sweep engine with fresh queries);
+  /// false under the probe engine — the caller falls back to a dedicated
+  /// flag sweep.
+  bool ran = false;
+  /// False when a timelock aborted the shared sweep before the full space
+  /// was visited: `deadlock` is definitive but `var_seen_one` is not (same
+  /// contract as VerificationSession::FlagReport::shared_sweep). The bound
+  /// results are NOT affected — on an aborted round 0 the sweep re-runs
+  /// without the piggyback, so bounds always come from complete sweeps.
+  bool valid = false;
+  std::vector<std::uint8_t> var_seen_one;  ///< per VarId: some state has v == 1
+  DeadlockResult deadlock;
+};
+
 /// Answer a batch of maximum-clock queries. The sweep engine (default)
 /// shares each full-space exploration across the whole batch — one sweep
 /// typically answers every query — and runs the refine-loop candidates in
 /// parallel; the probe engine answers the queries independently. Results
 /// are index-aligned with `queries` and identical for both engines.
-/// `batch_stats`, when given, receives the batch's total work.
+/// `batch_stats`, when given, receives the batch's total work. `flags`,
+/// when given, requests the combined flag/deadlock sweep described above.
 std::vector<MaxClockResult> max_clock_values(const ta::Network& net,
                                              const std::vector<BoundQuery>& queries,
                                              ExploreOptions opts = {},
-                                             BatchQueryStats* batch_stats = nullptr);
+                                             BatchQueryStats* batch_stats = nullptr,
+                                             FlagSweepOutcome* flags = nullptr);
 
 /// Compute the maximum value `clock` can take over all reachable states
 /// satisfying `pred` (the paper's delay measurements: reset the clock at the

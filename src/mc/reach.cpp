@@ -392,6 +392,12 @@ ExploreStats Reachability::explore_all_ids(
 }
 
 DeadlockResult Reachability::find_deadlock(const std::function<void(const SymState&)>& visit) {
+  if (!visit) return find_deadlock_ids(nullptr);
+  return find_deadlock_ids([&visit](const SymState& state, std::uint64_t) { visit(state); });
+}
+
+DeadlockResult Reachability::find_deadlock_ids(
+    const std::function<void(const SymState&, std::uint64_t)>& visit) {
   DeadlockResult result;
   std::optional<std::uint64_t> first_quiescent;
   seed_initial();
@@ -402,7 +408,7 @@ DeadlockResult Reachability::find_deadlock(const std::function<void(const SymSta
     // timelock stops the scan exactly where the sequential engine stopped.
     std::optional<std::size_t> timelock_rank;
     for (std::size_t i = 0; i < frontier_.size(); ++i) {
-      if (visit) visit(stored(frontier_[i]).state);
+      if (visit) visit(stored(frontier_[i]).state, frontier_[i]);
       if (!wave_succs_[i].empty()) continue;
       if (wave_blocked_[i]) {
         timelock_rank = i;

@@ -111,6 +111,14 @@ class Reachability {
   /// it is invoked sequentially in exploration order.
   DeadlockResult find_deadlock(const std::function<void(const SymState&)>& visit = nullptr);
 
+  /// find_deadlock variant whose visitor also receives the packed store id
+  /// of each state, usable with trace_of() — the combined batch sweep runs
+  /// the deadlock search, the C1–C4 flag recording, AND the bound-query
+  /// maxima off this one exploration. Same determinism and early-abort
+  /// (timelock) semantics as find_deadlock.
+  DeadlockResult find_deadlock_ids(
+      const std::function<void(const SymState&, std::uint64_t)>& visit);
+
  private:
   /// Shard count of the passed/waiting store. Fixed (independent of `jobs`)
   /// so the shard assignment — and with it every bucket's insertion

@@ -22,6 +22,11 @@ Digest128 VerificationSession::bound_key(const BoundQuery& query) const {
 
 std::vector<MaxClockResult> VerificationSession::max_clock_values(
     const std::vector<BoundQuery>& queries) {
+  return answer_bounds(queries, nullptr);
+}
+
+std::vector<MaxClockResult> VerificationSession::answer_bounds(
+    const std::vector<BoundQuery>& queries, FlagSweepOutcome* flags) {
   std::vector<MaxClockResult> results(queries.size());
   std::vector<BoundQuery> fresh;
   std::vector<std::size_t> fresh_index;
@@ -40,7 +45,7 @@ std::vector<MaxClockResult> VerificationSession::max_clock_values(
   }
   if (!fresh.empty()) {
     BatchQueryStats batch;
-    std::vector<MaxClockResult> answers = mc::max_clock_values(net_, fresh, opts_, &batch);
+    std::vector<MaxClockResult> answers = mc::max_clock_values(net_, fresh, opts_, &batch, flags);
     // The batch total counts shared sweep work once (per-query stats
     // attribute shared explorations to every query they served).
     accumulate_stats(stats_.explore, batch.explore);
@@ -59,6 +64,40 @@ std::vector<MaxClockResult> VerificationSession::max_clock_values(
 MaxClockResult VerificationSession::max_clock_value(const BoundQuery& query) {
   std::vector<BoundQuery> batch(1, query);
   return std::move(max_clock_values(batch).front());
+}
+
+VerificationSession::BatchReport VerificationSession::verify_batch(
+    const std::vector<BoundQuery>& queries, const std::vector<ta::VarId>& flags) {
+  BatchReport report;
+  // A combined exploration pays off only when BOTH parts need fresh work
+  // under the sweep engine; everything else routes through the individual
+  // paths (whose memos keep the answers identical either way).
+  const bool want_combined =
+      !flags.empty() && !flag_sweep_done_ && opts_.engine == QueryEngine::kSweep;
+  if (!want_combined) {
+    report.bounds = max_clock_values(queries);
+    if (!flags.empty()) report.flags = check_flags(flags);
+    return report;
+  }
+
+  FlagSweepOutcome sweep;
+  report.bounds = answer_bounds(queries, &sweep);
+  if (sweep.ran) {
+    // Adopt the piggybacked sweep as the session's cached flag sweep (the
+    // timelock-aborted case carries the same partial-verdict semantics as
+    // a dedicated sweep that hit the same timelock).
+    var_seen_one_.assign(static_cast<std::size_t>(net_.num_vars()), false);
+    for (std::size_t v = 0; v < sweep.var_seen_one.size(); ++v)
+      var_seen_one_[v] = sweep.var_seen_one[v] != 0;
+    deadlock_ = std::move(sweep.deadlock);
+    flag_sweep_done_ = true;
+    ++stats_.entries_added;
+    dirty_ = true;
+  }
+  // Either served from the freshly adopted sweep, or (when every bound was
+  // a memo hit and no combined exploration ran) via a dedicated sweep.
+  report.flags = check_flags(flags);
+  return report;
 }
 
 void VerificationSession::ensure_flag_sweep() {

@@ -78,6 +78,24 @@ class VerificationSession {
   };
   FlagReport check_flags(const std::vector<ta::VarId>& flags);
 
+  /// Answer a whole verification batch — every bound query plus the C1–C4
+  /// flag/deadlock sweep — from ONE combined full-space exploration (plus
+  /// rare widen-and-refine rounds for escaped bounds). This is the batch
+  /// planner's workhorse: under the sweep engine, fresh bound queries and a
+  /// fresh flag sweep share their round-0 exploration instead of running
+  /// one exploration each; memoized parts (a warm-loaded session, repeated
+  /// queries) are served from the memo exactly like the individual calls.
+  /// Under the probe engine the parts run separately (probe explorations
+  /// are goal-directed; there is no shared sweep to combine). Results are
+  /// identical to calling max_clock_values() and check_flags() back to
+  /// back — only the exploration count changes.
+  struct BatchReport {
+    std::vector<MaxClockResult> bounds;  ///< index-aligned with `queries`
+    FlagReport flags;                    ///< empty when no flags were asked
+  };
+  BatchReport verify_batch(const std::vector<BoundQuery>& queries,
+                           const std::vector<ta::VarId>& flags);
+
   /// Plain reachability of `goal` under the session options. Not persisted
   /// by store() — only batched bounds and the shared flag sweep are.
   ReachResult query_reachable(const StateFormula& goal);
@@ -114,6 +132,12 @@ class VerificationSession {
  private:
   /// Run (once) the cached full-space deadlock + flag sweep.
   void ensure_flag_sweep();
+
+  /// Memo-aware bound answering shared by max_clock_values and
+  /// verify_batch; `flags`, when non-null, asks the underlying sweep batch
+  /// to piggyback the flag/deadlock sweep on its round-0 exploration.
+  std::vector<MaxClockResult> answer_bounds(const std::vector<BoundQuery>& queries,
+                                            FlagSweepOutcome* flags);
 
   Digest128 bound_key(const BoundQuery& query) const;
 

@@ -1,0 +1,36 @@
+#include "util/io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace psv::util {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  PSV_REQUIRE(in.good(), "cannot open '" + path + "'");
+  std::ostringstream os;
+  os << in.rdbuf();
+  PSV_REQUIRE(!in.bad(), "failed reading '" + path + "'");
+  return os.str();
+}
+
+std::optional<std::string> try_read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return std::nullopt;
+  std::ostringstream os;
+  os << in.rdbuf();
+  if (in.bad()) return std::nullopt;
+  return os.str();
+}
+
+void write_file(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary);
+  PSV_REQUIRE(out.good(), "cannot write '" + path + "'");
+  out << contents;
+  out.flush();
+  PSV_REQUIRE(out.good(), "failed writing '" + path + "'");
+}
+
+}  // namespace psv::util

@@ -1,0 +1,22 @@
+// Whole-file IO helpers shared by the CLI front ends, the bench harnesses,
+// and the test suites (previously each carried its own copy).
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace psv::util {
+
+/// Read a whole file into a string. Throws psv::Error with the offending
+/// path ("cannot open 'path'") when the file cannot be opened or read.
+std::string read_file(const std::string& path);
+
+/// Probing variant: std::nullopt when the file cannot be opened (used by
+/// the test helpers that search for the shipped model directory).
+std::optional<std::string> try_read_file(const std::string& path);
+
+/// Write `contents` to `path`, replacing any existing file. Throws
+/// psv::Error with the offending path on failure.
+void write_file(const std::string& path, const std::string& contents);
+
+}  // namespace psv::util

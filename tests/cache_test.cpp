@@ -461,15 +461,20 @@ TEST(WarmColdDifferential, SchemeEditOnlyInvalidatesDownstreamStages) {
   // Edit the scheme: the PSM changes, the PIM does not.
   scheme.outputs.begin()->second.delay_max += 1;
   const core::FrameworkResult rerun = core::run_framework(pim, info, scheme, req, options);
+  int psm_explorations = 0;
   for (const core::StageStats& stage : rerun.stages) {
     if (stage.name == "pim-verification") {
       EXPECT_STREQ(stage.cache.state(), "warm") << "PIM stage must survive a scheme edit";
       EXPECT_EQ(stage.explore.states_explored, 0u);
     } else if (stage.name == "constraints" || stage.name == "bounds") {
       EXPECT_STREQ(stage.cache.state(), "cold") << stage.name << " must re-verify";
-      EXPECT_GT(stage.explorations, 0) << stage.name;
+      psm_explorations += stage.explorations;
     }
   }
+  // The batch planner answers constraints AND bounds from one combined
+  // sweep (attributed to the constraints stage), so the re-verification
+  // shows up as fresh exploration across the two stages together.
+  EXPECT_GT(psm_explorations, 0) << "scheme edit must re-explore the PSM";
 }
 
 }  // namespace

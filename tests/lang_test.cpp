@@ -5,6 +5,7 @@
 #include "core/analysis.h"
 #include "core/pim.h"
 #include "lang/lexer.h"
+#include "lang/manifest.h"
 #include "lang/model_parser.h"
 #include "lang/scheme_parser.h"
 #include "mc/query.h"
@@ -255,6 +256,85 @@ TEST(RequirementParser, RejectsMalformed) {
   EXPECT_THROW(parse_requirement("REQ1 BolusReq -> X within 5"), Error);
   EXPECT_THROW(parse_requirement("REQ1: BolusReq -> X"), Error);
   EXPECT_THROW(parse_requirement("REQ1: BolusReq -> X within 5 extra"), Error);
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(RequirementList, ParsesLinesSkippingCommentsAndBlanks) {
+  const auto reqs = parse_requirement_list(
+      "# the pump requirements\n"
+      "\n"
+      "REQ1: BolusReq -> StartInfusion within 500\n"
+      "  REQ2: BolusReq -> StopInfusion within 2500  \n"
+      "# trailing comment\n");
+  ASSERT_EQ(reqs.size(), 2u);
+  EXPECT_EQ(reqs[0].name, "REQ1");
+  EXPECT_EQ(reqs[1].output, "StopInfusion");
+  EXPECT_EQ(reqs[1].bound_ms, 2500);
+}
+
+TEST(RequirementList, RejectsEmptyAndMalformed) {
+  EXPECT_THROW(parse_requirement_list(""), Error);
+  EXPECT_THROW(parse_requirement_list("# only comments\n"), Error);
+  try {
+    parse_requirement_list("REQ1: A -> B within 5\nbroken line\n");
+    FAIL() << "malformed entry must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+}
+
+TEST(Manifest, ParsesJobsWithSchemesAndRequirements) {
+  const auto jobs = parse_manifest(
+      "# two jobs\n"
+      "job pump {\n"
+      "  model models/pump.psv\n"
+      "  scheme models/board.pss\n"
+      "  scheme models/board_v2.pss\n"
+      "  req REQ1: BolusReq -> StartInfusion within 500\n"
+      "  req REQ2: BolusReq -> StopInfusion within 2500\n"
+      "}\n"
+      "job quickstart\n"
+      "{\n"
+      "  model quickstart.psv\n"
+      "  scheme fast.pss\n"
+      "  req QREQ: Req -> Ack within 80\n"
+      "}\n");
+  ASSERT_EQ(jobs.size(), 2u);
+  EXPECT_EQ(jobs[0].name, "pump");
+  EXPECT_EQ(jobs[0].model_path, "models/pump.psv");
+  ASSERT_EQ(jobs[0].scheme_paths.size(), 2u);
+  EXPECT_EQ(jobs[0].scheme_paths[1], "models/board_v2.pss");
+  ASSERT_EQ(jobs[0].requirements.size(), 2u);
+  EXPECT_EQ(jobs[0].requirements[1].name, "REQ2");
+  EXPECT_EQ(jobs[1].name, "quickstart");
+  ASSERT_EQ(jobs[1].requirements.size(), 1u);
+  EXPECT_EQ(jobs[1].requirements[0].bound_ms, 80);
+}
+
+TEST(Manifest, RejectsStructuralErrors) {
+  EXPECT_THROW(parse_manifest(""), Error);
+  // Missing model.
+  EXPECT_THROW(parse_manifest("job a {\n scheme s.pss\n req R: A -> B within 5\n}\n"), Error);
+  // Missing scheme.
+  EXPECT_THROW(parse_manifest("job a {\n model m.psv\n req R: A -> B within 5\n}\n"), Error);
+  // Missing requirements.
+  EXPECT_THROW(parse_manifest("job a {\n model m.psv\n scheme s.pss\n}\n"), Error);
+  // Two models.
+  EXPECT_THROW(parse_manifest("job a {\n model m.psv\n model n.psv\n scheme s.pss\n"
+                              " req R: A -> B within 5\n}\n"),
+               Error);
+  // Unclosed job.
+  EXPECT_THROW(parse_manifest("job a {\n model m.psv\n scheme s.pss\n"
+                              " req R: A -> B within 5\n"),
+               Error);
+  // Unknown key, with line context.
+  try {
+    parse_manifest("job a {\n model m.psv\n bogus x\n}\n");
+    FAIL() << "unknown key must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+  }
 }
 
 }  // namespace

@@ -4,18 +4,16 @@
 // probed at a few depths.
 #pragma once
 
-#include <fstream>
-#include <sstream>
 #include <string>
+
+#include "util/io.h"
 
 namespace psv::testing {
 
+/// Lenient read used by the directory probe below and by suites that skip
+/// when the shipped models are absent: "" instead of an error.
 inline std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  if (!in.good()) return {};
-  std::ostringstream os;
-  os << in.rdbuf();
-  return os.str();
+  return util::try_read_file(path).value_or(std::string{});
 }
 
 /// Directory holding the shipped `.psv`/`.pss` files, or "" when not found

@@ -90,23 +90,40 @@ TEST(QueryEngineDifferential, QuickstartPipelineIdenticalAcrossEnginesAndJobs) {
   const core::ImplementationScheme scheme = lang::parse_scheme(read_file(dir + "fast.pss"));
   const core::TimingRequirement req{"QREQ", "Req", "Ack", 80};
 
-  std::vector<core::FrameworkResult> results;
+  // Per engine: the rendered report embeds every verified bound and the
+  // shared constraint-exploration statistics; string equality across thread
+  // counts pins the whole pipeline outcome. Across engines the *bounds and
+  // verdicts* are identical but the constraint details legitimately differ:
+  // the sweep engine discharges the flags from the combined batch sweep
+  // (probe-clock extrapolation constants included), the probe engine from a
+  // dedicated flag sweep — so the reported state counts disagree.
+  std::vector<core::FrameworkResult> results[2];
   for (const unsigned jobs : {1u, 8u}) {
     for (const mc::QueryEngine engine : {mc::QueryEngine::kSweep, mc::QueryEngine::kProbe}) {
       core::FrameworkOptions options;
       options.explore = engine_opts(engine, jobs);
-      results.push_back(core::run_framework(pim, info, scheme, req, options));
+      results[engine == mc::QueryEngine::kProbe].push_back(
+          core::run_framework(pim, info, scheme, req, options));
     }
   }
-  for (std::size_t i = 1; i < results.size(); ++i) {
-    // The rendered report embeds every verified bound and the shared
-    // constraint-exploration statistics; string equality pins both engines
-    // and both thread counts to the same pipeline outcome.
-    EXPECT_EQ(results[0].summary(), results[i].summary()) << "run " << i;
+  for (const auto& engine_results : results)
+    for (std::size_t i = 1; i < engine_results.size(); ++i)
+      EXPECT_EQ(engine_results[0].summary(), engine_results[i].summary()) << "jobs run " << i;
+  for (const core::FrameworkResult& probe_result : results[1]) {
+    const core::FrameworkResult& sweep_result = results[0][0];
+    EXPECT_EQ(sweep_result.bounds.to_string(), probe_result.bounds.to_string());
+    EXPECT_EQ(sweep_result.pim.max_delay, probe_result.pim.max_delay);
+    EXPECT_EQ(sweep_result.psm_meets_original, probe_result.psm_meets_original);
+    EXPECT_EQ(sweep_result.psm_meets_relaxed, probe_result.psm_meets_relaxed);
+    ASSERT_EQ(sweep_result.constraints.checks.size(), probe_result.constraints.checks.size());
+    for (std::size_t c = 0; c < sweep_result.constraints.checks.size(); ++c)
+      EXPECT_EQ(sweep_result.constraints.checks[c].holds,
+                probe_result.constraints.checks[c].holds)
+          << sweep_result.constraints.checks[c].name;
   }
-  EXPECT_EQ(results[0].bounds.input_delays.at(0).verified, 14);
-  EXPECT_EQ(results[0].bounds.output_delays.at(0).verified, 3);
-  EXPECT_EQ(results[0].bounds.lemma2_total, 97);
+  EXPECT_EQ(results[0][0].bounds.input_delays.at(0).verified, 14);
+  EXPECT_EQ(results[0][0].bounds.output_delays.at(0).verified, 3);
+  EXPECT_EQ(results[0][0].bounds.lemma2_total, 97);
 }
 
 // --- Seeded randomized networks ---------------------------------------------

@@ -1,0 +1,314 @@
+// The batched Verifier service (core/service.h): request/response shape,
+// batch-vs-sequential agreement on the fast quickstart model, stage-1 and
+// session sharing, scheme comparison, pooling, and thread-safety.
+//
+// The heavyweight pump equivalence proof (3-requirement batch bit-identical
+// to three run_framework() calls with ONE PSM exploration) lives in
+// verifier_test.cpp under the exhaustive label.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/framework.h"
+#include "core/service.h"
+#include "lang/model_parser.h"
+#include "lang/scheme_parser.h"
+#include "model_paths.h"
+#include "util/error.h"
+
+namespace psv {
+namespace {
+
+using psv::testing::find_model_dir;
+using psv::testing::read_file;
+
+struct QuickstartFixture {
+  ta::Network pim;
+  core::PimInfo info;
+  core::ImplementationScheme fast_scheme;
+  core::ImplementationScheme late_scheme;
+  bool ok = false;
+
+  QuickstartFixture() {
+    const std::string dir = find_model_dir();
+    if (dir.empty()) return;
+    pim = lang::parse_model(read_file(dir + "quickstart.psv"));
+    info = core::analyze_pim(pim);
+    fast_scheme = lang::parse_scheme(read_file(dir + "fast.pss"));
+    late_scheme = lang::parse_scheme(read_file(dir + "late.pss"));
+    ok = true;
+  }
+};
+
+std::vector<core::TimingRequirement> quickstart_requirements() {
+  return {{"QREQ", "Req", "Ack", 80},
+          {"QTIGHT", "Req", "Ack", 40},
+          {"QWIDE", "Req", "Ack", 300}};
+}
+
+TEST(VerifierService, BatchMatchesSequentialRunFramework) {
+  QuickstartFixture fx;
+  if (!fx.ok) GTEST_SKIP() << "example model files not found from test cwd";
+  const std::vector<core::TimingRequirement> reqs = quickstart_requirements();
+
+  core::Verifier verifier;
+  core::VerifyRequest request;
+  request.pim = fx.pim;
+  request.info = fx.info;
+  request.schemes = {fx.fast_scheme};
+  request.requirements = reqs;
+  const core::VerifyReport report = verifier.verify(request);
+
+  ASSERT_EQ(report.schemes.size(), 1u);
+  ASSERT_EQ(report.schemes.front().requirements.size(), reqs.size());
+
+  // Bit-identical bounds and verdicts against independent single runs.
+  for (std::size_t r = 0; r < reqs.size(); ++r) {
+    const core::FrameworkResult single =
+        core::run_framework(fx.pim, fx.info, fx.fast_scheme, reqs[r]);
+    const core::RequirementResult& batched = report.schemes.front().requirements[r];
+    EXPECT_EQ(single.bounds.to_string(), batched.bounds.to_string()) << reqs[r].name;
+    EXPECT_EQ(single.pim.max_delay, batched.pim.max_delay) << reqs[r].name;
+    EXPECT_EQ(single.pim.holds, batched.pim.holds) << reqs[r].name;
+    EXPECT_EQ(single.psm_meets_original, batched.psm_meets_original) << reqs[r].name;
+    EXPECT_EQ(single.psm_meets_relaxed, batched.psm_meets_relaxed) << reqs[r].name;
+    ASSERT_EQ(single.constraints.checks.size(),
+              report.schemes.front().constraints.checks.size());
+    for (std::size_t c = 0; c < single.constraints.checks.size(); ++c)
+      EXPECT_EQ(single.constraints.checks[c].holds,
+                report.schemes.front().constraints.checks[c].holds);
+  }
+
+  // The whole batch cost ONE PIM exploration and ONE PSM exploration
+  // (stages 3-5 combined), not one pipeline per requirement.
+  ASSERT_EQ(report.pim_stages.size(), 1u);
+  EXPECT_EQ(report.pim_stages.front().explorations, 1);
+  EXPECT_EQ(report.explorations_in("constraints") + report.explorations_in("bounds"), 1)
+      << "constraints + bounds must share one combined sweep";
+}
+
+TEST(VerifierService, CandidateSchemesShareStageOneAndCompete) {
+  QuickstartFixture fx;
+  if (!fx.ok) GTEST_SKIP() << "example model files not found from test cwd";
+
+  core::Verifier verifier;
+  core::VerifyRequest request;
+  request.pim = fx.pim;
+  request.info = fx.info;
+  request.schemes = {fx.fast_scheme, fx.late_scheme};
+  request.requirements = {{"QREQ", "Req", "Ack", 80}};
+  const core::VerifyReport report = verifier.verify(request);
+
+  // Stage 1 ran once for both candidates.
+  ASSERT_EQ(report.pim_stages.size(), 1u);
+  EXPECT_EQ(report.pim_stages.front().explorations, 1);
+
+  ASSERT_EQ(report.schemes.size(), 2u);
+  EXPECT_TRUE(report.schemes[0].all_passed()) << "fast scheme must pass";
+  EXPECT_FALSE(report.schemes[1].all_passed()) << "late scheme must fail (timelock)";
+  EXPECT_TRUE(report.schemes[0].constraints.all_hold());
+  EXPECT_FALSE(report.schemes[1].constraints.all_hold());
+  EXPECT_FALSE(report.all_passed());
+
+  // PIM verdicts are shared verbatim across candidates.
+  EXPECT_EQ(report.schemes[0].requirements[0].pim.max_delay,
+            report.schemes[1].requirements[0].pim.max_delay);
+
+  const std::string summary = report.summary();
+  EXPECT_NE(summary.find("scheme comparison"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("[PASS] QREQ"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("[FAIL] QREQ"), std::string::npos) << summary;
+}
+
+TEST(VerifierService, SessionPoolServesRepeatRequestsWithoutExploration) {
+  QuickstartFixture fx;
+  if (!fx.ok) GTEST_SKIP() << "example model files not found from test cwd";
+
+  core::Verifier verifier;
+  core::VerifyRequest request;
+  request.pim = fx.pim;
+  request.info = fx.info;
+  request.schemes = {fx.fast_scheme};
+  request.requirements = {{"QREQ", "Req", "Ack", 80}};
+
+  const core::VerifyReport cold = verifier.verify(request);
+  EXPECT_GT(verifier.pooled_sessions(), 0u);
+  const core::VerifyReport warm = verifier.verify(request);
+
+  // Same verdicts and bounds, zero fresh exploration anywhere.
+  EXPECT_EQ(core::framework_result_from(cold, 0, 0).bounds.to_string(),
+            core::framework_result_from(warm, 0, 0).bounds.to_string());
+  EXPECT_EQ(warm.pim_stages.front().explorations, 0);
+  EXPECT_EQ(warm.pim_stages.front().explore.states_explored, 0u);
+  EXPECT_EQ(warm.explorations_in("constraints"), 0);
+  EXPECT_EQ(warm.explorations_in("bounds"), 0);
+}
+
+TEST(VerifierService, PoolCapEvictsLeastRecentlyUsed) {
+  QuickstartFixture fx;
+  if (!fx.ok) GTEST_SKIP() << "example model files not found from test cwd";
+
+  core::Verifier::Config config;
+  config.max_sessions = 1;
+  core::Verifier verifier(config);
+  core::VerifyRequest request;
+  request.pim = fx.pim;
+  request.info = fx.info;
+  request.schemes = {fx.fast_scheme};
+  request.requirements = {{"QREQ", "Req", "Ack", 80}};
+  verifier.verify(request);
+  // One request touches two sessions (PIM + PSM); the cap keeps only one.
+  EXPECT_EQ(verifier.pooled_sessions(), 1u);
+
+  core::Verifier::Config off;
+  off.max_sessions = 0;
+  core::Verifier unpooled(off);
+  const core::VerifyReport report = unpooled.verify(request);
+  EXPECT_EQ(unpooled.pooled_sessions(), 0u);
+  EXPECT_TRUE(report.all_passed());
+}
+
+TEST(VerifierService, ConcurrentCallersShareOneVerifier) {
+  QuickstartFixture fx;
+  if (!fx.ok) GTEST_SKIP() << "example model files not found from test cwd";
+  const std::vector<core::TimingRequirement> reqs = quickstart_requirements();
+
+  core::Verifier verifier;
+  // Reference answers, computed single-threaded.
+  core::VerifyRequest request;
+  request.pim = fx.pim;
+  request.info = fx.info;
+  request.schemes = {fx.fast_scheme};
+  request.requirements = reqs;
+  const core::VerifyReport reference = verifier.verify(request);
+
+  constexpr int kThreads = 8;
+  std::vector<std::string> rendered(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      core::VerifyRequest mine;
+      mine.pim = fx.pim;
+      mine.info = fx.info;
+      mine.schemes = {fx.fast_scheme};
+      mine.requirements = reqs;
+      // Concurrent callers hammer the same pooled sessions.
+      rendered[static_cast<std::size_t>(t)] = verifier.verify(mine).summary();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::string& s : rendered) EXPECT_EQ(s, reference.summary());
+}
+
+TEST(VerifierService, PoolDoesNotAliasReorderedDeclarations) {
+  // Two renderings of the same two-input network, with the input channel
+  // declarations swapped. Their canonical fingerprints are EQUAL (the
+  // fingerprint is declaration-order-invariant), but the raw ids of the
+  // per-variable probes and C1-C4 flags differ — so sharing one pooled
+  // session between them would evaluate the second model's queries against
+  // the first model's network. The pool key must keep them apart while a
+  // single Verifier serves both.
+  const char* model_a =
+      "network twoin\n"
+      "clock x\nclock env_x\n"
+      "input Go\ninput Halt\noutput Done\n"
+      "automaton M {\n"
+      "  init loc Idle\n  loc Busy inv x <= 50\n"
+      "  Idle -> Busy on m_Go? do x := 0\n"
+      "  Idle -> Idle on m_Halt?\n"
+      "  Busy -> Idle when x >= 10 on c_Done!\n"
+      "}\n"
+      "automaton ENV {\n"
+      "  init loc Idle\n  loc Await\n"
+      "  Idle -> Await when env_x >= 100 on m_Go! do env_x := 0\n"
+      "  Await -> Idle on c_Done? do env_x := 0\n"
+      "}\n";
+  const char* model_b =
+      "network twoin\n"
+      "clock x\nclock env_x\n"
+      "input Halt\ninput Go\noutput Done\n"  // <- inputs swapped
+      "automaton M {\n"
+      "  init loc Idle\n  loc Busy inv x <= 50\n"
+      "  Idle -> Busy on m_Go? do x := 0\n"
+      "  Idle -> Idle on m_Halt?\n"
+      "  Busy -> Idle when x >= 10 on c_Done!\n"
+      "}\n"
+      "automaton ENV {\n"
+      "  init loc Idle\n  loc Await\n"
+      "  Idle -> Await when env_x >= 100 on m_Go! do env_x := 0\n"
+      "  Await -> Idle on c_Done? do env_x := 0\n"
+      "}\n";
+  const ta::Network pim_a = lang::parse_model(model_a);
+  const ta::Network pim_b = lang::parse_model(model_b);
+  const core::PimInfo info_a = core::analyze_pim(pim_a);
+  const core::PimInfo info_b = core::analyze_pim(pim_b);
+  ASSERT_NE(info_a.inputs, info_b.inputs) << "the reorder must be visible in raw structure";
+
+  auto scheme_for = [](const core::PimInfo& info) {
+    return core::example_is1(info.inputs, info.outputs);
+  };
+  auto request_for = [&](const ta::Network& pim, const core::PimInfo& info) {
+    core::VerifyRequest request;
+    request.pim = pim;
+    request.info = info;
+    request.schemes = {scheme_for(info)};
+    request.requirements = {{"R", "Go", "Done", 200}};
+    return request;
+  };
+
+  // References from isolated Verifiers (nothing to alias with).
+  core::Verifier fresh_a, fresh_b;
+  const std::string ref_a = fresh_a.verify(request_for(pim_a, info_a)).summary();
+  const std::string ref_b = fresh_b.verify(request_for(pim_b, info_b)).summary();
+
+  // One shared Verifier serving both orderings, either order first.
+  core::Verifier shared;
+  EXPECT_EQ(shared.verify(request_for(pim_a, info_a)).summary(), ref_a);
+  EXPECT_EQ(shared.verify(request_for(pim_b, info_b)).summary(), ref_b);
+  EXPECT_EQ(shared.verify(request_for(pim_a, info_a)).summary(), ref_a);
+  // The separation property itself: the two instrumented PIMs share a
+  // canonical fingerprint (channel reorder is fingerprint-invariant) but
+  // differ in raw declaration order, so the pool must hold FOUR sessions
+  // (PIM + PSM per representation), not three. A fingerprint-only pool key
+  // would alias the PIM slot — benign for today's appended-probe queries,
+  // silently wrong the moment any queried id depends on declaration order.
+  EXPECT_EQ(shared.pooled_sessions(), 4u);
+}
+
+TEST(VerifierService, RejectsEmptyRequests) {
+  QuickstartFixture fx;
+  if (!fx.ok) GTEST_SKIP() << "example model files not found from test cwd";
+  core::Verifier verifier;
+  core::VerifyRequest no_reqs;
+  no_reqs.pim = fx.pim;
+  no_reqs.schemes = {fx.fast_scheme};
+  EXPECT_THROW(verifier.verify(no_reqs), Error);
+  core::VerifyRequest no_schemes;
+  no_schemes.pim = fx.pim;
+  no_schemes.requirements = {{"QREQ", "Req", "Ack", 80}};
+  EXPECT_THROW(verifier.verify(no_schemes), Error);
+}
+
+TEST(VerifierService, WrapperMatchesDirectServiceUse) {
+  QuickstartFixture fx;
+  if (!fx.ok) GTEST_SKIP() << "example model files not found from test cwd";
+  const core::TimingRequirement req{"QREQ", "Req", "Ack", 80};
+
+  const core::FrameworkResult wrapped =
+      core::run_framework(fx.pim, fx.info, fx.fast_scheme, req);
+  core::Verifier verifier;
+  core::VerifyRequest request;
+  request.pim = fx.pim;
+  request.info = fx.info;
+  request.schemes = {fx.fast_scheme};
+  request.requirements = {req};
+  const core::FrameworkResult direct =
+      core::framework_result_from(verifier.verify(request), 0, 0);
+  EXPECT_EQ(wrapped.summary(), direct.summary());
+}
+
+}  // namespace
+}  // namespace psv

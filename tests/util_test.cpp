@@ -1,8 +1,13 @@
 // Tests for the shared utility library.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <sstream>
+
 #include "util/error.h"
 #include "util/hash.h"
+#include "util/io.h"
+#include "util/json.h"
 #include "util/rng.h"
 #include "util/serde.h"
 #include "util/stats.h"
@@ -34,6 +39,106 @@ TEST(Hash, TypedAppendersAreSelfDelimiting) {
   const Digest128 a = Hasher128().str("ab").str("c").digest();
   const Digest128 b = Hasher128().str("a").str("bc").digest();
   EXPECT_NE(a, b);
+}
+
+TEST(Json, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(json::escape("plain"), "plain");
+  EXPECT_EQ(json::escape("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(json::escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json::escape(std::string("nul\0l", 5)), "nul\\u0000l");
+  EXPECT_EQ(json::escape("tab\there"), "tab\\u0009here");
+  EXPECT_EQ(json::escape("newline\n"), "newline\\u000a");
+}
+
+TEST(Json, WriterNestsObjectsAndArrays) {
+  std::ostringstream os;
+  json::Writer w(os);
+  w.begin_object();
+  w.field("name", "pump");
+  w.field("count", 3);
+  w.field("ratio", 2.5);
+  w.field("ok", true);
+  w.key("stages");
+  w.begin_array();
+  w.begin_object();
+  w.field("id", std::int64_t{-1});
+  w.end_object();
+  w.value("tail");
+  w.end_array();
+  w.key("empty");
+  w.begin_array();
+  w.end_array();
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  EXPECT_EQ(os.str(),
+            "{\n"
+            "  \"name\": \"pump\",\n"
+            "  \"count\": 3,\n"
+            "  \"ratio\": 2.5,\n"
+            "  \"ok\": true,\n"
+            "  \"stages\": [\n"
+            "    {\n"
+            "      \"id\": -1\n"
+            "    },\n"
+            "    \"tail\"\n"
+            "  ],\n"
+            "  \"empty\": []\n"
+            "}");
+}
+
+TEST(Json, CompactModeAndKeyEscaping) {
+  std::ostringstream os;
+  json::Writer w(os, 0);
+  w.begin_object();
+  w.field("a\"b", 1);
+  w.end_object();
+  EXPECT_EQ(os.str(), "{\"a\\\"b\":1}");
+}
+
+TEST(Json, WriterRejectsMisuse) {
+  {
+    std::ostringstream os;
+    json::Writer w(os);
+    w.begin_object();
+    EXPECT_THROW(w.value(1), Error) << "object value without a key";
+  }
+  {
+    std::ostringstream os;
+    json::Writer w(os);
+    w.begin_array();
+    EXPECT_THROW(w.key("k"), Error) << "key inside an array";
+  }
+  {
+    std::ostringstream os;
+    json::Writer w(os);
+    w.begin_object();
+    w.key("k");
+    EXPECT_THROW(w.end_object(), Error) << "dangling key";
+  }
+  {
+    std::ostringstream os;
+    json::Writer w(os);
+    w.begin_object();
+    EXPECT_THROW(w.end_array(), Error) << "mismatched container";
+  }
+}
+
+TEST(Io, ReadFileRoundTripsAndReportsErrors) {
+  const std::string path = ::testing::TempDir() + "psv_io_test.txt";
+  util::write_file(path, "line1\nline2");
+  EXPECT_EQ(util::read_file(path), "line1\nline2");
+  ASSERT_TRUE(util::try_read_file(path).has_value());
+  std::remove(path.c_str());
+
+  const std::string missing = ::testing::TempDir() + "psv_io_test_missing.txt";
+  EXPECT_FALSE(util::try_read_file(missing).has_value());
+  try {
+    util::read_file(missing);
+    FAIL() << "read_file of a missing path must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find(missing), std::string::npos)
+        << "error must name the offending path: " << e.what();
+  }
 }
 
 TEST(Serde, RoundTripsEveryFieldKind) {

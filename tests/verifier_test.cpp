@@ -1,0 +1,130 @@
+// Batch-vs-sequential equivalence proof on the pump model (exhaustive
+// label): a 3-requirement batch must produce bit-identical bounds and
+// verdicts to three independent run_framework() calls, while exploring the
+// PSM state space ONCE (stages 3-5 combined) instead of once per pipeline.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/framework.h"
+#include "core/service.h"
+#include "lang/model_parser.h"
+#include "lang/scheme_parser.h"
+#include "mc/session.h"
+#include "model_paths.h"
+
+namespace psv {
+namespace {
+
+using psv::testing::find_model_dir;
+using psv::testing::read_file;
+
+TEST(VerifierPumpEquivalence, ThreeRequirementBatchMatchesThreeRuns) {
+  const std::string dir = find_model_dir();
+  if (dir.empty()) GTEST_SKIP() << "example model files not found from test cwd";
+  const ta::Network pim = lang::parse_model(read_file(dir + "pump.psv"));
+  const core::PimInfo info = core::analyze_pim(pim);
+  const core::ImplementationScheme scheme = lang::parse_scheme(read_file(dir + "board.pss"));
+  const std::vector<core::TimingRequirement> reqs = {
+      {"REQ1", "BolusReq", "StartInfusion", 500},
+      {"REQ2", "BolusReq", "StopInfusion", 2500},
+      {"REQ3", "BolusReq", "StartInfusion", 1200},
+  };
+
+  core::Verifier verifier;
+  core::VerifyRequest request;
+  request.pim = pim;
+  request.info = info;
+  request.schemes = {scheme};
+  request.requirements = reqs;
+  const core::VerifyReport report = verifier.verify(request);
+  ASSERT_EQ(report.schemes.size(), 1u);
+  const core::SchemeVerification& sv = report.schemes.front();
+  ASSERT_EQ(sv.requirements.size(), reqs.size());
+
+  // --- StageStats: the whole batch explored the PSM once. -------------------
+  ASSERT_EQ(report.pim_stages.size(), 1u);
+  EXPECT_EQ(report.pim_stages.front().explorations, 1)
+      << "all three PIM verdicts must come from one instrumented sweep";
+  int psm_explorations = 0;
+  std::size_t psm_states_explored = 0;
+  for (const core::VerifyStageStats& stage : sv.stages) {
+    if (stage.name == "constraints" || stage.name == "bounds") {
+      psm_explorations += stage.explorations;
+      psm_states_explored += stage.explore.states_explored;
+    }
+  }
+  EXPECT_EQ(psm_explorations, 1)
+      << "stages 3-5 must answer constraints AND every bound from one combined sweep";
+  EXPECT_GT(psm_states_explored, 0u);
+
+  // --- Bit-identical bounds/verdicts vs three independent pipelines. --------
+  std::size_t sequential_psm_explorations = 0;
+  for (std::size_t r = 0; r < reqs.size(); ++r) {
+    const core::FrameworkResult single = core::run_framework(pim, info, scheme, reqs[r]);
+    const core::RequirementResult& batched = sv.requirements[r];
+    EXPECT_EQ(single.bounds.to_string(), batched.bounds.to_string()) << reqs[r].name;
+    EXPECT_EQ(single.pim.max_delay, batched.pim.max_delay) << reqs[r].name;
+    EXPECT_EQ(single.pim.holds, batched.pim.holds) << reqs[r].name;
+    EXPECT_EQ(single.pim.bounded, batched.pim.bounded) << reqs[r].name;
+    EXPECT_EQ(single.psm_meets_original, batched.psm_meets_original) << reqs[r].name;
+    EXPECT_EQ(single.psm_meets_relaxed, batched.psm_meets_relaxed) << reqs[r].name;
+    ASSERT_EQ(single.constraints.checks.size(), sv.constraints.checks.size()) << reqs[r].name;
+    for (std::size_t c = 0; c < single.constraints.checks.size(); ++c) {
+      EXPECT_EQ(single.constraints.checks[c].id, sv.constraints.checks[c].id);
+      EXPECT_EQ(single.constraints.checks[c].holds, sv.constraints.checks[c].holds)
+          << sv.constraints.checks[c].name;
+    }
+    for (const core::StageStats& stage : single.stages)
+      if (stage.name == "constraints" || stage.name == "bounds")
+        sequential_psm_explorations += static_cast<std::size_t>(stage.explorations);
+  }
+  // Three sequential pipelines each pay for their own sweep.
+  EXPECT_GE(sequential_psm_explorations, reqs.size());
+
+  // Table-I anchors: the shared per-variable bounds must be the published
+  // 490/440 figures in the batch exactly as in every single run.
+  const core::BoundAnalysis& bounds = sv.requirements.front().bounds;
+  ASSERT_FALSE(bounds.input_delays.empty());
+  EXPECT_EQ(bounds.input_delays.front().verified, 490);
+  ASSERT_FALSE(bounds.output_delays.empty());
+  EXPECT_EQ(bounds.output_delays.front().verified, 440);
+}
+
+TEST(VerifierPumpEquivalence, SessionStatsExposeSharedWork) {
+  const std::string dir = find_model_dir();
+  if (dir.empty()) GTEST_SKIP() << "example model files not found from test cwd";
+  const ta::Network pim = lang::parse_model(read_file(dir + "pump.psv"));
+  const core::PimInfo info = core::analyze_pim(pim);
+  const core::ImplementationScheme scheme = lang::parse_scheme(read_file(dir + "board.pss"));
+  const std::vector<core::TimingRequirement> reqs = {
+      {"REQ1", "BolusReq", "StartInfusion", 500},
+      {"REQ2", "BolusReq", "StopInfusion", 2500},
+      {"REQ3", "BolusReq", "StartInfusion", 1200},
+  };
+
+  // Drive the batch planner's layers directly (the service is a thin
+  // orchestration of exactly these calls) and read the SessionStats.
+  const core::PsmArtifacts psm = core::transform(pim, info, scheme);
+  core::InstrumentedPsmBatch instrumented = core::instrument_psm_for_requirements(psm, reqs);
+  ASSERT_EQ(instrumented.mc_probes.size(), reqs.size());
+  mc::VerificationSession session(std::move(instrumented.net), {});
+  const core::BoundQueryPlan plan = core::plan_bound_queries(
+      psm, instrumented.mc_probes, reqs, {500, 1700, 500}, 1'000'000);
+  const mc::VerificationSession::BatchReport batch =
+      session.verify_batch(plan.queries, core::constraint_flag_vars(psm));
+  EXPECT_EQ(session.stats().explorations, 1)
+      << "flags + every bound of 3 requirements from ONE exploration";
+  EXPECT_TRUE(batch.flags.shared_sweep);
+  ASSERT_EQ(batch.bounds.size(), plan.queries.size());
+  // Re-asking anything is free now.
+  const int explorations = session.stats().explorations;
+  session.max_clock_values(plan.queries);
+  session.check_flags(core::constraint_flag_vars(psm));
+  EXPECT_EQ(session.stats().explorations, explorations);
+  EXPECT_GT(session.stats().cache_hits, 0);
+}
+
+}  // namespace
+}  // namespace psv

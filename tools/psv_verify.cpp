@@ -1,52 +1,70 @@
-// psv_verify — command-line front end for the framework.
+// psv_verify — command-line front end of the batched Verifier service.
 //
-//   psv_verify MODEL.psv SCHEME.pss "REQ: input -> output within BOUND"
-//              [--sim N] [--limit MS] [--print-psm] [--seed S] [--jobs N]
-//              [--engine sweep|probe] [--stats-json FILE]
-//              [--cache-dir DIR] [--no-cache]
+//   psv_verify MODEL.psv SCHEME.pss "REQ: in -> out within MS" ["REQ2..."]
+//              [options]
+//   psv_verify --batch JOBS.psvb [options]
 //
-// Loads a PIM from a model file and an implementation scheme from a scheme
-// file, runs the complete verification pipeline (PIM check, PIM->PSM
-// transformation, constraints C1-C4, Lemma-1/2 bounds, exact PSM delays)
-// through a shared verification session and optionally cross-checks with N
-// simulated scenarios. With a cache directory (--cache-dir, or the
-// PSV_CACHE_DIR environment variable), verification artifacts persist
-// across invocations: a repeat run on an unchanged model answers every
-// bound and constraint without exploring a single state.
+// The first form checks one model/scheme pair against one or more timing
+// requirements; the second runs a whole manifest of jobs (each naming a
+// model, one or more candidate schemes, and a requirement set) through one
+// shared Verifier — sessions and the artifact cache are reused across jobs.
+// All requirements of a job are answered from shared exploration work: one
+// instrumented PIM sweep for stage 1 and one combined PSM sweep for the
+// constraints and every delay bound.
+//
+// Exit status: 0 when every requirement passes (constraints hold and the
+// relaxed bound delta'_mc is met), 1 when ANY requirement fails, 2 on
+// usage or input errors. One "verdict:" line is printed per requirement.
+//
+// With a cache directory (--cache-dir, or the PSV_CACHE_DIR environment
+// variable), verification artifacts persist across invocations: a repeat
+// run on an unchanged model answers every bound and constraint without
+// exploring a single state.
 #include <chrono>
-#include <cstdio>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/framework.h"
+#include "core/service.h"
+#include "lang/manifest.h"
 #include "lang/model_parser.h"
 #include "lang/scheme_parser.h"
 #include "sim/runner.h"
 #include "ta/print.h"
 #include "util/error.h"
+#include "util/io.h"
+#include "util/json.h"
 #include "util/table.h"
 
 namespace {
 
-std::string read_file(const std::string& path) {
-  std::ifstream in(path);
-  PSV_REQUIRE(in.good(), "cannot open '" + path + "'");
-  std::ostringstream os;
-  os << in.rdbuf();
-  return os.str();
-}
-
 int usage() {
   std::cerr
-      << "usage: psv_verify MODEL.psv SCHEME.pss \"REQ: in -> out within MS\" [options]\n"
+      << "usage: psv_verify MODEL.psv SCHEME.pss \"REQ: in -> out within MS\" [\"REQ2...\"]\n"
+         "                  [options]\n"
+         "       psv_verify --batch JOBS.psvb [options]\n"
+         "\n"
+         "Checks every given timing requirement; all requirements of a job are\n"
+         "answered from shared exploration work (one PIM sweep, one combined PSM\n"
+         "sweep). A manifest job may list several candidate schemes — they share\n"
+         "the PIM verification and compete in a comparison report.\n"
+         "\n"
+         "One 'verdict:' line is printed per requirement. Exit status: 0 when every\n"
+         "requirement passes (constraints C1-C4 hold and the relaxed bound is met),\n"
+         "1 when any requirement fails, 2 on usage or input errors.\n"
+         "\n"
          "options:\n"
-         "  --sim N       additionally run N simulated scenarios\n"
-         "  --seed S      simulation seed (default 2015)\n"
+         "  --batch FILE  run the .psvb manifest FILE (jobs of model/scheme/req\n"
+         "                lines; paths resolve relative to the manifest)\n"
+         "  --sim N       additionally run N simulated scenarios per requirement\n"
+         "                (single-model form only)\n"
+         "  --seed S      simulation seed (default 2015; single-model form only)\n"
          "  --limit MS    delay-search ceiling (default 1000000)\n"
          "  --print-psm   dump the constructed PSM before verifying\n"
+         "                (single-model form only)\n"
          "  --jobs N      exploration worker threads (default: all hardware\n"
          "                threads; 1 = single-threaded; results are identical\n"
          "                for every value)\n"
@@ -56,7 +74,8 @@ int usage() {
          "                bit-identical for both\n"
          "  --stats-json FILE\n"
          "                write per-stage statistics (wall clock, states\n"
-         "                stored/explored, explorations, cache state) as JSON\n"
+         "                stored/explored, explorations, cache state) as JSON;\n"
+         "                batch runs add a per-job breakdown\n"
          "  --cache-dir DIR\n"
          "                persist verification artifacts in DIR, keyed on the\n"
          "                model's canonical fingerprint: a repeat run on an\n"
@@ -66,194 +85,364 @@ int usage() {
   return 2;
 }
 
-/// Minimal JSON string escaping: quotes, backslashes, control characters.
-std::string json_escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    if (c == '"' || c == '\\') {
-      out.push_back('\\');
-      out.push_back(c);
-    } else if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned char>(c));
-      out += buf;
-    } else {
-      out.push_back(c);
-    }
-  }
-  return out;
+struct CliOptions {
+  std::string batch_path;
+  std::string model_path;
+  std::string scheme_path;
+  std::vector<std::string> requirement_texts;
+  int sim_scenarios = 0;
+  std::uint64_t seed = 2015;
+  std::int64_t limit = 1'000'000;
+  unsigned jobs = 0;  // 0 = one worker per hardware thread
+  bool print_psm = false;
+  std::string engine = "sweep";
+  std::string stats_json_path;
+  std::string cache_dir;
+  bool no_cache = false;
+};
+
+/// One executed job: the request's inputs plus its report.
+struct JobOutcome {
+  std::string name;        ///< manifest job name, or the model path
+  std::string model_path;
+  psv::core::VerifyReport report;
+};
+
+/// Directory prefix of `path` including the trailing separator, "" if none.
+std::string dir_of(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  return slash == std::string::npos ? std::string{} : path.substr(0, slash + 1);
 }
 
-void write_stats_json(const std::string& path, const psv::core::FrameworkResult& result,
-                      const std::string& model_path, unsigned jobs, const std::string& engine,
-                      double total_wall_ms, const std::string& cache_dir) {
+/// Resolve a manifest-relative path (absolute paths pass through).
+std::string resolve(const std::string& base_dir, const std::string& path) {
+  if (!path.empty() && path.front() == '/') return path;
+  return base_dir + path;
+}
+
+void write_stage(psv::json::Writer& w, const psv::core::VerifyStageStats& s) {
+  w.begin_object();
+  w.field("name", s.name);
+  w.field("wall_ms", s.wall_ms);
+  w.field("explorations", s.explorations);
+  w.field("states_stored", s.explore.states_stored);
+  w.field("states_explored", s.explore.states_explored);
+  w.field("transitions_fired", s.explore.transitions_fired);
+  w.field("subsumed", s.explore.subsumed);
+  w.field("cache", s.cache.state());
+  w.field("cache_hits", s.cache.hits);
+  w.field("cache_misses", s.cache.misses);
+  w.field("cache_stores", s.cache.stores);
+  w.end_object();
+}
+
+void write_requirement(psv::json::Writer& w, const psv::core::RequirementResult& r) {
+  w.begin_object();
+  w.field("name", r.requirement.name);
+  w.field("input", r.requirement.input);
+  w.field("output", r.requirement.output);
+  w.field("bound_ms", r.requirement.bound_ms);
+  w.field("pim_max_delay", r.pim.max_delay);
+  w.field("lemma2_total", r.bounds.lemma2_total);
+  w.field("psm_mc_delay", r.bounds.verified_mc_delay);
+  w.field("psm_mc_bounded", r.bounds.verified_mc_bounded);
+  w.field("meets_original", r.psm_meets_original);
+  w.field("meets_relaxed", r.psm_meets_relaxed);
+  w.field("passed", r.passed);
+  w.end_object();
+}
+
+/// The stats JSON: the historical single-run fields (model, requirement,
+/// verified, stages — read by the CI gates) describe the FIRST job's first
+/// scheme/requirement; the "batch" array carries every job in full.
+void write_stats_json(const std::string& path, const std::vector<JobOutcome>& outcomes,
+                      unsigned jobs, const std::string& engine, double total_wall_ms,
+                      const std::string& cache_dir) {
   std::ofstream out(path);
   PSV_REQUIRE(out.good(), "cannot write '" + path + "'");
+
   int cache_hits = 0, cache_misses = 0, cache_stores = 0;
-  for (const psv::core::StageStats& s : result.stages) {
-    cache_hits += s.cache.hits;
-    cache_misses += s.cache.misses;
-    cache_stores += s.cache.stores;
+  for (const JobOutcome& job : outcomes) {
+    for (const psv::core::VerifyStageStats& s : job.report.pim_stages) {
+      cache_hits += s.cache.hits;
+      cache_misses += s.cache.misses;
+      cache_stores += s.cache.stores;
+    }
+    for (const psv::core::SchemeVerification& sv : job.report.schemes) {
+      for (const psv::core::VerifyStageStats& s : sv.stages) {
+        cache_hits += s.cache.hits;
+        cache_misses += s.cache.misses;
+        cache_stores += s.cache.stores;
+      }
+    }
   }
-  out << "{\n";
-  out << "  \"model\": \"" << json_escape(model_path) << "\",\n";
-  out << "  \"requirement\": \"" << json_escape(result.requirement.name) << "\",\n";
-  out << "  \"engine\": \"" << engine << "\",\n";
-  out << "  \"jobs\": " << jobs << ",\n";
-  out << "  \"total_wall_ms\": " << total_wall_ms << ",\n";
-  out << "  \"cache\": {\"enabled\": " << (cache_dir.empty() ? "false" : "true")
-      << ", \"dir\": \"" << json_escape(cache_dir) << "\", \"hits\": " << cache_hits
-      << ", \"misses\": " << cache_misses << ", \"stores\": " << cache_stores << "},\n";
-  out << "  \"verified\": {\n";
-  out << "    \"pim_max_delay\": " << result.pim.max_delay << ",\n";
-  out << "    \"lemma2_total\": " << result.bounds.lemma2_total << ",\n";
-  out << "    \"psm_mc_delay\": " << result.bounds.verified_mc_delay << ",\n";
-  out << "    \"constraints_hold\": " << (result.constraints.all_hold() ? "true" : "false")
-      << ",\n";
-  out << "    \"meets_relaxed\": " << (result.psm_meets_relaxed ? "true" : "false") << "\n";
-  out << "  },\n";
-  out << "  \"stages\": [\n";
-  for (std::size_t i = 0; i < result.stages.size(); ++i) {
-    const psv::core::StageStats& s = result.stages[i];
-    out << "    {\"name\": \"" << json_escape(s.name) << "\", \"wall_ms\": " << s.wall_ms
-        << ", \"explorations\": " << s.explorations
-        << ", \"states_stored\": " << s.explore.states_stored
-        << ", \"states_explored\": " << s.explore.states_explored
-        << ", \"transitions_fired\": " << s.explore.transitions_fired
-        << ", \"subsumed\": " << s.explore.subsumed
-        << ", \"cache\": \"" << s.cache.state() << "\""
-        << ", \"cache_hits\": " << s.cache.hits
-        << ", \"cache_misses\": " << s.cache.misses
-        << ", \"cache_stores\": " << s.cache.stores << "}"
-        << (i + 1 < result.stages.size() ? "," : "") << "\n";
+
+  const JobOutcome& first = outcomes.front();
+  const psv::core::SchemeVerification& first_scheme = first.report.schemes.front();
+  const psv::core::RequirementResult& first_req = first_scheme.requirements.front();
+
+  psv::json::Writer w(out);
+  w.begin_object();
+  w.field("model", first.model_path);
+  w.field("requirement", first_req.requirement.name);
+  w.field("engine", engine);
+  w.field("jobs", jobs);
+  w.field("total_wall_ms", total_wall_ms);
+  w.key("cache");
+  w.begin_object();
+  w.field("enabled", !cache_dir.empty());
+  w.field("dir", cache_dir);
+  w.field("hits", cache_hits);
+  w.field("misses", cache_misses);
+  w.field("stores", cache_stores);
+  w.end_object();
+  w.key("verified");
+  w.begin_object();
+  w.field("pim_max_delay", first_req.pim.max_delay);
+  w.field("lemma2_total", first_req.bounds.lemma2_total);
+  w.field("psm_mc_delay", first_req.bounds.verified_mc_delay);
+  w.field("constraints_hold", first_scheme.constraints.all_hold());
+  w.field("meets_relaxed", first_req.psm_meets_relaxed);
+  w.end_object();
+  // Legacy pipeline-order stage list of the first job's first scheme.
+  w.key("stages");
+  w.begin_array();
+  for (const psv::core::VerifyStageStats& s : first.report.pim_stages) write_stage(w, s);
+  for (const psv::core::VerifyStageStats& s : first_scheme.stages) write_stage(w, s);
+  w.end_array();
+  // Full per-job breakdown.
+  w.key("batch");
+  w.begin_array();
+  for (const JobOutcome& job : outcomes) {
+    w.begin_object();
+    w.field("job", job.name);
+    w.field("model", job.model_path);
+    w.field("all_passed", job.report.all_passed());
+    w.key("pim_stages");
+    w.begin_array();
+    for (const psv::core::VerifyStageStats& s : job.report.pim_stages) write_stage(w, s);
+    w.end_array();
+    w.key("schemes");
+    w.begin_array();
+    for (const psv::core::SchemeVerification& sv : job.report.schemes) {
+      w.begin_object();
+      w.field("name", sv.scheme_name);
+      w.field("constraints_hold", sv.constraints.all_hold());
+      w.key("stages");
+      w.begin_array();
+      for (const psv::core::VerifyStageStats& s : sv.stages) write_stage(w, s);
+      w.end_array();
+      w.key("requirements");
+      w.begin_array();
+      for (const psv::core::RequirementResult& r : sv.requirements) write_requirement(w, r);
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
   }
-  out << "  ]\n}\n";
+  w.end_array();
+  w.end_object();
+  out << "\n";
+}
+
+/// Per-requirement verdict lines (the documented machine-greppable output).
+void print_verdicts(const JobOutcome& job) {
+  for (const psv::core::SchemeVerification& sv : job.report.schemes) {
+    for (const psv::core::RequirementResult& r : sv.requirements) {
+      std::cout << "verdict: " << (r.passed ? "PASS" : "FAIL") << " " << r.requirement.name
+                << " (" << r.requirement.input << " -> " << r.requirement.output << " within "
+                << r.requirement.bound_ms << "ms, scheme " << sv.scheme_name << ")\n";
+    }
+  }
+}
+
+void run_simulation(const psv::ta::Network& pim, const psv::core::PimInfo& info,
+                    const psv::core::ImplementationScheme& scheme,
+                    const psv::core::TimingRequirement& req, int scenarios, std::uint64_t seed,
+                    std::int64_t lemma2_total) {
+  psv::sim::MeasurementConfig config;
+  config.scenarios = scenarios;
+  config.seed = seed;
+  const psv::sim::MeasurementSummary measured =
+      psv::sim::measure_requirement(pim, info, scheme, req, config);
+  psv::TextTable table("simulated measurements for " + req.name + " (" +
+                       std::to_string(scenarios) + " scenarios, seed " + std::to_string(seed) +
+                       ")");
+  table.set_header({"delay", "avg", "max", "min"});
+  table.set_align({psv::Align::kLeft, psv::Align::kRight, psv::Align::kRight,
+                   psv::Align::kRight});
+  table.add_row({"M-C", psv::fmt_ms(measured.mc.mean), psv::fmt_ms(measured.mc.max),
+                 psv::fmt_ms(measured.mc.min)});
+  table.add_row({"Input", psv::fmt_ms(measured.mi.mean), psv::fmt_ms(measured.mi.max),
+                 psv::fmt_ms(measured.mi.min)});
+  table.add_row({"Output", psv::fmt_ms(measured.oc.mean), psv::fmt_ms(measured.oc.max),
+                 psv::fmt_ms(measured.oc.min)});
+  std::cout << table.render();
+  std::cout << "violations of P(" << req.bound_ms
+            << "): " << measured.violations(static_cast<double>(req.bound_ms)) << "/"
+            << scenarios << "\n";
+  std::cout << "measured max within verified bound? "
+            << (measured.mc.max <= static_cast<double>(lemma2_total) ? "yes" : "NO") << "\n";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 4) return usage();
-  try {
-    const std::string model_path = argv[1];
-    const std::string scheme_path = argv[2];
-    const std::string requirement_text = argv[3];
-
-    int sim_scenarios = 0;
-    std::uint64_t seed = 2015;
-    std::int64_t limit = 1'000'000;
-    unsigned jobs = 0;  // 0 = one worker per hardware thread
-    bool print_psm = false;
-    std::string engine = "sweep";
-    std::string stats_json_path;
-    std::string cache_dir;
-    bool no_cache = false;
-    for (int i = 4; i < argc; ++i) {
-      const std::string arg = argv[i];
-      if (arg == "--sim" && i + 1 < argc) {
-        sim_scenarios = std::stoi(argv[++i]);
-      } else if (arg == "--seed" && i + 1 < argc) {
-        seed = std::stoull(argv[++i]);
-      } else if (arg == "--limit" && i + 1 < argc) {
-        limit = std::stoll(argv[++i]);
-      } else if (arg == "--jobs" && i + 1 < argc) {
-        const int parsed = std::stoi(argv[++i]);
-        if (parsed < 0) {
-          std::cerr << "--jobs expects a non-negative thread count\n";
-          return usage();
-        }
-        jobs = static_cast<unsigned>(parsed);
-      } else if (arg == "--engine" && i + 1 < argc) {
-        engine = argv[++i];
-        if (engine != "sweep" && engine != "probe") {
-          std::cerr << "--engine expects 'sweep' or 'probe'\n";
-          return usage();
-        }
-      } else if (arg == "--stats-json" && i + 1 < argc) {
-        stats_json_path = argv[++i];
-      } else if (arg == "--cache-dir" && i + 1 < argc) {
-        cache_dir = argv[++i];
-      } else if (arg == "--no-cache") {
-        no_cache = true;
-      } else if (arg == "--print-psm") {
-        print_psm = true;
-      } else {
-        std::cerr << "unknown option '" << arg << "'\n";
+  CliOptions cli;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--batch" && i + 1 < argc) {
+      cli.batch_path = argv[++i];
+    } else if (arg == "--sim" && i + 1 < argc) {
+      cli.sim_scenarios = std::stoi(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      cli.seed = std::stoull(argv[++i]);
+    } else if (arg == "--limit" && i + 1 < argc) {
+      cli.limit = std::stoll(argv[++i]);
+    } else if (arg == "--jobs" && i + 1 < argc) {
+      const int parsed = std::stoi(argv[++i]);
+      if (parsed < 0) {
+        std::cerr << "--jobs expects a non-negative thread count\n";
         return usage();
+      }
+      cli.jobs = static_cast<unsigned>(parsed);
+    } else if (arg == "--engine" && i + 1 < argc) {
+      cli.engine = argv[++i];
+      if (cli.engine != "sweep" && cli.engine != "probe") {
+        std::cerr << "--engine expects 'sweep' or 'probe'\n";
+        return usage();
+      }
+    } else if (arg == "--stats-json" && i + 1 < argc) {
+      cli.stats_json_path = argv[++i];
+    } else if (arg == "--cache-dir" && i + 1 < argc) {
+      cli.cache_dir = argv[++i];
+    } else if (arg == "--no-cache") {
+      cli.no_cache = true;
+    } else if (arg == "--print-psm") {
+      cli.print_psm = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option '" << arg << "'\n";
+      return usage();
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (cli.batch_path.empty()) {
+    if (positional.size() < 3) return usage();
+    cli.model_path = positional[0];
+    cli.scheme_path = positional[1];
+    cli.requirement_texts.assign(positional.begin() + 2, positional.end());
+  } else if (!positional.empty()) {
+    std::cerr << "--batch does not take MODEL/SCHEME/REQ arguments\n";
+    return usage();
+  }
+
+  try {
+    // Cache resolution: --no-cache wins, then --cache-dir, then PSV_CACHE_DIR.
+    if (cli.no_cache) {
+      cli.cache_dir.clear();
+    } else if (cli.cache_dir.empty()) {
+      if (const char* env = std::getenv("PSV_CACHE_DIR"); env != nullptr) cli.cache_dir = env;
+    }
+
+    psv::core::VerifyOptions options;
+    options.search_limit = cli.limit;
+    options.explore.jobs = cli.jobs;
+    options.explore.engine =
+        cli.engine == "probe" ? psv::mc::QueryEngine::kProbe : psv::mc::QueryEngine::kSweep;
+    options.cache_dir = cli.cache_dir;
+
+    // One Verifier for the whole invocation: batch jobs share pooled
+    // sessions and the artifact cache.
+    psv::core::Verifier verifier;
+    std::vector<JobOutcome> outcomes;
+    const auto wall_start = std::chrono::steady_clock::now();
+
+    if (!cli.cache_dir.empty()) std::cout << "verification cache: " << cli.cache_dir << "\n";
+
+    if (cli.batch_path.empty()) {
+      // Single-model form.
+      const psv::ta::Network pim =
+          psv::lang::parse_model(psv::util::read_file(cli.model_path));
+      const psv::core::ImplementationScheme scheme =
+          psv::lang::parse_scheme(psv::util::read_file(cli.scheme_path));
+      psv::core::VerifyRequest request;
+      request.pim = pim;
+      request.info = psv::core::analyze_pim(pim);
+      request.schemes = {scheme};
+      for (const std::string& text : cli.requirement_texts)
+        request.requirements.push_back(psv::lang::parse_requirement(text));
+      request.options = options;
+
+      std::cout << scheme.describe() << "\n";
+      if (cli.print_psm) {
+        psv::core::PsmArtifacts psm = psv::core::transform(pim, *request.info, scheme);
+        std::cout << psv::ta::network_text(psm.psm) << "\n";
+      }
+
+      JobOutcome outcome;
+      outcome.name = cli.model_path;
+      outcome.model_path = cli.model_path;
+      outcome.report = verifier.verify(request);
+
+      if (request.requirements.size() == 1) {
+        // The historical single-run report, byte-compatible with the CI
+        // diff gates.
+        std::cout << psv::core::framework_result_from(outcome.report, 0, 0).summary() << "\n";
+      } else {
+        std::cout << outcome.report.summary() << "\n";
+      }
+      if (cli.sim_scenarios > 0) {
+        for (const psv::core::RequirementResult& r :
+             outcome.report.schemes.front().requirements)
+          run_simulation(pim, *request.info, scheme, r.requirement, cli.sim_scenarios,
+                         cli.seed, r.bounds.lemma2_total);
+      }
+      outcomes.push_back(std::move(outcome));
+    } else {
+      // Manifest form: every job through the shared Verifier.
+      const std::string base_dir = dir_of(cli.batch_path);
+      const std::vector<psv::lang::ManifestJob> jobs =
+          psv::lang::parse_manifest(psv::util::read_file(cli.batch_path));
+      for (const psv::lang::ManifestJob& job : jobs) {
+        const std::string model_path = resolve(base_dir, job.model_path);
+        psv::core::VerifyRequest request;
+        request.pim = psv::lang::parse_model(psv::util::read_file(model_path));
+        request.requirements = job.requirements;
+        request.options = options;
+        for (const std::string& scheme_path : job.scheme_paths)
+          request.schemes.push_back(
+              psv::lang::parse_scheme(psv::util::read_file(resolve(base_dir, scheme_path))));
+
+        std::cout << "=== job " << job.name << " (" << job.model_path << ") ===\n";
+        JobOutcome outcome;
+        outcome.name = job.name;
+        outcome.model_path = model_path;
+        outcome.report = verifier.verify(request);
+        std::cout << outcome.report.summary() << "\n";
+        outcomes.push_back(std::move(outcome));
       }
     }
 
-    const psv::ta::Network pim = psv::lang::parse_model(read_file(model_path));
-    const psv::core::ImplementationScheme scheme =
-        psv::lang::parse_scheme(read_file(scheme_path));
-    const psv::core::TimingRequirement req = psv::lang::parse_requirement(requirement_text);
-    const psv::core::PimInfo info = psv::core::analyze_pim(pim);
-
-    std::cout << scheme.describe() << "\n";
-
-    if (print_psm) {
-      psv::core::PsmArtifacts psm = psv::core::transform(pim, info, scheme);
-      std::cout << psv::ta::network_text(psm.psm) << "\n";
-    }
-
-    // Cache resolution: --no-cache wins, then --cache-dir, then PSV_CACHE_DIR.
-    if (no_cache) {
-      cache_dir.clear();
-    } else if (cache_dir.empty()) {
-      if (const char* env = std::getenv("PSV_CACHE_DIR"); env != nullptr) cache_dir = env;
-    }
-
-    psv::core::FrameworkOptions options;
-    options.search_limit = limit;
-    options.explore.jobs = jobs;
-    options.explore.engine =
-        engine == "probe" ? psv::mc::QueryEngine::kProbe : psv::mc::QueryEngine::kSweep;
-    options.cache_dir = cache_dir;
-    if (!cache_dir.empty()) std::cout << "verification cache: " << cache_dir << "\n";
-    const auto wall_start = std::chrono::steady_clock::now();
-    const psv::core::FrameworkResult result =
-        psv::core::run_framework(pim, info, scheme, req, options);
     const double total_wall_ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - wall_start)
             .count();
-    std::cout << result.summary() << "\n";
 
-    if (!stats_json_path.empty()) {
-      write_stats_json(stats_json_path, result, model_path, jobs, engine, total_wall_ms,
-                       cache_dir);
-      std::cout << "wrote per-stage stats to " << stats_json_path << "\n";
+    bool all_passed = true;
+    for (const JobOutcome& job : outcomes) {
+      print_verdicts(job);
+      all_passed = all_passed && job.report.all_passed();
     }
 
-    if (sim_scenarios > 0) {
-      psv::sim::MeasurementConfig config;
-      config.scenarios = sim_scenarios;
-      config.seed = seed;
-      const psv::sim::MeasurementSummary measured =
-          psv::sim::measure_requirement(pim, info, scheme, req, config);
-      psv::TextTable table("simulated measurements (" + std::to_string(sim_scenarios) +
-                           " scenarios, seed " + std::to_string(seed) + ")");
-      table.set_header({"delay", "avg", "max", "min"});
-      table.set_align({psv::Align::kLeft, psv::Align::kRight, psv::Align::kRight,
-                       psv::Align::kRight});
-      table.add_row({"M-C", psv::fmt_ms(measured.mc.mean), psv::fmt_ms(measured.mc.max),
-                     psv::fmt_ms(measured.mc.min)});
-      table.add_row({"Input", psv::fmt_ms(measured.mi.mean), psv::fmt_ms(measured.mi.max),
-                     psv::fmt_ms(measured.mi.min)});
-      table.add_row({"Output", psv::fmt_ms(measured.oc.mean), psv::fmt_ms(measured.oc.max),
-                     psv::fmt_ms(measured.oc.min)});
-      std::cout << table.render();
-      std::cout << "violations of P(" << req.bound_ms
-                << "): " << measured.violations(static_cast<double>(req.bound_ms)) << "/"
-                << sim_scenarios << "\n";
-      std::cout << "measured max within verified bound? "
-                << (measured.mc.max <= static_cast<double>(result.bounds.lemma2_total) ? "yes"
-                                                                                       : "NO")
-                << "\n";
+    if (!cli.stats_json_path.empty()) {
+      write_stats_json(cli.stats_json_path, outcomes, cli.jobs, cli.engine, total_wall_ms,
+                       cli.cache_dir);
+      std::cout << "wrote per-stage stats to " << cli.stats_json_path << "\n";
     }
 
-    const bool ok = result.constraints.all_hold() && result.psm_meets_relaxed;
-    return ok ? 0 : 1;
+    return all_passed ? 0 : 1;
   } catch (const psv::Error& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;
