@@ -1,5 +1,6 @@
 #include "core/analysis.h"
 
+#include <algorithm>
 #include <sstream>
 
 #include "util/error.h"
@@ -29,6 +30,63 @@ std::string BoundAnalysis::to_string() const {
   }
   os << "\n";
   return os.str();
+}
+
+std::string SlackReport::to_string(std::size_t top_k) const {
+  std::ostringstream os;
+  for (std::size_t r = 0; r < requirements.size(); ++r) {
+    const RequirementSlack& rs = requirements[r];
+    os << "slack: " << rs.requirement << " ";
+    if (rs.bounded) {
+      os << rs.slack_ms << "ms (requirement " << rs.requirement_ms << "ms, verified "
+         << rs.verified_ms << "ms)";
+    } else {
+      os << "<=" << rs.slack_ms << "ms (requirement " << rs.requirement_ms
+         << "ms, verified unbounded beyond " << rs.verified_ms << "ms)";
+    }
+    if (r == binding_index) os << " [binding]";
+    os << "\n";
+    const std::size_t shown = std::min(top_k, rs.critical.size());
+    for (std::size_t i = 0; i < shown; ++i) {
+      const CriticalTrace& ct = rs.critical[i];
+      os << "  critical[" << i << "]: delay " << ct.delay_ms << "ms, slack " << ct.slack_ms
+         << "ms\n";
+      os << ct.trace.to_string();
+    }
+  }
+  return os.str();
+}
+
+SlackReport compute_slack_report(const std::vector<TimingRequirement>& reqs,
+                                 const std::vector<mc::MaxClockResult>& mc_answers,
+                                 std::int64_t search_limit) {
+  PSV_REQUIRE(mc_answers.size() == reqs.size(),
+              "compute_slack_report: answers must align with the requirements");
+  SlackReport report;
+  report.requirements.reserve(reqs.size());
+  for (std::size_t r = 0; r < reqs.size(); ++r) {
+    const mc::MaxClockResult& a = mc_answers[r];
+    RequirementSlack rs;
+    rs.requirement = reqs[r].name;
+    rs.requirement_ms = reqs[r].bound_ms;
+    rs.bounded = a.bounded;
+    rs.verified_ms = a.bounded ? a.bound : search_limit;
+    rs.slack_ms = rs.requirement_ms - rs.verified_ms;
+    rs.critical.reserve(a.ranked.size());
+    for (const mc::RankedWitness& w : a.ranked)
+      rs.critical.push_back(CriticalTrace{w.value, rs.requirement_ms - w.value, w.trace});
+    rs.witness_consts = a.witness_consts;
+    report.requirements.push_back(std::move(rs));
+  }
+  for (std::size_t r = 0; r < report.requirements.size(); ++r) {
+    const RequirementSlack& rs = report.requirements[r];
+    report.any_unbounded = report.any_unbounded || !rs.bounded;
+    if (r == 0 || rs.slack_ms < report.min_slack_ms) {
+      report.binding_index = r;
+      report.min_slack_ms = rs.slack_ms;
+    }
+  }
+  return report;
 }
 
 std::int64_t analytic_input_delay_bound(const ImplementationScheme& scheme,
@@ -78,7 +136,7 @@ BoundQueryPlan plan_bound_queries(const PsmArtifacts& psm,
                                   const std::vector<RequirementProbe>& mc_probes,
                                   const std::vector<TimingRequirement>& reqs,
                                   const std::vector<std::int64_t>& pim_internal_bounds,
-                                  std::int64_t search_limit) {
+                                  std::int64_t search_limit, int top_k) {
   PSV_REQUIRE(mc_probes.size() == reqs.size() && pim_internal_bounds.size() == reqs.size(),
               "plan_bound_queries: probes/requirements/internal bounds must align");
   BoundQueryPlan plan;
@@ -92,6 +150,7 @@ BoundQueryPlan plan_bound_queries(const PsmArtifacts& psm,
     q.clock = in.delay_clock;
     q.limit = search_limit;
     q.hint = analytic_input_delay_bound(psm.scheme, in.base);
+    q.top_k = top_k;
     plan.queries.push_back(std::move(q));
   }
   for (const OutputArtifacts& outv : psm.outputs) {
@@ -100,6 +159,7 @@ BoundQueryPlan plan_bound_queries(const PsmArtifacts& psm,
     q.clock = outv.delay_clock;
     q.limit = search_limit;
     q.hint = analytic_output_delay_bound(psm.scheme, outv.base);
+    q.top_k = top_k;
     plan.queries.push_back(std::move(q));
   }
   plan.lemma2_totals.reserve(reqs.size());
@@ -112,6 +172,7 @@ BoundQueryPlan plan_bound_queries(const PsmArtifacts& psm,
     q.clock = mc_probes[r].clock;
     q.limit = search_limit;
     q.hint = plan.lemma2_totals.back();
+    q.top_k = top_k;
     plan.queries.push_back(std::move(q));
   }
   return plan;

@@ -45,6 +45,59 @@ struct BoundAnalysis {
   std::string to_string() const;
 };
 
+/// One retained critical trace of a requirement's end-to-end M-C probe: a
+/// concrete system behaviour attaining `delay_ms` (the closer to the
+/// requirement bound, the more critical). Replayable bit-exactly through
+/// sim::replay_trace with the result's witness_consts.
+struct CriticalTrace {
+  std::int64_t delay_ms = 0;  ///< probe-clock value the trace attains
+  std::int64_t slack_ms = 0;  ///< requirement bound - delay_ms
+  mc::Trace trace;
+};
+
+/// STA-style margin analysis of one requirement: how far the verified
+/// worst case sits from the requirement bound.
+struct RequirementSlack {
+  std::string requirement;            ///< requirement name
+  std::int64_t requirement_ms = 0;    ///< the requirement's bound (delta_mc)
+  std::int64_t verified_ms = 0;       ///< exact M-C maximum (= search limit when unbounded)
+  bool bounded = false;               ///< false: maximum exceeds the search limit
+  /// requirement_ms - verified_ms. Negative means the requirement is
+  /// violated; when !bounded this uses the search limit, so it is an upper
+  /// bound on the true (even more negative) slack.
+  std::int64_t slack_ms = 0;
+  /// Top-K critical traces, most critical (highest delay) first.
+  std::vector<CriticalTrace> critical;
+  /// Extra extrapolation constants of the exploration that recorded the
+  /// critical traces (all of one requirement's traces share one
+  /// exploration). Feed to sim::replay_trace for bit-exact replay.
+  std::vector<std::int32_t> witness_consts;
+};
+
+/// Batch slack report for one scheme: per-requirement margins plus the
+/// binding ("tightest constraint") attribution — the requirement with the
+/// least slack, i.e. the one that fails first as the scheme degrades.
+struct SlackReport {
+  std::vector<RequirementSlack> requirements;  ///< aligned with the request
+  std::size_t binding_index = 0;  ///< argmin slack_ms (first on ties)
+  std::int64_t min_slack_ms = 0;
+  bool any_unbounded = false;
+
+  const RequirementSlack& binding() const { return requirements.at(binding_index); }
+  /// Greppable per-requirement "slack:" lines, the binding one marked;
+  /// `top_k` > 0 additionally renders up to that many critical traces per
+  /// requirement.
+  std::string to_string(std::size_t top_k = 0) const;
+};
+
+/// Compute the slack report from a decoded batch. `mc_answers` are the
+/// requirement-aligned end-to-end M-C answers (the per-requirement tail of
+/// a BoundQueryPlan's answer vector); their ranked witnesses become the
+/// critical traces.
+SlackReport compute_slack_report(const std::vector<TimingRequirement>& reqs,
+                                 const std::vector<mc::MaxClockResult>& mc_answers,
+                                 std::int64_t search_limit);
+
 /// Lemma-1 closed form for the Input-Delay of one monitored variable:
 ///   [polling_interval]            (polled detection)
 /// + delay_max                     (Input-Device processing)
@@ -94,11 +147,13 @@ struct BoundQueryPlan {
   /// requirement's pair + its PIM-internal bound).
   std::vector<std::int64_t> lemma2_totals;
 };
+/// `top_k` sets every query's ranked-witness retention depth (clamped to
+/// [0, mc::kMaxTopK]) — the critical-trace feed of compute_slack_report.
 BoundQueryPlan plan_bound_queries(const PsmArtifacts& psm,
                                   const std::vector<RequirementProbe>& mc_probes,
                                   const std::vector<TimingRequirement>& reqs,
                                   const std::vector<std::int64_t>& pim_internal_bounds,
-                                  std::int64_t search_limit);
+                                  std::int64_t search_limit, int top_k = mc::kDefaultTopK);
 
 /// Decode one batch of query answers (index-aligned with plan.queries) into
 /// per-requirement BoundAnalysis values. Per-variable delays are shared

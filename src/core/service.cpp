@@ -86,6 +86,11 @@ std::string VerifyReport::summary() const {
          << r.requirement.bound_ms << "ms "
          << (r.psm_meets_original ? "met" : "NOT met") << ")\n";
     }
+    if (!s.slack.requirements.empty()) {
+      std::istringstream lines(s.slack.to_string());
+      std::string line;
+      while (std::getline(lines, line)) os << "  " << line << "\n";
+    }
     for (const VerifyStageStats& stage : s.stages) {
       if (!stage.cache.enabled) continue;
       os << "  [cache] " << stage.name << ": " << stage.cache.state() << " (hits "
@@ -96,8 +101,10 @@ std::string VerifyReport::summary() const {
   if (schemes.size() > 1) {
     TextTable table("scheme comparison (" + std::to_string(requirements.size()) +
                     " requirement(s))");
-    table.set_header({"scheme", "constraints", "passed", "worst verified M-C"});
-    table.set_align({Align::kLeft, Align::kLeft, Align::kRight, Align::kRight});
+    table.set_header(
+        {"scheme", "constraints", "passed", "worst verified M-C", "binding", "min slack"});
+    table.set_align(
+        {Align::kLeft, Align::kLeft, Align::kRight, Align::kRight, Align::kLeft, Align::kRight});
     for (const SchemeVerification& s : schemes) {
       std::int64_t worst = 0;
       bool worst_bounded = true;
@@ -107,12 +114,18 @@ std::string VerifyReport::summary() const {
         if (!r.bounds.verified_mc_bounded) worst_bounded = false;
         worst = std::max(worst, r.bounds.verified_mc_delay);
       }
+      const bool have_slack = !s.slack.requirements.empty();
       table.add_row({s.scheme_name,
                      s.constraints.checks.empty()
                          ? "skipped"
                          : (s.constraints.all_hold() ? "ok" : "violated"),
                      std::to_string(passed) + "/" + std::to_string(s.requirements.size()),
-                     worst_bounded ? fmt_ms(static_cast<double>(worst)) : "unbounded"});
+                     worst_bounded ? fmt_ms(static_cast<double>(worst)) : "unbounded",
+                     have_slack ? s.slack.binding().requirement : "-",
+                     !have_slack ? "-"
+                     : s.slack.binding().bounded
+                         ? fmt_ms(static_cast<double>(s.slack.min_slack_ms))
+                         : "unbounded"});
     }
     os << "\n" << table.render();
   }
@@ -233,8 +246,8 @@ VerifyReport Verifier::verify(const VerifyRequest& request) {
     }
     sv.stages.push_back(VerifyStageStats{"transform", ms_since(start), {}, 0, {}});
 
-    const BoundQueryPlan plan =
-        plan_bound_queries(sv.psm, instrumented.mc_probes, reqs, internals, opts.search_limit);
+    const BoundQueryPlan plan = plan_bound_queries(sv.psm, instrumented.mc_probes, reqs,
+                                                   internals, opts.search_limit, opts.top_k);
 
     // [3] Constraints C1–C4 + deadlock — the batch planner's combined call:
     // one full-space exploration answers the flag sweep AND (typically) the
@@ -258,6 +271,13 @@ VerifyReport Verifier::verify(const VerifyRequest& request) {
     const std::vector<mc::MaxClockResult> answers = session.max_clock_values(plan.queries);
     std::vector<BoundAnalysis> analyses =
         assemble_bound_analyses(plan, sv.psm, reqs, internals, answers, opts.search_limit);
+    // STA-style margins: the per-requirement M-C answers sit at the plan's
+    // tail, and their ranked witnesses become the critical traces.
+    sv.slack = compute_slack_report(
+        reqs,
+        std::vector<mc::MaxClockResult>(answers.end() - static_cast<std::ptrdiff_t>(reqs.size()),
+                                        answers.end()),
+        opts.search_limit);
     sv.stages.push_back(VerifyStageStats{
         "bounds", ms_since(start), explore_delta(session.stats().explore, before.explore),
         session.stats().explorations - before.explorations,

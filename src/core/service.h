@@ -65,6 +65,11 @@ struct VerifyOptions {
   mc::ExploreOptions explore;
   TransformOptions transform;
   bool run_constraint_checks = true;
+  /// Ranked critical traces retained per bound query (clamped to
+  /// [0, mc::kMaxTopK]); feeds SchemeVerification::slack. 0 disables
+  /// retention — bounds and verdicts are unchanged, slack reports just
+  /// carry no traces.
+  int top_k = mc::kDefaultTopK;
   /// Persistent verification-artifact cache directory; empty = disabled
   /// (falls back to the Verifier's configured default). Stages key their
   /// artifacts on the canonical fingerprint of the network they explore
@@ -113,6 +118,9 @@ struct SchemeVerification {
   PsmArtifacts psm;                     ///< stage 2 construction
   ConstraintReport constraints;         ///< stage 3 (shared sweep)
   std::vector<RequirementResult> requirements;  ///< aligned with the request
+  /// Per-requirement margins + binding-requirement attribution, with the
+  /// top-K critical traces of every end-to-end M-C probe (options.top_k).
+  SlackReport slack;
   /// "transform", "constraints", "bounds" — the combined batch exploration
   /// is attributed to the constraints stage; the bounds stage reads its
   /// answers from the session memo.
@@ -132,8 +140,10 @@ struct VerifyReport {
   int explorations_in(const std::string& name) const;
 
   /// Multi-line human-readable report: per-scheme constraint and
-  /// requirement verdicts, plus a scheme-comparison table when the request
-  /// carried more than one candidate.
+  /// requirement verdicts with per-requirement slack margins (the binding
+  /// requirement marked), plus a scheme-comparison table — including the
+  /// binding-requirement attribution — when the request carried more than
+  /// one candidate.
   std::string summary() const;
 };
 

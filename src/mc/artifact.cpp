@@ -75,6 +75,14 @@ void write_max_clock_result(ByteWriter& out, const MaxClockResult& r) {
   out.i32(r.probes);
   write_explore_stats(out, r.stats);
   write_trace(out, r.witness);
+  // Format v3: ranked top-K witnesses + witness extrapolation constants.
+  out.u64(r.ranked.size());
+  for (const RankedWitness& w : r.ranked) {
+    out.i64(w.value);
+    write_trace(out, w.trace);
+  }
+  out.u64(r.witness_consts.size());
+  for (const std::int32_t c : r.witness_consts) out.i32(c);
 }
 
 MaxClockResult read_max_clock_result(ByteReader& in) {
@@ -85,6 +93,19 @@ MaxClockResult read_max_clock_result(ByteReader& in) {
   r.probes = in.i32();
   r.stats = read_explore_stats(in);
   r.witness = read_trace(in);
+  const std::size_t ranked = in.length(/*min_element_size=*/8 + 8);  // value + trace length
+  PSV_REQUIRE(ranked <= static_cast<std::size_t>(kMaxTopK),
+              "corrupt artifact: ranked-witness count " + std::to_string(ranked));
+  r.ranked.reserve(ranked);
+  for (std::size_t i = 0; i < ranked; ++i) {
+    RankedWitness w;
+    w.value = in.i64();
+    w.trace = read_trace(in);
+    r.ranked.push_back(std::move(w));
+  }
+  const std::size_t consts = in.length(/*min_element_size=*/4);
+  r.witness_consts.reserve(consts);
+  for (std::size_t i = 0; i < consts; ++i) r.witness_consts.push_back(in.i32());
   return r;
 }
 
@@ -138,7 +159,9 @@ Digest128 bound_query_digest(const ta::CanonicalIds& ids, const BoundQuery& quer
 
   enc.i32(ids.clock(query.clock));
   enc.i64(query.limit);
+  // The clamped retention depth is part of the result payload's identity;
   // query.hint deliberately not encoded (see header).
+  enc.i32(std::clamp(query.top_k, 0, kMaxTopK));
   return digest128(enc.buffer().data(), enc.size());
 }
 

@@ -38,10 +38,12 @@ namespace psv::mc {
 
 /// Bumped whenever the artifact payload layout, the canonical fingerprint
 /// encoding, or the semantics of a stored field change; files with any
-/// other version are ignored. Version 2: the flag sweep may now be produced
-/// by the combined batch sweep (extra probe-clock extrapolation constants),
-/// so its stored statistics are not comparable with version-1 artifacts.
-inline constexpr std::uint32_t kArtifactFormatVersion = 2;
+/// other version are ignored. Version 3: bound entries carry the ranked
+/// top-K witness traces and the witness extrapolation constants (the slack
+/// surface), so warm sessions serve slack reports and replayable critical
+/// traces without exploring. Version-2 files lack the payload and are
+/// rejected by the version check — a warned miss followed by re-exploration.
+inline constexpr std::uint32_t kArtifactFormatVersion = 3;
 
 /// Content-addressed cache key; hex() names the artifact file.
 struct ArtifactKey {
@@ -62,6 +64,8 @@ ArtifactKey artifact_key(const ta::NetworkFingerprint& fp, const ExploreOptions&
 /// the artifact key's fingerprint already pins their order. The hint is
 /// deliberately excluded: it cannot change a bound (only how much work
 /// finding it costs), matching the in-session memoization semantics.
+/// top_k IS encoded: it changes the ranked-trace payload a result carries,
+/// so queries with different retention depths must not share a memo entry.
 Digest128 bound_query_digest(const ta::CanonicalIds& ids, const BoundQuery& query);
 
 /// The serializable memo of a verification session.

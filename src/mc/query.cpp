@@ -1,6 +1,7 @@
 #include "mc/query.h"
 
 #include <algorithm>
+#include <cstddef>
 #include <exception>
 #include <optional>
 
@@ -23,6 +24,18 @@ void validate_query(const ta::Network& net, ta::ClockId clock, std::int64_t limi
   PSV_REQUIRE(limit > 0 && limit <= dbm::kMaxBoundValue, "max_clock_value: bad limit");
 }
 
+/// Effective ranked-witness retention depth of a query.
+int clamped_top_k(const BoundQuery& q) { return std::clamp(q.top_k, 0, kMaxTopK); }
+
+/// Extra extrapolation constants of one probe run (pred && clock > d): what
+/// a replayer must feed SuccGen to reproduce the probe's states bit-exactly.
+std::vector<std::int32_t> probe_consts(const ta::Network& net, const StateFormula& pred,
+                                       ta::ClockId clock, std::int64_t d) {
+  StateFormula violated = pred;
+  violated.and_clock(ta::cc_gt(clock, static_cast<std::int32_t>(d)));
+  return formula_clock_constants(net, violated);
+}
+
 // --- Probe engine (gallop + binary search over reachability checks) ---------
 
 /// One probe: is (pred && clock > d) reachable?
@@ -43,7 +56,7 @@ constexpr std::size_t kGallopBatch = 4;
 
 MaxClockResult probe_max_clock_value(const ta::Network& net, const StateFormula& pred,
                                      ta::ClockId clock, std::int64_t limit, ExploreOptions opts,
-                                     std::int64_t hint) {
+                                     std::int64_t hint, int top_k) {
   MaxClockResult result;
 
   // Is the condition reachable at all?
@@ -66,6 +79,7 @@ MaxClockResult probe_max_clock_value(const ta::Network& net, const StateFormula&
   std::int64_t lo = 0;   // highest threshold known reachable, +1
   std::int64_t hi = -1;  // lowest threshold known unreachable
   Trace witness;
+  std::int64_t witness_d = -1;  // threshold of the probe that found `witness`
   const std::int64_t d0 = std::max<std::int64_t>(1, std::min(hint, limit));
   ReachResult first = probe(net, pred, clock, d0, opts);
   accumulate_stats(result.stats, first.stats);
@@ -74,9 +88,11 @@ MaxClockResult probe_max_clock_value(const ta::Network& net, const StateFormula&
     hi = d0;
   } else {
     witness = std::move(first.trace);
+    witness_d = d0;
     lo = d0 + 1;
     if (d0 >= limit) {
       result.bounded = false;
+      result.witness_consts = probe_consts(net, pred, clock, witness_d);
       result.witness = std::move(witness);
       return result;
     }
@@ -120,9 +136,11 @@ MaxClockResult probe_max_clock_value(const ta::Network& net, const StateFormula&
         ++result.probes;
         if (probed[i]->reachable) {
           witness = std::move(probed[i]->trace);
+          witness_d = thresholds[i];
           lo = thresholds[i] + 1;
           if (thresholds[i] >= limit) {
             result.bounded = false;
+            result.witness_consts = probe_consts(net, pred, clock, witness_d);
             result.witness = std::move(witness);
             return result;
           }
@@ -144,6 +162,7 @@ MaxClockResult probe_max_clock_value(const ta::Network& net, const StateFormula&
     ++result.probes;
     if (r.reachable) {
       witness = std::move(r.trace);
+      witness_d = mid;
       lo = mid + 1;
     } else {
       hi = mid;
@@ -151,6 +170,12 @@ MaxClockResult probe_max_clock_value(const ta::Network& net, const StateFormula&
   }
   result.bounded = true;
   result.bound = lo;
+  if (!witness.steps.empty()) {
+    // The winning witness always comes from threshold bound - 1 (the last
+    // reachable probe is the one that pushed `lo` to its final value).
+    result.witness_consts = probe_consts(net, pred, clock, witness_d);
+    if (top_k > 0) result.ranked.push_back({result.bound, witness});
+  }
   result.witness = std::move(witness);
   return result;
 }
@@ -170,23 +195,31 @@ struct SweepTarget {
   std::vector<ta::ClockConstraint> pred_clocks;
   int dbm_index = 0;         ///< probe clock's DBM row
   std::int64_t k = 1;        ///< current widening candidate
+  /// Ranked states retained while sweeping: max(1, top_k) — at least the
+  /// maximum itself, which doubles as the witness.
+  std::size_t keep = 1;
 };
 
 /// What one exploration observed for one target.
 struct SweepOutcome {
   bool reached = false;   ///< some stored state satisfies pred
   bool saw_inf = false;   ///< ...with the probe clock abstracted (ambiguous)
-  bool has_max = false;
-  std::int64_t max_value = 0;
-  std::uint64_t max_id = 0;
+  /// The `keep` highest (value, store id) pairs seen so far, value
+  /// descending; ties keep exploration order, so best.front() is the FIRST
+  /// stored state attaining the maximum — the exact witness the
+  /// single-max sweep reported, bit-identical at every thread count.
+  std::vector<std::pair<std::int64_t, std::uint64_t>> best;
   std::uint64_t inf_id = 0;
-  Trace max_trace;  ///< materialized before the engine dies
+  std::vector<RankedWitness> ranked;  ///< materialized before the engine dies
   Trace inf_trace;
 };
 
 struct SweepRound {
   std::vector<SweepOutcome> outcomes;  ///< parallel to the target list
   std::vector<std::int64_t> consts;    ///< effective candidate per target
+  /// Extra extrapolation constants of this exploration (MaxClockResult::
+  /// witness_consts for every target it resolves).
+  std::vector<std::int32_t> extra;
   ExploreStats stats;
 };
 
@@ -238,6 +271,7 @@ SweepRound sweep_once(const ta::Network& net, const std::vector<BoundQuery>& que
       extra[static_cast<std::size_t>(cc.clock)] =
           std::max(extra[static_cast<std::size_t>(cc.clock)], cc.bound);
   }
+  round.extra = extra;
   Reachability engine(net, StateFormula{}, opts, std::move(extra));
   const auto visit = [&](const SymState& state, std::uint64_t id) {
     for (std::size_t t = 0; t < targets.size(); ++t) {
@@ -263,10 +297,13 @@ SweepRound sweep_once(const ta::Network& net, const std::vector<BoundQuery>& que
         }
       } else {
         const std::int64_t value = dbm::bound_value(upper);
-        if (!o.has_max || value > o.max_value) {
-          o.has_max = true;
-          o.max_value = value;
-          o.max_id = id;
+        // Keep the `keep` highest values, first-seen first among equals
+        // (exploration order is deterministic, so the ranking is too).
+        if (o.best.size() < target.keep || value > o.best.back().first) {
+          std::size_t pos = o.best.size();
+          while (pos > 0 && o.best[pos - 1].first < value) --pos;
+          o.best.insert(o.best.begin() + static_cast<std::ptrdiff_t>(pos), {value, id});
+          if (o.best.size() > target.keep) o.best.pop_back();
         }
       }
     }
@@ -288,7 +325,13 @@ SweepRound sweep_once(const ta::Network& net, const std::vector<BoundQuery>& que
     if (!flags->valid) return round;  // partial outcomes; caller discards them
   }
   for (SweepOutcome& o : round.outcomes) {
-    if (o.has_max) o.max_trace = engine.trace_of(o.max_id);
+    std::vector<std::uint64_t> ids;
+    ids.reserve(o.best.size());
+    for (const auto& [value, id] : o.best) ids.push_back(id);
+    std::vector<Trace> traces = engine.traces_of(ids);
+    o.ranked.reserve(o.best.size());
+    for (std::size_t i = 0; i < o.best.size(); ++i)
+      o.ranked.push_back({o.best[i].first, std::move(traces[i])});
     if (o.saw_inf) o.inf_trace = engine.trace_of(o.inf_id);
   }
   return round;
@@ -311,15 +354,18 @@ bool resolve_target(const BoundQuery& q, SweepRound& round, std::size_t t, MaxCl
   }
   if (!o.saw_inf) {
     out.bounded = true;
-    out.bound = o.max_value;
+    out.bound = o.ranked.front().value;
     out.condition_unreachable = false;
-    out.witness = std::move(o.max_trace);
+    out.witness = o.ranked.front().trace;
+    if (clamped_top_k(q) > 0) out.ranked = std::move(o.ranked);
+    out.witness_consts = round.extra;
     return true;
   }
   if (round.consts[t] >= q.limit) {
     // Ambiguous even at the search limit: the exact maximum exceeds it.
     out.bounded = false;
     out.witness = std::move(o.inf_trace);
+    out.witness_consts = round.extra;
     return true;
   }
   return false;
@@ -341,6 +387,7 @@ std::vector<MaxClockResult> sweep_max_clock_values(const ta::Network& net,
     target.pred_clocks = queries[q].pred.clocks;
     target.dbm_index = queries[q].clock + 1;
     target.k = std::max<std::int64_t>(1, std::min(queries[q].hint, queries[q].limit));
+    target.keep = static_cast<std::size_t>(std::max(1, clamped_top_k(queries[q])));
     targets.push_back(std::move(target));
   }
 
@@ -476,7 +523,8 @@ std::vector<MaxClockResult> max_clock_values(const ta::Network& net,
     std::vector<MaxClockResult> results;
     results.reserve(queries.size());
     for (const BoundQuery& q : queries) {
-      results.push_back(probe_max_clock_value(net, q.pred, q.clock, q.limit, opts, q.hint));
+      results.push_back(probe_max_clock_value(net, q.pred, q.clock, q.limit, opts, q.hint,
+                                              clamped_top_k(q)));
       if (batch_stats) {
         // Probe queries run independently: the batch total is the sum.
         accumulate_stats(batch_stats->explore, results.back().stats);

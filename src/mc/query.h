@@ -13,7 +13,10 @@
 //     clock. A finite upper bound below the extrapolation constant is
 //     exact; an abstracted (infinite) one triggers a widen-and-refine
 //     re-exploration with larger constants. A whole batch of queries is
-//     answered from the same exploration.
+//     answered from the same exploration, and the same pass retains the
+//     top-K ranked extremal witness traces per query (BoundQuery::top_k)
+//     at no extra exploration cost — the slack/critical-path analysis
+//     layer (core/analysis.h) is built on these.
 //   * probe — binary search over safety checks: max{ t(clock) | pred } <= D
 //     iff the state (pred && clock > D) is unreachable. Each check extends
 //     the extrapolation constants with D, so the search is exact.
@@ -27,6 +30,19 @@
 
 namespace psv::mc {
 
+/// Default number of ranked extremal witnesses a bound query retains.
+inline constexpr int kDefaultTopK = 4;
+/// Hard cap on BoundQuery::top_k (bounds the trace payload per query in
+/// memory and in the on-disk artifact format).
+inline constexpr int kMaxTopK = 16;
+
+/// One retained extremal witness: a reachable stored state whose probe-clock
+/// upper bound is `value`, with the diagnostic trace leading to it.
+struct RankedWitness {
+  std::int64_t value = 0;
+  Trace trace;
+};
+
 /// Result of a maximum-clock-value query.
 struct MaxClockResult {
   /// False when the value exceeds the search limit (treated as unbounded).
@@ -39,6 +55,21 @@ struct MaxClockResult {
   Trace witness;
   /// True when no state satisfying `pred` is reachable at all (bound = 0).
   bool condition_unreachable = false;
+  /// Up to BoundQuery::top_k ranked extremal witnesses, most critical first
+  /// (probe-clock value descending; ties keep exploration order, so the
+  /// ranking is bit-identical at every `jobs` count). When bounded and the
+  /// condition is reachable, ranked.front() is the maximum: its value equals
+  /// `bound` and its trace renders the same states as `witness`. The probe
+  /// engine's goal-directed searches only ever see the maximum, so it
+  /// retains a single entry. Empty when top_k == 0, when the condition is
+  /// unreachable, or when the value is unbounded.
+  std::vector<RankedWitness> ranked;
+  /// Extra extrapolation constants (one entry per network clock, -1 = none)
+  /// in effect for the exploration that materialized `witness` and `ranked`.
+  /// Feeding them to sim::replay_trace reproduces the recorded symbolic
+  /// states bit-exactly (extrapolation affects zone rendering). Empty when
+  /// there is no witness.
+  std::vector<std::int32_t> witness_consts;
   /// Aggregated statistics over every exploration that served this query.
   /// Batched sweep queries share explorations, so summing stats across a
   /// batch counts the shared work once per query.
@@ -57,6 +88,12 @@ struct BoundQuery {
   ta::ClockId clock = -1;
   std::int64_t limit = 1'000'000;
   std::int64_t hint = 1024;
+  /// Ranked extremal witnesses to retain (clamped to [0, kMaxTopK]); 0
+  /// keeps only the plain maximum/witness. Retention never changes the
+  /// explored state space or the bound — only the result payload — but it
+  /// is part of the query identity for caching (results with different
+  /// top_k carry different payloads, so their cache digests differ).
+  int top_k = kDefaultTopK;
 };
 
 /// Aggregate work of one max_clock_values batch, counting every shared

@@ -225,6 +225,13 @@ Trace Reachability::build_trace(std::uint64_t id) const {
   return trace;
 }
 
+std::vector<Trace> Reachability::traces_of(const std::vector<std::uint64_t>& ids) const {
+  std::vector<Trace> traces;
+  traces.reserve(ids.size());
+  for (std::uint64_t id : ids) traces.push_back(build_trace(id));
+  return traces;
+}
+
 ReachResult Reachability::run() {
   ReachResult result;
   const std::uint64_t initial = seed_initial();

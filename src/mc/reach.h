@@ -105,6 +105,13 @@ class Reachability {
   /// handed to an explore_all_ids visitor. Valid until the engine dies.
   Trace trace_of(std::uint64_t id) const { return build_trace(id); }
 
+  /// Batched trace_of: materialize one trace per id, index-aligned. The
+  /// sweep bound engine retains the ids of the K ranked states attaining
+  /// the top probe-clock maxima and materializes their traces here before
+  /// the engine dies; ids come from deterministic exploration order, so the
+  /// materialized rankings are bit-identical at every thread count.
+  std::vector<Trace> traces_of(const std::vector<std::uint64_t>& ids) const;
+
   /// Deadlock search: find a state with no action successor. The optional
   /// `visit` callback sees every explored state (letting callers piggyback
   /// flag-reachability analyses on the same exploration); like explore_all,

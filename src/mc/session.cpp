@@ -66,6 +66,10 @@ MaxClockResult VerificationSession::max_clock_value(const BoundQuery& query) {
   return std::move(max_clock_values(batch).front());
 }
 
+std::vector<RankedWitness> VerificationSession::top_traces(const BoundQuery& query) {
+  return std::move(max_clock_value(query).ranked);
+}
+
 VerificationSession::BatchReport VerificationSession::verify_batch(
     const std::vector<BoundQuery>& queries, const std::vector<ta::VarId>& flags) {
   BatchReport report;

@@ -63,6 +63,14 @@ class VerificationSession {
   /// Single-query convenience; identical answers to the batched form.
   MaxClockResult max_clock_value(const BoundQuery& query);
 
+  /// Ranked top-K critical traces of one bound query (the slack surface's
+  /// trace feed): the memoized result's ranked witnesses, most critical
+  /// first — up to query.top_k entries, ranked[0] being the maximum. Served
+  /// from the memo when the query was answered before, so a warm-loaded
+  /// session (artifact format v3 persists the ranked payload) returns
+  /// replayable critical traces without exploring a single state.
+  std::vector<RankedWitness> top_traces(const BoundQuery& query);
+
   /// Reachability of `flag == 1` for each sticky flag, plus the
   /// deadlock/timelock search, from one shared full-space exploration. The
   /// exploration is cached: later calls (any flag set) are free. When a

@@ -61,12 +61,21 @@ mc::VerificationArtifact sample_artifact() {
   entry.result.stats = {100, 90, 300, 12};
   entry.result.witness.steps = {{"P.L0->L1[ch!]", "(L1, M0) vars{a=1} zone{x<=5}"},
                                 {"Q.M0->M1[ch?]", "(L1, M1) vars{a=1} zone{}"}};
+  // v3 payload: the ranked critical traces and the extrapolation constants
+  // that replay them. The fuzzing tests below corrupt these bytes too.
+  entry.result.ranked.push_back({490, entry.result.witness});
+  mc::Trace runner_up;
+  runner_up.steps = {{"P.L0->L1[ch!]", "(L1, M0) vars{a=0} zone{x<=3}"}};
+  entry.result.ranked.push_back({470, runner_up});
+  entry.result.witness_consts = {500, -1, 489};
   artifact.bounds.push_back(entry);
   entry.query = Digest128{0x3333, 0x4444};
   entry.result.bounded = false;
   entry.result.bound = 0;
   entry.result.condition_unreachable = true;
   entry.result.witness.steps.clear();
+  entry.result.ranked.clear();
+  entry.result.witness_consts.clear();
   artifact.bounds.push_back(entry);
   artifact.has_flag_sweep = true;
   artifact.var_seen_one = {1, 0, 0, 1};
@@ -93,6 +102,13 @@ void expect_artifacts_equal(const mc::VerificationArtifact& a, const mc::Verific
       EXPECT_EQ(a.bounds[i].result.witness.steps[s].state,
                 b.bounds[i].result.witness.steps[s].state);
     }
+    ASSERT_EQ(a.bounds[i].result.ranked.size(), b.bounds[i].result.ranked.size());
+    for (std::size_t r = 0; r < a.bounds[i].result.ranked.size(); ++r) {
+      EXPECT_EQ(a.bounds[i].result.ranked[r].value, b.bounds[i].result.ranked[r].value);
+      EXPECT_EQ(a.bounds[i].result.ranked[r].trace.to_string(),
+                b.bounds[i].result.ranked[r].trace.to_string());
+    }
+    EXPECT_EQ(a.bounds[i].result.witness_consts, b.bounds[i].result.witness_consts);
   }
   EXPECT_EQ(a.has_flag_sweep, b.has_flag_sweep);
   EXPECT_EQ(a.var_seen_one, b.var_seen_one);
@@ -202,6 +218,13 @@ TEST(ArtifactHardening, VersionAndEndiannessMismatchesAreRejected) {
   write_file_bytes(store.path_of(key), bumped);
   EXPECT_FALSE(store.load(key).has_value());
 
+  // A stale v2 file (pre-ranked-trace payload) is rejected the same way: a
+  // warned miss that makes the session re-explore and overwrite it with v3.
+  std::vector<std::uint8_t> stale = pristine;
+  stale[4] = 2;
+  write_file_bytes(store.path_of(key), stale);
+  EXPECT_FALSE(store.load(key).has_value());
+
   // The endianness marker follows the version; a byte swap simulates a file
   // written by a foreign-endian machine.
   std::vector<std::uint8_t> foreign = pristine;
@@ -209,9 +232,10 @@ TEST(ArtifactHardening, VersionAndEndiannessMismatchesAreRejected) {
   write_file_bytes(store.path_of(key), foreign);
   EXPECT_FALSE(store.load(key).has_value());
 
-  ASSERT_EQ(warnings.size(), 2u);
+  ASSERT_EQ(warnings.size(), 3u);
   EXPECT_NE(warnings[0].find("version"), std::string::npos) << warnings[0];
-  EXPECT_NE(warnings[1].find("byte order"), std::string::npos) << warnings[1];
+  EXPECT_NE(warnings[1].find("version"), std::string::npos) << warnings[1];
+  EXPECT_NE(warnings[2].find("byte order"), std::string::npos) << warnings[2];
 }
 
 // --- Session-level persistence ---------------------------------------------
@@ -299,6 +323,53 @@ TEST(SessionPersistence, WarmSessionAnswersWithoutExploration) {
 
   // Nothing fresh: store() must skip the write.
   EXPECT_FALSE(warm.store(store));
+}
+
+// Warm slack surface: a loaded v3 artifact serves ranked critical traces
+// and byte-identical slack reports with ZERO exploration, and a different
+// retention depth is a distinct query (its payload differs, so it must not
+// share the memo entry).
+TEST(SessionPersistence, WarmSlackQueriesServeRankedTracesWithoutExploration) {
+  TempCacheDir dir;
+  mc::ArtifactStore store(dir.str());
+  const Network net = tiny_net();
+  mc::BoundQuery query = tiny_query(net);
+  query.top_k = 3;
+  const std::vector<core::TimingRequirement> reqs = {{"R", "req", "resp", 40}};
+
+  mc::VerificationSession cold(net, {});
+  const mc::MaxClockResult cold_result = cold.max_clock_value(query);
+  ASSERT_TRUE(cold_result.bounded);
+  ASSERT_FALSE(cold_result.ranked.empty());
+  const core::SlackReport cold_slack = core::compute_slack_report(reqs, {cold_result}, 10'000);
+  ASSERT_TRUE(cold.store(store));
+
+  mc::VerificationSession warm(net, {});
+  ASSERT_TRUE(warm.load(store));
+  const std::vector<mc::RankedWitness> warm_traces = warm.top_traces(query);
+  const mc::MaxClockResult warm_result = warm.max_clock_value(query);
+  EXPECT_EQ(warm.stats().explorations, 0) << "warm slack queries must not explore";
+  EXPECT_EQ(warm.stats().explore.states_explored, 0u);
+
+  // Byte-identical ranked payload and slack report.
+  ASSERT_EQ(warm_traces.size(), cold_result.ranked.size());
+  for (std::size_t i = 0; i < warm_traces.size(); ++i) {
+    EXPECT_EQ(warm_traces[i].value, cold_result.ranked[i].value);
+    EXPECT_EQ(warm_traces[i].trace.to_string(), cold_result.ranked[i].trace.to_string());
+  }
+  EXPECT_EQ(warm_result.witness_consts, cold_result.witness_consts);
+  const core::SlackReport warm_slack = core::compute_slack_report(reqs, {warm_result}, 10'000);
+  EXPECT_EQ(warm_slack.to_string(3), cold_slack.to_string(3));
+  EXPECT_EQ(warm_slack.min_slack_ms, 40 - cold_result.bound);
+
+  // A different top_k is a different query: the memo must not serve the
+  // 3-deep payload for it, so fresh exploration happens.
+  mc::BoundQuery shallow = query;
+  shallow.top_k = 1;
+  const mc::MaxClockResult shallow_result = warm.max_clock_value(shallow);
+  EXPECT_GT(warm.stats().explorations, 0) << "different retention depth must re-explore";
+  EXPECT_EQ(shallow_result.bound, cold_result.bound);
+  EXPECT_EQ(shallow_result.ranked.size(), 1u);
 }
 
 TEST(SessionPersistence, WarmHitSurvivesRenamesAndDeclReorder) {

@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -219,6 +220,76 @@ TEST(QueryEngineDifferential, SeededRandomizedNetworksAgree) {
         EXPECT_EQ(sweep.bound, hi) << "seed " << seed;
       } else {
         EXPECT_FALSE(sweep.bounded) << "seed " << seed;
+      }
+    }
+  }
+}
+
+// --- Slack & ranking property harness ----------------------------------------
+
+// Property, over the seeded randomized family: the ranked critical-trace
+// payload (values, rendered traces, witness constants) and the slack report
+// derived from it are BIT-IDENTICAL at every thread count, rankings are
+// monotonically ordered with ranked[0] == bound, and unbounded/unreachable
+// results carry no ranked payload. Both engines agree on every bound.
+TEST(SlackRankingProperty, SeededNetworksRankingsBitIdenticalAcrossJobs) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    const bool bounded = seed % 3 != 0;  // every third net is unbounded
+    std::int32_t hi = 0;
+    const Network net = random_reqresp_net(seed, bounded, hi);
+    const mc::StateFormula pred = mc::at(net, "ENV", "Await");
+    std::vector<mc::BoundQuery> batch(1);
+    batch[0] = {pred, 0, 10'000, /*hint=*/64, /*top_k=*/4};
+    // One synthetic requirement 7ms above the seeded maximum: bounded nets
+    // must report slack == 7 exactly.
+    const std::vector<core::TimingRequirement> reqs = {
+        {"R" + std::to_string(seed), "req", "resp", std::int64_t{hi} + 7}};
+
+    std::int64_t first_bound = -1;
+    for (const mc::QueryEngine engine : {mc::QueryEngine::kSweep, mc::QueryEngine::kProbe}) {
+      std::vector<std::string> payloads;
+      std::vector<std::string> slacks;
+      for (const unsigned jobs : {1u, 2u, 8u}) {
+        const std::string label = "seed " + std::to_string(seed) + " engine " +
+                                  (engine == mc::QueryEngine::kSweep ? "sweep" : "probe") +
+                                  " jobs " + std::to_string(jobs);
+        const std::vector<mc::MaxClockResult> results =
+            mc::max_clock_values(net, batch, engine_opts(engine, jobs));
+        const mc::MaxClockResult& r = results.at(0);
+        EXPECT_EQ(r.bounded, bounded) << label;
+        if (bounded) {
+          EXPECT_EQ(r.bound, hi) << label;
+          ASSERT_FALSE(r.ranked.empty()) << label;
+          EXPECT_EQ(r.ranked.front().value, r.bound) << label;
+        } else {
+          EXPECT_TRUE(r.ranked.empty()) << label << ": unbounded results carry no ranking";
+        }
+        for (std::size_t i = 1; i < r.ranked.size(); ++i)
+          EXPECT_LE(r.ranked[i].value, r.ranked[i - 1].value) << label << " ranked[" << i << "]";
+
+        std::ostringstream os;
+        os << r.bounded << ' ' << r.bound << ' ' << r.condition_unreachable << '\n';
+        for (const mc::RankedWitness& w : r.ranked)
+          os << w.value << '\n' << w.trace.to_string() << '\n';
+        for (const std::int32_t c : r.witness_consts) os << c << ' ';
+        payloads.push_back(os.str());
+
+        const core::SlackReport report = core::compute_slack_report(reqs, results, 10'000);
+        if (bounded) {
+          EXPECT_EQ(report.requirements.at(0).slack_ms, 7) << label;
+        }
+        slacks.push_back(report.to_string(/*top_k=*/4));
+
+        if (first_bound < 0 && r.bounded) first_bound = r.bound;
+        if (r.bounded) {
+          EXPECT_EQ(r.bound, first_bound) << label << ": engines disagree";
+        }
+      }
+      for (std::size_t i = 1; i < payloads.size(); ++i) {
+        EXPECT_EQ(payloads[0], payloads[i])
+            << "seed " << seed << ": ranked payload differs across thread counts";
+        EXPECT_EQ(slacks[0], slacks[i])
+            << "seed " << seed << ": slack report differs across thread counts";
       }
     }
   }

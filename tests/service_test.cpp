@@ -7,6 +7,7 @@
 // verifier_test.cpp under the exhaustive label.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <string>
 #include <thread>
 #include <vector>
@@ -276,6 +277,150 @@ TEST(VerifierService, PoolDoesNotAliasReorderedDeclarations) {
   // would alias the PIM slot — benign for today's appended-probe queries,
   // silently wrong the moment any queried id depends on declaration order.
   EXPECT_EQ(shared.pooled_sessions(), 4u);
+}
+
+// A small two-output PIM for binding-attribution coverage: M acknowledges
+// each request quickly (c_Ack within [5, 20]) and completes it slowly
+// (c_Done within a further [30, 60]), so the two requirement pairs have
+// genuinely different worst cases.
+const char* const kDuoPim = R"(
+network duo
+
+clock x
+clock env_x
+
+input  Req
+output Ack
+output Done
+
+automaton M {
+  init loc Idle
+  loc Working inv x <= 10
+  loc Finishing inv x <= 30
+
+  Idle -> Working on m_Req? do x := 0
+  Working -> Finishing when x >= 2 on c_Ack!
+  Finishing -> Idle when x >= 15 on c_Done!
+}
+
+automaton ENV {
+  init loc Idle
+  loc AwaitAck
+  loc AwaitDone
+
+  Idle -> AwaitAck when env_x >= 50 on m_Req! do env_x := 0
+  AwaitAck -> AwaitDone on c_Ack?
+  AwaitDone -> Idle on c_Done? do env_x := 0
+}
+)";
+
+const char* const kDuoScheme = R"(
+scheme duo-board {
+  input Req {
+    signal pulse
+    read interrupt
+    delay 1 3
+  }
+
+  output Ack {
+    delay 1 3
+  }
+
+  output Done {
+    delay 1 3
+  }
+
+  io {
+    invocation periodic 5
+    transfer buffers 5
+    policy read-all
+    stages 1 1 1
+  }
+}
+)";
+
+// Slack attribution across a batch: two requirements over DIFFERENT output
+// pairs, three candidate schemes. The stock scheme is tightest on the Ack
+// path; a degraded Done device flips the binding to REQ2 and breaks the
+// original REQ2 bound (mixed met/NOT-met within one scheme); a late scheme
+// (invocation period overruns M's response window) fails outright, so the
+// report mixes passing and failing schemes and the exit-code predicate
+// (all_passed) is exercised both ways. The greppable per-requirement
+// "slack:" lines and the comparison-table binding attribution are pinned.
+TEST(VerifierService, BindingRequirementDiffersPerSchemeWithMixedVerdicts) {
+  const ta::Network pim = lang::parse_model(kDuoPim);
+  const core::PimInfo info = core::analyze_pim(pim);
+  const core::ImplementationScheme board = lang::parse_scheme(kDuoScheme);
+
+  core::Verifier verifier;
+
+  // Learn the stock scheme's verified M-C bounds for the two pairs.
+  core::VerifyRequest probe_request;
+  probe_request.pim = pim;
+  probe_request.info = info;
+  probe_request.schemes = {board};
+  probe_request.requirements = {{"REQ1", "Req", "Ack", 200}, {"REQ2", "Req", "Done", 200}};
+  const core::VerifyReport learned = verifier.verify(probe_request);
+  ASSERT_EQ(learned.schemes.size(), 1u);
+  const std::int64_t mc1 = learned.schemes[0].requirements[0].bounds.verified_mc_delay;
+  const std::int64_t mc2 = learned.schemes[0].requirements[1].bounds.verified_mc_delay;
+  ASSERT_TRUE(learned.schemes[0].requirements[0].bounds.verified_mc_bounded);
+  ASSERT_TRUE(learned.schemes[0].requirements[1].bounds.verified_mc_bounded);
+  ASSERT_NE(mc1, mc2) << "the two pairs must have distinct worst cases";
+
+  // Requirements with margins 15 (REQ1) and 30 (REQ2) over the stock
+  // scheme; the degraded scheme adds 45ms to the Done device, so REQ2's
+  // margin flips negative while REQ1 is untouched. The late scheme's 40ms
+  // period cannot fit a write inside M's 10ms Working invariant: timelock.
+  core::ImplementationScheme degraded = board;
+  degraded.outputs.at("Done").delay_max += 45;
+  core::ImplementationScheme late = board;
+  late.name = "duo-late";
+  late.io.period = 40;
+  core::VerifyRequest request;
+  request.pim = pim;
+  request.info = info;
+  request.schemes = {board, degraded, late};
+  request.requirements = {{"REQ1", "Req", "Ack", mc1 + 15}, {"REQ2", "Req", "Done", mc2 + 30}};
+  const core::VerifyReport report = verifier.verify(request);
+  ASSERT_EQ(report.schemes.size(), 3u);
+  const core::SchemeVerification& sva = report.schemes[0];
+  const core::SchemeVerification& svb = report.schemes[1];
+  const core::SchemeVerification& svc = report.schemes[2];
+
+  // Stock scheme: both requirements pass, REQ1 is binding (slack 15 < 30).
+  ASSERT_EQ(sva.slack.requirements.size(), 2u);
+  EXPECT_EQ(sva.slack.requirements[0].slack_ms, 15);
+  EXPECT_EQ(sva.slack.requirements[1].slack_ms, 30);
+  EXPECT_EQ(sva.slack.binding().requirement, "REQ1");
+  EXPECT_EQ(sva.slack.min_slack_ms, 15);
+  EXPECT_TRUE(sva.requirements[0].psm_meets_original);
+  EXPECT_TRUE(sva.requirements[1].psm_meets_original);
+  EXPECT_TRUE(sva.all_passed()) << "stock scheme must pass — exit code 0";
+
+  // Degraded scheme: REQ1 unaffected, REQ2's original bound broken — the
+  // binding flips and the slack goes negative. (The scheme still clears
+  // the relaxed Lemma-2 verdict: its own slower device relaxes delta'.)
+  ASSERT_EQ(svb.slack.requirements.size(), 2u);
+  EXPECT_EQ(svb.slack.requirements[0].slack_ms, 15)
+      << "a slower Done device must not change the Ack path";
+  EXPECT_LT(svb.slack.requirements[1].slack_ms, 0);
+  EXPECT_EQ(svb.slack.binding().requirement, "REQ2");
+  EXPECT_TRUE(svb.requirements[0].psm_meets_original);
+  EXPECT_FALSE(svb.requirements[1].psm_meets_original)
+      << "negative slack must show as original bound NOT met";
+
+  // Late scheme: constraint violation — the failing exit-code case.
+  EXPECT_FALSE(svc.all_passed()) << "late scheme must fail — exit code 1";
+  EXPECT_FALSE(report.all_passed());
+
+  // Greppable surface: per-requirement slack lines with binding markers,
+  // and the comparison table attributes the binding requirement per scheme.
+  const std::string summary = report.summary();
+  EXPECT_NE(summary.find("slack: REQ1 15ms"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("slack: REQ2 30ms"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("[binding]"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("scheme comparison"), std::string::npos) << summary;
 }
 
 TEST(VerifierService, RejectsEmptyRequests) {

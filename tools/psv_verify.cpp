@@ -72,6 +72,12 @@ int usage() {
          "                exploration answers the whole query batch) or\n"
          "                'probe' (binary-search cross-check); bounds are\n"
          "                bit-identical for both\n"
+         "  --slack       print the detailed slack report per scheme: the\n"
+         "                top-K critical traces of every requirement's M-C\n"
+         "                probe (one 'slack:' line per requirement is always\n"
+         "                printed, like 'verdict:')\n"
+         "  --top-k N     ranked critical traces retained per bound query\n"
+         "                (default 4, max 16; 0 disables trace retention)\n"
          "  --stats-json FILE\n"
          "                write per-stage statistics (wall clock, states\n"
          "                stored/explored, explorations, cache state) as JSON;\n"
@@ -95,6 +101,8 @@ struct CliOptions {
   std::int64_t limit = 1'000'000;
   unsigned jobs = 0;  // 0 = one worker per hardware thread
   bool print_psm = false;
+  bool slack_detail = false;
+  int top_k = -1;  // -1 = the service default (mc::kDefaultTopK)
   std::string engine = "sweep";
   std::string stats_json_path;
   std::string cache_dir;
@@ -136,7 +144,9 @@ void write_stage(psv::json::Writer& w, const psv::core::VerifyStageStats& s) {
   w.end_object();
 }
 
-void write_requirement(psv::json::Writer& w, const psv::core::RequirementResult& r) {
+void write_requirement(psv::json::Writer& w, const psv::core::SchemeVerification& sv,
+                       std::size_t index) {
+  const psv::core::RequirementResult& r = sv.requirements[index];
   w.begin_object();
   w.field("name", r.requirement.name);
   w.field("input", r.requirement.input);
@@ -149,6 +159,13 @@ void write_requirement(psv::json::Writer& w, const psv::core::RequirementResult&
   w.field("meets_original", r.psm_meets_original);
   w.field("meets_relaxed", r.psm_meets_relaxed);
   w.field("passed", r.passed);
+  if (index < sv.slack.requirements.size()) {
+    const psv::core::RequirementSlack& rs = sv.slack.requirements[index];
+    w.field("slack_ms", rs.slack_ms);
+    w.field("slack_bounded", rs.bounded);
+    w.field("binding", sv.slack.binding_index == index);
+    w.field("critical_traces", rs.critical.size());
+  }
   w.end_object();
 }
 
@@ -203,6 +220,10 @@ void write_stats_json(const std::string& path, const std::vector<JobOutcome>& ou
   w.field("psm_mc_delay", first_req.bounds.verified_mc_delay);
   w.field("constraints_hold", first_scheme.constraints.all_hold());
   w.field("meets_relaxed", first_req.psm_meets_relaxed);
+  if (!first_scheme.slack.requirements.empty()) {
+    w.field("slack_ms", first_scheme.slack.requirements.front().slack_ms);
+    w.field("binding_requirement", first_scheme.slack.binding().requirement);
+  }
   w.end_object();
   // Legacy pipeline-order stage list of the first job's first scheme.
   w.key("stages");
@@ -228,13 +249,17 @@ void write_stats_json(const std::string& path, const std::vector<JobOutcome>& ou
       w.begin_object();
       w.field("name", sv.scheme_name);
       w.field("constraints_hold", sv.constraints.all_hold());
+      if (!sv.slack.requirements.empty()) {
+        w.field("binding_requirement", sv.slack.binding().requirement);
+        w.field("min_slack_ms", sv.slack.min_slack_ms);
+      }
       w.key("stages");
       w.begin_array();
       for (const psv::core::VerifyStageStats& s : sv.stages) write_stage(w, s);
       w.end_array();
       w.key("requirements");
       w.begin_array();
-      for (const psv::core::RequirementResult& r : sv.requirements) write_requirement(w, r);
+      for (std::size_t i = 0; i < sv.requirements.size(); ++i) write_requirement(w, sv, i);
       w.end_array();
       w.end_object();
     }
@@ -246,7 +271,9 @@ void write_stats_json(const std::string& path, const std::vector<JobOutcome>& ou
   out << "\n";
 }
 
-/// Per-requirement verdict lines (the documented machine-greppable output).
+/// Per-requirement verdict lines (the documented machine-greppable output),
+/// each followed by its slack margin; the scheme's binding (tightest)
+/// requirement is marked.
 void print_verdicts(const JobOutcome& job) {
   for (const psv::core::SchemeVerification& sv : job.report.schemes) {
     for (const psv::core::RequirementResult& r : sv.requirements) {
@@ -254,6 +281,23 @@ void print_verdicts(const JobOutcome& job) {
                 << " (" << r.requirement.input << " -> " << r.requirement.output << " within "
                 << r.requirement.bound_ms << "ms, scheme " << sv.scheme_name << ")\n";
     }
+    for (std::size_t i = 0; i < sv.slack.requirements.size(); ++i) {
+      const psv::core::RequirementSlack& rs = sv.slack.requirements[i];
+      std::cout << "slack: " << rs.requirement << " " << (rs.bounded ? "" : "<=")
+                << rs.slack_ms << "ms (scheme " << sv.scheme_name << ")"
+                << (i == sv.slack.binding_index ? " [binding]" : "") << "\n";
+    }
+  }
+}
+
+/// The --slack detail: per scheme, every requirement's margin plus its
+/// top-K critical traces (most critical first).
+void print_slack_detail(const JobOutcome& job, int top_k) {
+  const std::size_t shown =
+      static_cast<std::size_t>(top_k >= 0 ? top_k : psv::mc::kDefaultTopK);
+  for (const psv::core::SchemeVerification& sv : job.report.schemes) {
+    std::cout << "--- slack report (scheme " << sv.scheme_name << ") ---\n"
+              << sv.slack.to_string(shown);
   }
 }
 
@@ -314,6 +358,14 @@ int main(int argc, char** argv) {
         std::cerr << "--engine expects 'sweep' or 'probe'\n";
         return usage();
       }
+    } else if (arg == "--slack") {
+      cli.slack_detail = true;
+    } else if (arg == "--top-k" && i + 1 < argc) {
+      cli.top_k = std::stoi(argv[++i]);
+      if (cli.top_k < 0 || cli.top_k > psv::mc::kMaxTopK) {
+        std::cerr << "--top-k expects a value in [0, " << psv::mc::kMaxTopK << "]\n";
+        return usage();
+      }
     } else if (arg == "--stats-json" && i + 1 < argc) {
       cli.stats_json_path = argv[++i];
     } else if (arg == "--cache-dir" && i + 1 < argc) {
@@ -353,6 +405,7 @@ int main(int argc, char** argv) {
     options.explore.engine =
         cli.engine == "probe" ? psv::mc::QueryEngine::kProbe : psv::mc::QueryEngine::kSweep;
     options.cache_dir = cli.cache_dir;
+    if (cli.top_k >= 0) options.top_k = cli.top_k;
 
     // One Verifier for the whole invocation: batch jobs share pooled
     // sessions and the artifact cache.
@@ -394,6 +447,7 @@ int main(int argc, char** argv) {
       } else {
         std::cout << outcome.report.summary() << "\n";
       }
+      if (cli.slack_detail) print_slack_detail(outcome, cli.top_k);
       if (cli.sim_scenarios > 0) {
         for (const psv::core::RequirementResult& r :
              outcome.report.schemes.front().requirements)
@@ -422,6 +476,7 @@ int main(int argc, char** argv) {
         outcome.model_path = model_path;
         outcome.report = verifier.verify(request);
         std::cout << outcome.report.summary() << "\n";
+        if (cli.slack_detail) print_slack_detail(outcome, cli.top_k);
         outcomes.push_back(std::move(outcome));
       }
     }
