@@ -1,0 +1,257 @@
+// Daemon loopback benchmark + gate: an in-process net::Server answering
+// pipelined wire requests on 127.0.0.1.
+//
+//   bench_daemon [--requests N] [--clients C] [--reps R] [--models DIR]
+//                [--out FILE]
+//
+// Sends N verify requests (quickstart model, mixed fast/late schemes,
+// varying deadline bounds) split across C concurrent pipelined client
+// connections against a cold server, then the identical load again against
+// the now-warm session pool, and re-runs every request through an
+// in-process Verifier for reference. Reports best-of-R wall time per round
+// and asserts two deterministic invariants:
+//
+//   * every wire report summary is byte-identical to its in-process twin;
+//   * the warm round's server-side explorations exactly match an in-process
+//     warm repeat — zero for the passing-scheme requests (answered from the
+//     session-pool memo); the failing-scheme requests re-run their witness
+//     queries identically on both sides.
+//
+// Wall-time ratios (pipelined throughput, warm speedup) are reported in the
+// JSON for trend tracking but not gated — they vary with machine load.
+// Exit code 1 on any violated invariant, 2 on usage/setup errors.
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/report_serde.h"
+#include "core/service.h"
+#include "net/client.h"
+#include "net/server.h"
+#include "util/io.h"
+#include "util/json.h"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: bench_daemon [--requests N] [--clients C] [--reps R]"
+               " [--models DIR] [--out FILE]\n";
+  return 2;
+}
+
+/// One pipelined connection serving a slice of the batch: send every
+/// request, collect every response, store the reports in request order.
+void run_client(const std::string& host, std::uint16_t port,
+                const std::vector<psv::core::SourceRequest>& batch, std::size_t begin,
+                std::size_t end, std::vector<psv::core::VerifyReport>* reports) {
+  psv::net::Client client(host, port);
+  std::map<std::uint64_t, std::size_t> index_of;
+  for (std::size_t i = begin; i < end; ++i) index_of[client.send(batch[i])] = i;
+  for (std::size_t i = begin; i < end; ++i) {
+    psv::net::Client::Response response = client.next_response();
+    if (!response.ok) {
+      throw psv::Error("request " + std::to_string(response.request_id) +
+                           " failed: " + response.error.message,
+                       response.error.code);
+    }
+    (*reports)[index_of.at(response.request_id)] = std::move(response.report);
+  }
+}
+
+/// One round of load: the batch split across `clients` concurrent
+/// connections, each pipelining its whole slice.
+std::vector<psv::core::VerifyReport> run_round(const std::string& host, std::uint16_t port,
+                                               const std::vector<psv::core::SourceRequest>& batch,
+                                               std::size_t clients, double* wall_ms) {
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<psv::core::VerifyReport> reports(batch.size());
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> failures(clients);
+  const std::size_t per_client = (batch.size() + clients - 1) / clients;
+  for (std::size_t c = 0; c < clients; ++c) {
+    const std::size_t begin = c * per_client;
+    const std::size_t end = std::min(batch.size(), begin + per_client);
+    if (begin >= end) break;
+    threads.emplace_back([&, c, begin, end] {
+      try {
+        run_client(host, port, batch, begin, end, &reports);
+      } catch (...) {
+        failures[c] = std::current_exception();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (const std::exception_ptr& failure : failures)
+    if (failure) std::rethrow_exception(failure);
+  *wall_ms = std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start)
+                 .count();
+  return reports;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t requests = 24;
+  std::size_t clients = 4;
+  int reps = 1;
+  std::string models_dir;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--requests" && i + 1 < argc) {
+      requests = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--clients" && i + 1 < argc) {
+      clients = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::stoi(argv[++i]);
+    } else if (arg == "--models" && i + 1 < argc) {
+      models_dir = argv[++i];
+      if (!models_dir.empty() && models_dir.back() != '/') models_dir += '/';
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (requests == 0 || clients == 0 || reps < 1) return usage();
+
+  if (models_dir.empty()) {
+    for (const char* prefix : {"examples/models/", "../examples/models/"}) {
+      if (psv::util::try_read_file(std::string(prefix) + "quickstart.psv")) {
+        models_dir = prefix;
+        break;
+      }
+    }
+  }
+  const auto model_source = psv::util::try_read_file(models_dir + "quickstart.psv");
+  const auto fast_scheme = psv::util::try_read_file(models_dir + "fast.pss");
+  const auto late_scheme = psv::util::try_read_file(models_dir + "late.pss");
+  if (!model_source || !fast_scheme || !late_scheme) {
+    std::cerr << "bench_daemon: example models not found (try --models DIR)\n";
+    return 2;
+  }
+
+  // Mixed load: passing (fast) and failing (late) schemes, distinct
+  // deadline bounds. The warm round repeats the identical requests, so the
+  // session-pool memo must answer every one of them.
+  std::vector<psv::core::SourceRequest> batch(requests);
+  for (std::size_t i = 0; i < requests; ++i) {
+    batch[i].model_source = *model_source;
+    batch[i].scheme_sources = {i % 3 == 2 ? *late_scheme : *fast_scheme};
+    batch[i].requirements = {{"QREQ" + std::to_string(i), "Req", "Ack",
+                              static_cast<std::int64_t>(80 + i)}};
+  }
+
+  double cold_ms = 0.0, warm_ms = 0.0;
+  std::uint64_t cold_explorations = 0, warm_explorations = 0;
+  std::uint64_t in_process_warm_explorations = 0;
+  std::vector<psv::core::VerifyReport> cold_reports;
+  bool wire_identical = true;
+  const auto tally = [](const psv::core::VerifyReport& report) {
+    std::uint64_t explorations = 0;
+    for (const psv::core::VerifyStageStats& s : report.pim_stages)
+      explorations += static_cast<std::uint64_t>(s.explorations);
+    for (const psv::core::SchemeVerification& sv : report.schemes)
+      for (const psv::core::VerifyStageStats& s : sv.stages)
+        explorations += static_cast<std::uint64_t>(s.explorations);
+    return explorations;
+  };
+  try {
+    for (int rep = 0; rep < reps; ++rep) {
+      psv::net::ServerConfig config;  // fresh server per rep: cold round is cold
+      config.port = 0;
+      psv::net::Server server(config);
+      server.start();
+
+      double cold = 0.0, warm = 0.0;
+      std::vector<psv::core::VerifyReport> reports =
+          run_round(config.host, server.port(), batch, clients, &cold);
+      const std::uint64_t after_cold = server.stats().explorations_total;
+      run_round(config.host, server.port(), batch, clients, &warm);
+      const std::uint64_t after_warm = server.stats().explorations_total;
+      server.stop();
+
+      if (rep == 0 || cold < cold_ms) cold_ms = cold;
+      if (rep == 0 || warm < warm_ms) warm_ms = warm;
+      cold_explorations = after_cold;
+      warm_explorations = after_warm - after_cold;
+      cold_reports = std::move(reports);
+    }
+
+    // Reference: the same requests through an in-process Verifier. Summaries
+    // carry verdicts, bounds, slack, and stage work — but no wall times — so
+    // wire and in-process must match byte for byte.
+    psv::core::Verifier verifier;
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      const psv::core::VerifyReport local =
+          verifier.verify(psv::core::to_verify_request(batch[i]));
+      if (local.summary() != cold_reports[i].summary()) {
+        wire_identical = false;
+        std::cerr << "ERROR: wire report " << i << " differs from in-process report\n";
+      }
+    }
+    // In-process warm repeat: the gold standard for what the server's warm
+    // round may cost. Passing-scheme requests answer from the session memo
+    // (zero explorations); the failing-scheme requests re-run their witness
+    // queries — on both sides identically.
+    for (const psv::core::SourceRequest& request : batch)
+      in_process_warm_explorations += tally(verifier.verify(psv::core::to_verify_request(request)));
+  } catch (const std::exception& e) {
+    std::cerr << "bench_daemon: " << e.what() << "\n";
+    return 2;
+  }
+
+  const bool warm_matches_memo = warm_explorations == in_process_warm_explorations;
+  const double throughput =
+      cold_ms > 0.0 ? static_cast<double>(requests) * 1000.0 / cold_ms : 0.0;
+  const double warm_speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
+
+  std::cerr << "cold: " << cold_ms << "ms (" << cold_explorations << " explorations), warm: "
+            << warm_ms << "ms (" << warm_explorations << " explorations, in-process warm "
+            << in_process_warm_explorations << ")\n";
+
+  std::ostringstream os;
+  {
+    psv::json::Writer w(os);
+    w.begin_object();
+    w.field("model", "daemon-loopback");
+    w.field("requests", requests);
+    w.field("clients", clients);
+    w.field("reps", reps);
+    w.field("cold_ms", cold_ms);
+    w.field("warm_ms", warm_ms);
+    w.field("cold_requests_per_s", throughput);
+    w.field("warm_speedup", warm_speedup);
+    w.field("cold_explorations", cold_explorations);
+    w.field("warm_explorations", warm_explorations);
+    w.field("in_process_warm_explorations", in_process_warm_explorations);
+    w.field("wire_identical_to_in_process", wire_identical);
+    w.field("warm_matches_in_process_memo", warm_matches_memo);
+    w.end_object();
+  }
+  os << "\n";
+
+  if (out_path.empty()) {
+    std::cout << os.str();
+  } else {
+    std::ofstream out(out_path);
+    out << os.str();
+    std::cout << "wrote " << out_path << "\n";
+  }
+  if (!wire_identical) {
+    std::cerr << "ERROR: wire reports are not byte-identical to in-process reports\n";
+    return 1;
+  }
+  if (!warm_matches_memo) {
+    std::cerr << "ERROR: warm round explored " << warm_explorations
+              << " states server-side, but an in-process warm repeat explores "
+              << in_process_warm_explorations << "; session pool failed to answer from memo\n";
+    return 1;
+  }
+  return 0;
+}

@@ -60,7 +60,7 @@ std::string SlackReport::to_string(std::size_t top_k) const {
 SlackReport compute_slack_report(const std::vector<TimingRequirement>& reqs,
                                  const std::vector<mc::MaxClockResult>& mc_answers,
                                  std::int64_t search_limit) {
-  PSV_REQUIRE(mc_answers.size() == reqs.size(),
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, mc_answers.size() == reqs.size(),
               "compute_slack_report: answers must align with the requirements");
   SlackReport report;
   report.requirements.reserve(reqs.size());
@@ -137,7 +137,7 @@ BoundQueryPlan plan_bound_queries(const PsmArtifacts& psm,
                                   const std::vector<TimingRequirement>& reqs,
                                   const std::vector<std::int64_t>& pim_internal_bounds,
                                   std::int64_t search_limit, int top_k) {
-  PSV_REQUIRE(mc_probes.size() == reqs.size() && pim_internal_bounds.size() == reqs.size(),
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, mc_probes.size() == reqs.size() && pim_internal_bounds.size() == reqs.size(),
               "plan_bound_queries: probes/requirements/internal bounds must align");
   BoundQueryPlan plan;
   plan.queries.reserve(psm.inputs.size() + psm.outputs.size() + reqs.size());
@@ -183,7 +183,7 @@ std::vector<BoundAnalysis> assemble_bound_analyses(
     const std::vector<TimingRequirement>& reqs,
     const std::vector<std::int64_t>& pim_internal_bounds,
     const std::vector<mc::MaxClockResult>& answers, std::int64_t search_limit) {
-  PSV_REQUIRE(answers.size() == plan.queries.size(),
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, answers.size() == plan.queries.size(),
               "assemble_bound_analyses: answers must align with the plan");
   std::vector<BoundAnalysis> out;
   out.reserve(reqs.size());

@@ -39,10 +39,10 @@ std::string FrameworkResult::summary() const {
 
 FrameworkResult framework_result_from(const VerifyReport& report, std::size_t scheme_index,
                                       std::size_t requirement_index) {
-  PSV_REQUIRE(scheme_index < report.schemes.size(),
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, scheme_index < report.schemes.size(),
               "framework_result_from: scheme index out of range");
   const SchemeVerification& sv = report.schemes[scheme_index];
-  PSV_REQUIRE(requirement_index < sv.requirements.size(),
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, requirement_index < sv.requirements.size(),
               "framework_result_from: requirement index out of range");
   const RequirementResult& rr = sv.requirements[requirement_index];
   FrameworkResult result;

@@ -16,9 +16,9 @@ PimInfo analyze_pim(const ta::Network& pim, const std::string& software_name,
   PimInfo info;
 
   const auto software = pim.automaton_by_name(software_name);
-  PSV_REQUIRE(software.has_value(), "PIM has no software automaton named '" + software_name + "'");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, software.has_value(), "PIM has no software automaton named '" + software_name + "'");
   const auto environment = pim.automaton_by_name(environment_name);
-  PSV_REQUIRE(environment.has_value(),
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, environment.has_value(),
               "PIM has no environment automaton named '" + environment_name + "'");
   info.software = *software;
   info.environment = *environment;
@@ -30,11 +30,11 @@ PimInfo analyze_pim(const ta::Network& pim, const std::string& software_name,
     } else if (starts_with(name, kOutputPrefix)) {
       info.outputs.push_back(name.substr(2));
     } else {
-      PSV_FAIL("PIM channel '" + name + "' is neither an input (m_*) nor an output (c_*)");
+      PSV_FAIL_AS(::psv::ErrorCode::kModel, "PIM channel '" + name + "' is neither an input (m_*) nor an output (c_*)");
     }
   }
-  PSV_REQUIRE(!info.inputs.empty(), "PIM declares no input channels (m_*)");
-  PSV_REQUIRE(!info.outputs.empty(), "PIM declares no output channels (c_*)");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, !info.inputs.empty(), "PIM declares no input channels (m_*)");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, !info.outputs.empty(), "PIM declares no output channels (c_*)");
 
   // Direction checks: software receives m_* / sends c_*; environment the
   // reverse. Also: software input receives must be unguarded.
@@ -44,13 +44,13 @@ PimInfo analyze_pim(const ta::Network& pim, const std::string& software_name,
   const ta::Automaton& sw = pim.automaton(info.software);
   for (const ta::Edge& e : sw.edges()) {
     if (e.sync.dir == ta::SyncDir::kSend && chan_is_input(e.sync.chan))
-      PSV_FAIL("software automaton sends on input channel '" + pim.channel_name(e.sync.chan) +
+      PSV_FAIL_AS(::psv::ErrorCode::kModel, "software automaton sends on input channel '" + pim.channel_name(e.sync.chan) +
                "'; inputs flow from the environment to the software");
     if (e.sync.dir == ta::SyncDir::kReceive && !chan_is_input(e.sync.chan))
-      PSV_FAIL("software automaton receives on output channel '" + pim.channel_name(e.sync.chan) +
+      PSV_FAIL_AS(::psv::ErrorCode::kModel, "software automaton receives on output channel '" + pim.channel_name(e.sync.chan) +
                "'; outputs flow from the software to the environment");
     if (e.sync.dir == ta::SyncDir::kReceive && chan_is_input(e.sync.chan)) {
-      PSV_REQUIRE(e.guard.clocks.empty() && e.guard.data.is_trivially_true(),
+      PSV_REQUIRE_AS(::psv::ErrorCode::kModel, e.guard.clocks.empty() && e.guard.data.is_trivially_true(),
                   "software input-receive edge on '" + pim.channel_name(e.sync.chan) +
                       "' is guarded; the transformation requires unconditional input receives "
                       "(generated code reads inputs unconditionally and discards unusable ones)");
@@ -59,10 +59,10 @@ PimInfo analyze_pim(const ta::Network& pim, const std::string& software_name,
   const ta::Automaton& env = pim.automaton(info.environment);
   for (const ta::Edge& e : env.edges()) {
     if (e.sync.dir == ta::SyncDir::kSend && !chan_is_input(e.sync.chan))
-      PSV_FAIL("environment automaton sends on output channel '" +
+      PSV_FAIL_AS(::psv::ErrorCode::kModel, "environment automaton sends on output channel '" +
                pim.channel_name(e.sync.chan) + "'");
     if (e.sync.dir == ta::SyncDir::kReceive && chan_is_input(e.sync.chan))
-      PSV_FAIL("environment automaton receives on input channel '" +
+      PSV_FAIL_AS(::psv::ErrorCode::kModel, "environment automaton receives on input channel '" +
                pim.channel_name(e.sync.chan) + "'");
   }
   return info;
@@ -76,11 +76,11 @@ RequirementProbe instrument_mc_delay_tagged(ta::Network& net, const std::string&
                                             const TimingRequirement& req,
                                             const std::string& tag) {
   const auto env_id = net.automaton_by_name(environment_name);
-  PSV_REQUIRE(env_id.has_value(), "no environment automaton named '" + environment_name + "'");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, env_id.has_value(), "no environment automaton named '" + environment_name + "'");
   const auto m_chan = net.channel_by_name(kInputPrefix + req.input);
-  PSV_REQUIRE(m_chan.has_value(), "no input channel 'm_" + req.input + "'");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, m_chan.has_value(), "no input channel 'm_" + req.input + "'");
   const auto c_chan = net.channel_by_name(kOutputPrefix + req.output);
-  PSV_REQUIRE(c_chan.has_value(), "no output channel 'c_" + req.output + "'");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, c_chan.has_value(), "no output channel 'c_" + req.output + "'");
 
   RequirementProbe probe;
   probe.clock = net.add_clock("t_mc_" + tag);
@@ -177,7 +177,7 @@ PimVerification verify_pim_requirement(const ta::Network& pim, const PimInfo& in
 PimBatchVerification verify_pim_requirements_in_session(
     mc::VerificationSession& session, const std::vector<RequirementProbe>& probes,
     const std::vector<TimingRequirement>& reqs, std::int64_t search_limit, bool cache_enabled) {
-  PSV_REQUIRE(probes.size() == reqs.size(),
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, probes.size() == reqs.size(),
               "verify_pim_requirements_in_session: probes must align with requirements");
   const mc::SessionStats before = session.stats();
   std::vector<mc::BoundQuery> queries;

@@ -1,0 +1,58 @@
+// Binary (de)serialization of the Verifier service's request/report types —
+// the payload layer of the wire protocol (net/wire.h).
+//
+// Reports are serialized field-for-field with util/serde, reusing the
+// trace/statistics encoders of the artifact store (mc/artifact.h), so a
+// report decoded from the wire renders summaries, verdict lines, slack
+// reports, and --stats-json output byte-identical to the in-process report
+// it was encoded from.
+//
+// Deliberate exception: SchemeVerification::psm (the constructed PSM
+// network and its instrumentation handles) does NOT travel. It is a
+// server-side construction artifact that no report renderer reads; clients
+// that want the PSM text (psv_verify --print-psm) reconstruct it locally
+// from the model and scheme sources, which is deterministic. A decoded
+// report carries a default-constructed PsmArtifacts.
+//
+// Requests travel as *sources* (model/scheme program text plus typed
+// requirements and options) rather than as parsed networks: the parsers are
+// deterministic, so server-side parsing yields the identical network while
+// keeping the wire format independent of the in-memory ta::Network layout.
+// SourceRequest is that wire shape; to_verify_request() parses it.
+//
+// All decoders are fully bounds-checked (ByteReader) and throw psv::Error
+// with ErrorCode::kProtocol on malformed input.
+#pragma once
+
+#include "core/service.h"
+#include "util/serde.h"
+
+namespace psv::core {
+
+/// A VerifyRequest as it travels the wire: program sources plus typed
+/// requirements and options. Scheme sources are index-aligned with the
+/// VerifyRequest::schemes they parse into.
+struct SourceRequest {
+  std::string model_source;                     ///< .psv program text
+  std::vector<std::string> scheme_sources;      ///< .pss program texts
+  std::vector<TimingRequirement> requirements;  ///< at least one
+  VerifyOptions options;
+};
+
+/// Parse a SourceRequest into a service request (model, schemes, PIM info).
+/// Throws psv::Error (kParse/kModel) exactly like the CLI's own parsing.
+VerifyRequest to_verify_request(const SourceRequest& request);
+
+void encode_source_request(ByteWriter& out, const SourceRequest& request);
+SourceRequest decode_source_request(ByteReader& in);
+
+void encode_verify_options(ByteWriter& out, const VerifyOptions& options);
+VerifyOptions decode_verify_options(ByteReader& in);
+
+void encode_timing_requirement(ByteWriter& out, const TimingRequirement& req);
+TimingRequirement decode_timing_requirement(ByteReader& in);
+
+void encode_verify_report(ByteWriter& out, const VerifyReport& report);
+VerifyReport decode_verify_report(ByteReader& in);
+
+}  // namespace psv::core

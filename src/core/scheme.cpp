@@ -50,14 +50,14 @@ std::string to_string(ReadPolicy v) {
 
 const InputSpec& ImplementationScheme::input(const std::string& base_name) const {
   auto it = inputs.find(base_name);
-  PSV_REQUIRE(it != inputs.end(),
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, it != inputs.end(),
               "scheme '" + name + "' has no input spec for '" + base_name + "'");
   return it->second;
 }
 
 const OutputSpec& ImplementationScheme::output(const std::string& base_name) const {
   auto it = outputs.find(base_name);
-  PSV_REQUIRE(it != outputs.end(),
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, it != outputs.end(),
               "scheme '" + name + "' has no output spec for '" + base_name + "'");
   return it->second;
 }

@@ -179,8 +179,8 @@ std::size_t Verifier::pooled_sessions() const {
 }
 
 VerifyReport Verifier::verify(const VerifyRequest& request) {
-  PSV_REQUIRE(!request.requirements.empty(), "VerifyRequest carries no timing requirements");
-  PSV_REQUIRE(!request.schemes.empty(), "VerifyRequest carries no implementation schemes");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, !request.requirements.empty(), "VerifyRequest carries no timing requirements");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, !request.schemes.empty(), "VerifyRequest carries no implementation schemes");
   const PimInfo info = request.info.has_value() ? *request.info : analyze_pim(request.pim);
   const VerifyOptions& opts = request.options;
   const std::vector<TimingRequirement>& reqs = request.requirements;

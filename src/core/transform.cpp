@@ -14,13 +14,13 @@ namespace psv::core {
 const InputArtifacts& PsmArtifacts::input(const std::string& base) const {
   for (const auto& in : inputs)
     if (in.base == base) return in;
-  PSV_FAIL("PSM has no input artifact named '" + base + "'");
+  PSV_FAIL_AS(::psv::ErrorCode::kModel, "PSM has no input artifact named '" + base + "'");
 }
 
 const OutputArtifacts& PsmArtifacts::output(const std::string& base) const {
   for (const auto& outv : outputs)
     if (outv.base == base) return outv;
-  PSV_FAIL("PSM has no output artifact named '" + base + "'");
+  PSV_FAIL_AS(::psv::ErrorCode::kModel, "PSM has no output artifact named '" + base + "'");
 }
 
 namespace detail {
@@ -194,7 +194,7 @@ void build_mio(BuildContext& ctx) {
 PsmArtifacts transform(const ta::Network& pim, const PimInfo& info,
                        const ImplementationScheme& scheme, TransformOptions options) {
   const SchemeValidation sv = validate_scheme(scheme, info.inputs, info.outputs);
-  PSV_REQUIRE(sv.ok(), "implementation scheme '" + scheme.name +
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, sv.ok(), "implementation scheme '" + scheme.name +
                            "' is invalid for this PIM:\n" + sv.to_string());
 
   PsmArtifacts out;

@@ -7,10 +7,10 @@ namespace psv::gpca {
 using namespace psv::ta;
 
 ta::Network build_pump_pim(const PumpModelOptions& opt) {
-  PSV_REQUIRE(opt.start_min >= 0 && opt.start_min <= opt.start_deadline,
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, opt.start_min >= 0 && opt.start_min <= opt.start_deadline,
               "pump model: need 0 <= start_min <= start_deadline");
-  PSV_REQUIRE(opt.infusion_min <= opt.infusion_max, "pump model: infusion window inverted");
-  PSV_REQUIRE(opt.stop_min <= opt.stop_max, "pump model: stop window inverted");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, opt.infusion_min <= opt.infusion_max, "pump model: infusion window inverted");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, opt.stop_min <= opt.stop_max, "pump model: stop window inverted");
 
   Network net("gpca_pump");
   const ClockId x = net.add_clock("x");          // software clock

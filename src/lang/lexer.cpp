@@ -144,7 +144,7 @@ std::vector<Token> tokenize(const std::string& source) {
       default:
         break;
     }
-    PSV_FAIL("lexical error at line " + std::to_string(line) + ", column " +
+    PSV_FAIL_AS(::psv::ErrorCode::kParse, "lexical error at line " + std::to_string(line) + ", column " +
              std::to_string(column) + ": unexpected character '" + std::string(1, c) + "'");
   }
   Token end;

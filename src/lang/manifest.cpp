@@ -37,7 +37,7 @@ std::vector<std::pair<int, std::string>> content_lines(const std::string& source
 }
 
 [[noreturn]] void fail_at(int line, const std::string& message) {
-  PSV_FAIL("manifest, line " + std::to_string(line) + ": " + message);
+  PSV_FAIL_AS(::psv::ErrorCode::kParse, "manifest, line " + std::to_string(line) + ": " + message);
 }
 
 /// "key rest-of-line" -> {key, rest}; rest may be empty.
@@ -104,7 +104,7 @@ std::vector<ManifestJob> parse_manifest(const std::string& source) {
       fail_at(line_no, "job '" + job.name + "' declares no requirements");
     jobs.push_back(std::move(job));
   }
-  PSV_REQUIRE(!jobs.empty(), "manifest declares no jobs");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kParse, !jobs.empty(), "manifest declares no jobs");
   return jobs;
 }
 
@@ -114,10 +114,10 @@ std::vector<core::TimingRequirement> parse_requirement_list(const std::string& s
     try {
       requirements.push_back(parse_requirement(line));
     } catch (const Error& e) {
-      PSV_FAIL("requirement list, line " + std::to_string(line_no) + ": " + e.what());
+      PSV_FAIL_AS(::psv::ErrorCode::kParse, "requirement list, line " + std::to_string(line_no) + ": " + e.what());
     }
   }
-  PSV_REQUIRE(!requirements.empty(), "requirement list is empty");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kParse, !requirements.empty(), "requirement list is empty");
   return requirements;
 }
 

@@ -20,7 +20,7 @@ class ModelParser {
     net_ = ta::Network(expect_ident("network name"));
     while (!at(TokKind::kEnd)) {
       const Token& t = peek();
-      PSV_REQUIRE(t.kind == TokKind::kIdent, at_msg(t) + "expected a declaration, got " +
+      PSV_REQUIRE_AS(::psv::ErrorCode::kParse, t.kind == TokKind::kIdent, at_msg(t) + "expected a declaration, got " +
                                                  tok_kind_str(t.kind));
       if (t.text == "clock") {
         parse_clock();
@@ -35,7 +35,7 @@ class ModelParser {
       } else if (t.text == "automaton") {
         parse_automaton();
       } else {
-        PSV_FAIL(at_msg(t) + "unknown declaration '" + t.text + "'");
+        PSV_FAIL_AS(::psv::ErrorCode::kParse, at_msg(t) + "unknown declaration '" + t.text + "'");
       }
     }
     return std::move(net_);
@@ -57,7 +57,7 @@ class ModelParser {
   }
   Token expect(TokKind kind, const std::string& what) {
     const Token& t = peek();
-    PSV_REQUIRE(t.kind == kind,
+    PSV_REQUIRE_AS(::psv::ErrorCode::kParse, t.kind == kind,
                 at_msg(t) + "expected " + what + " (" + tok_kind_str(kind) + "), got " +
                     (t.kind == TokKind::kIdent ? "'" + t.text + "'" : tok_kind_str(t.kind)));
     return take();
@@ -66,7 +66,7 @@ class ModelParser {
   std::int64_t expect_int(const std::string& what) { return expect(TokKind::kInt, what).value; }
   void expect_keyword(const std::string& word) {
     const Token& t = peek();
-    PSV_REQUIRE(t.kind == TokKind::kIdent && t.text == word,
+    PSV_REQUIRE_AS(::psv::ErrorCode::kParse, t.kind == TokKind::kIdent && t.text == word,
                 at_msg(t) + "expected keyword '" + word + "'");
     take();
   }
@@ -153,7 +153,7 @@ class ModelParser {
         take();
         const Token chan_tok = expect(TokKind::kIdent, "channel name");
         const auto chan = net_.channel_by_name(chan_tok.text);
-        PSV_REQUIRE(chan.has_value(),
+        PSV_REQUIRE_AS(::psv::ErrorCode::kParse, chan.has_value(),
                     at_msg(chan_tok) + "unknown channel '" + chan_tok.text + "'");
         if (at(TokKind::kBang)) {
           take();
@@ -183,7 +183,7 @@ class ModelParser {
   static ta::LocId resolve_loc(const ta::Automaton& aut, const Token& tok) {
     for (std::size_t i = 0; i < aut.locations().size(); ++i)
       if (aut.locations()[i].name == tok.text) return static_cast<ta::LocId>(i);
-    PSV_FAIL(at_msg(tok) + "unknown location '" + tok.text + "' in automaton " + aut.name());
+    PSV_FAIL_AS(::psv::ErrorCode::kParse, at_msg(tok) + "unknown location '" + tok.text + "' in automaton " + aut.name());
   }
 
   ta::LocId parse_location(ta::Automaton& aut) {
@@ -218,14 +218,14 @@ class ModelParser {
       case TokKind::kGt: take(); return ta::CmpOp::kGt;
       case TokKind::kNe: take(); return ta::CmpOp::kNe;
       default:
-        PSV_FAIL(at_msg(peek()) + "expected a comparison operator");
+        PSV_FAIL_AS(::psv::ErrorCode::kParse, at_msg(peek()) + "expected a comparison operator");
     }
   }
 
   ta::ClockConstraint parse_clock_constraint() {
     const Token name = expect(TokKind::kIdent, "clock name");
     const auto clock = net_.clock_by_name(name.text);
-    PSV_REQUIRE(clock.has_value(), at_msg(name) + "unknown clock '" + name.text + "'");
+    PSV_REQUIRE_AS(::psv::ErrorCode::kParse, clock.has_value(), at_msg(name) + "unknown clock '" + name.text + "'");
     const ta::CmpOp op = parse_cmp_op();
     const std::int64_t bound = expect_int("clock bound");
     return ta::ClockConstraint{*clock, op, static_cast<std::int32_t>(bound)};
@@ -244,7 +244,7 @@ class ModelParser {
         const ta::IntExpr rhs = parse_int_expr();
         guard.data = guard.data && ta::BoolExpr::cmp(op, ta::IntExpr::var(*var), rhs);
       } else {
-        PSV_FAIL(at_msg(name) + "'" + name.text + "' is neither a clock nor a variable");
+        PSV_FAIL_AS(::psv::ErrorCode::kParse, at_msg(name) + "'" + name.text + "' is neither a clock nor a variable");
       }
       if (!at(TokKind::kAnd)) break;
       take();
@@ -266,7 +266,7 @@ class ModelParser {
     }
     const Token name = expect(TokKind::kIdent, "variable name");
     const auto var = net_.var_by_name(name.text);
-    PSV_REQUIRE(var.has_value(), at_msg(name) + "unknown variable '" + name.text + "'");
+    PSV_REQUIRE_AS(::psv::ErrorCode::kParse, var.has_value(), at_msg(name) + "unknown variable '" + name.text + "'");
     return ta::IntExpr::var(*var);
   }
 
@@ -299,7 +299,7 @@ class ModelParser {
       } else if (const auto var = net_.var_by_name(name.text)) {
         update.assignments.push_back({*var, parse_int_expr()});
       } else {
-        PSV_FAIL(at_msg(name) + "'" + name.text + "' is neither a clock nor a variable");
+        PSV_FAIL_AS(::psv::ErrorCode::kParse, at_msg(name) + "'" + name.text + "' is neither a clock nor a variable");
       }
       if (!at(TokKind::kComma)) break;
       take();

@@ -23,7 +23,7 @@ class SchemeParser {
       } else if (at_keyword("io")) {
         parse_io();
       } else {
-        PSV_FAIL(at_msg(peek()) + "expected 'input', 'output' or 'io'");
+        PSV_FAIL_AS(::psv::ErrorCode::kParse, at_msg(peek()) + "expected 'input', 'output' or 'io'");
       }
     }
     expect(TokKind::kRBrace, "'}'");
@@ -43,14 +43,14 @@ class SchemeParser {
   }
   Token expect(TokKind kind, const std::string& what) {
     const Token& t = peek();
-    PSV_REQUIRE(t.kind == kind, at_msg(t) + "expected " + what);
+    PSV_REQUIRE_AS(::psv::ErrorCode::kParse, t.kind == kind, at_msg(t) + "expected " + what);
     return take();
   }
   std::string expect_ident(const std::string& what) { return expect(TokKind::kIdent, what).text; }
   std::int64_t expect_int(const std::string& what) { return expect(TokKind::kInt, what).value; }
   void expect_keyword(const std::string& word) {
     const Token& t = peek();
-    PSV_REQUIRE(t.kind == TokKind::kIdent && t.text == word,
+    PSV_REQUIRE_AS(::psv::ErrorCode::kParse, t.kind == TokKind::kIdent && t.text == word,
                 at_msg(t) + "expected keyword '" + word + "'");
     take();
   }
@@ -71,7 +71,7 @@ class SchemeParser {
         } else if (v.text == "sustained-until-read") {
           spec.signal = core::SignalType::kSustainedUntilRead;
         } else {
-          PSV_FAIL(at_msg(v) + "unknown signal type '" + v.text + "'");
+          PSV_FAIL_AS(::psv::ErrorCode::kParse, at_msg(v) + "unknown signal type '" + v.text + "'");
         }
       } else if (key.text == "read") {
         const Token v = expect(TokKind::kIdent, "read mechanism");
@@ -82,7 +82,7 @@ class SchemeParser {
           expect_keyword("interval");
           spec.polling_interval = static_cast<std::int32_t>(expect_int("polling interval"));
         } else {
-          PSV_FAIL(at_msg(v) + "unknown read mechanism '" + v.text + "'");
+          PSV_FAIL_AS(::psv::ErrorCode::kParse, at_msg(v) + "unknown read mechanism '" + v.text + "'");
         }
       } else if (key.text == "delay") {
         spec.delay_min = static_cast<std::int32_t>(expect_int("delay min"));
@@ -92,7 +92,7 @@ class SchemeParser {
       } else if (key.text == "sustain") {
         spec.sustain_duration = static_cast<std::int32_t>(expect_int("sustain duration"));
       } else {
-        PSV_FAIL(at_msg(key) + "unknown input property '" + key.text + "'");
+        PSV_FAIL_AS(::psv::ErrorCode::kParse, at_msg(key) + "unknown input property '" + key.text + "'");
       }
     }
     expect(TokKind::kRBrace, "'}'");
@@ -110,7 +110,7 @@ class SchemeParser {
         spec.delay_min = static_cast<std::int32_t>(expect_int("delay min"));
         spec.delay_max = static_cast<std::int32_t>(expect_int("delay max"));
       } else {
-        PSV_FAIL(at_msg(key) + "unknown output property '" + key.text + "'");
+        PSV_FAIL_AS(::psv::ErrorCode::kParse, at_msg(key) + "unknown output property '" + key.text + "'");
       }
     }
     expect(TokKind::kRBrace, "'}'");
@@ -130,7 +130,7 @@ class SchemeParser {
         } else if (v.text == "aperiodic") {
           scheme_.io.invocation = core::InvocationKind::kAperiodic;
         } else {
-          PSV_FAIL(at_msg(v) + "unknown invocation kind '" + v.text + "'");
+          PSV_FAIL_AS(::psv::ErrorCode::kParse, at_msg(v) + "unknown invocation kind '" + v.text + "'");
         }
       } else if (key.text == "transfer") {
         const Token v = expect(TokKind::kIdent, "transfer kind");
@@ -140,7 +140,7 @@ class SchemeParser {
         } else if (v.text == "shared-variable") {
           scheme_.io.transfer = core::TransferKind::kSharedVariable;
         } else {
-          PSV_FAIL(at_msg(v) + "unknown transfer kind '" + v.text + "'");
+          PSV_FAIL_AS(::psv::ErrorCode::kParse, at_msg(v) + "unknown transfer kind '" + v.text + "'");
         }
       } else if (key.text == "policy") {
         const Token v = expect(TokKind::kIdent, "read policy");
@@ -149,7 +149,7 @@ class SchemeParser {
         } else if (v.text == "read-one") {
           scheme_.io.read_policy = core::ReadPolicy::kReadOne;
         } else {
-          PSV_FAIL(at_msg(v) + "unknown read policy '" + v.text + "'");
+          PSV_FAIL_AS(::psv::ErrorCode::kParse, at_msg(v) + "unknown read policy '" + v.text + "'");
         }
       } else if (key.text == "stages") {
         scheme_.io.read_stage_max = static_cast<std::int32_t>(expect_int("read stage max"));
@@ -157,7 +157,7 @@ class SchemeParser {
             static_cast<std::int32_t>(expect_int("compute stage max"));
         scheme_.io.write_stage_max = static_cast<std::int32_t>(expect_int("write stage max"));
       } else {
-        PSV_FAIL(at_msg(key) + "unknown io property '" + key.text + "'");
+        PSV_FAIL_AS(::psv::ErrorCode::kParse, at_msg(key) + "unknown io property '" + key.text + "'");
       }
     }
     expect(TokKind::kRBrace, "'}'");
@@ -179,7 +179,7 @@ core::TimingRequirement parse_requirement(const std::string& text) {
   std::size_t pos = 0;
   auto take = [&]() -> const Token& { return tokens[std::min(pos++, tokens.size() - 1)]; };
   auto fail = [](const Token& t, const std::string& msg) -> void {
-    PSV_FAIL("requirement syntax, line " + std::to_string(t.line) + ", column " +
+    PSV_FAIL_AS(::psv::ErrorCode::kParse, "requirement syntax, line " + std::to_string(t.line) + ", column " +
              std::to_string(t.column) + ": " + msg +
              " (expected \"NAME: input -> output within BOUND\")");
   };

@@ -31,6 +31,8 @@ Digest128 read_digest(ByteReader& in) {
   return d;
 }
 
+}  // namespace
+
 void write_explore_stats(ByteWriter& out, const ExploreStats& s) {
   out.u64(s.states_stored);
   out.u64(s.states_explored);
@@ -68,6 +70,8 @@ Trace read_trace(ByteReader& in) {
   return trace;
 }
 
+namespace {
+
 void write_max_clock_result(ByteWriter& out, const MaxClockResult& r) {
   out.boolean(r.bounded);
   out.i64(r.bound);
@@ -94,7 +98,7 @@ MaxClockResult read_max_clock_result(ByteReader& in) {
   r.stats = read_explore_stats(in);
   r.witness = read_trace(in);
   const std::size_t ranked = in.length(/*min_element_size=*/8 + 8);  // value + trace length
-  PSV_REQUIRE(ranked <= static_cast<std::size_t>(kMaxTopK),
+  PSV_REQUIRE_AS(::psv::ErrorCode::kProtocol, ranked <= static_cast<std::size_t>(kMaxTopK),
               "corrupt artifact: ranked-witness count " + std::to_string(ranked));
   r.ranked.reserve(ranked);
   for (std::size_t i = 0; i < ranked; ++i) {
@@ -202,7 +206,7 @@ VerificationArtifact VerificationArtifact::deserialize(ByteReader& in) {
     artifact.var_seen_one.reserve(vars);
     for (std::size_t i = 0; i < vars; ++i) {
       const std::uint8_t seen = in.u8();
-      PSV_REQUIRE(seen <= 1, "corrupt artifact: flag byte " + std::to_string(seen));
+      PSV_REQUIRE_AS(::psv::ErrorCode::kProtocol, seen <= 1, "corrupt artifact: flag byte " + std::to_string(seen));
       artifact.var_seen_one.push_back(seen);
     }
     artifact.deadlock.found = in.boolean();
@@ -210,7 +214,7 @@ VerificationArtifact VerificationArtifact::deserialize(ByteReader& in) {
     artifact.deadlock.trace = read_trace(in);
     artifact.deadlock.stats = read_explore_stats(in);
   }
-  PSV_REQUIRE(in.at_end(), "corrupt artifact: trailing bytes after payload");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kProtocol, in.at_end(), "corrupt artifact: trailing bytes after payload");
   return artifact;
 }
 
@@ -241,20 +245,20 @@ std::optional<VerificationArtifact> ArtifactStore::load(const ArtifactKey& key) 
     // instead of being slurped into memory wholesale.
     std::uint8_t header[kHeaderSize];
     in.read(reinterpret_cast<char*>(header), kHeaderSize);
-    PSV_REQUIRE(in.gcount() == static_cast<std::streamsize>(kHeaderSize), "truncated header");
+    PSV_REQUIRE_AS(::psv::ErrorCode::kIo, in.gcount() == static_cast<std::streamsize>(kHeaderSize), "truncated header");
     ByteReader reader(header, kHeaderSize);
     char magic[4];
     reader.raw(magic, sizeof magic);
-    PSV_REQUIRE(std::memcmp(magic, kMagic, sizeof kMagic) == 0, "bad magic");
+    PSV_REQUIRE_AS(::psv::ErrorCode::kIo, std::memcmp(magic, kMagic, sizeof kMagic) == 0, "bad magic");
     const std::uint32_t version = reader.u32();
-    PSV_REQUIRE(version == kArtifactFormatVersion,
+    PSV_REQUIRE_AS(::psv::ErrorCode::kIo, version == kArtifactFormatVersion,
                 "format version " + std::to_string(version) + ", expected " +
                     std::to_string(kArtifactFormatVersion));
     std::uint16_t endian = 0;
     reader.raw(&endian, sizeof endian);  // native order on purpose (see kEndianMarker)
-    PSV_REQUIRE(endian == kEndianMarker, "foreign byte order");
+    PSV_REQUIRE_AS(::psv::ErrorCode::kIo, endian == kEndianMarker, "foreign byte order");
     const Digest128 stored_key = read_digest(reader);
-    PSV_REQUIRE(stored_key == key.digest, "key mismatch");
+    PSV_REQUIRE_AS(::psv::ErrorCode::kIo, stored_key == key.digest, "key mismatch");
     const std::uint64_t payload_size = reader.u64();
     const Digest128 checksum = read_digest(reader);
     // The declared payload size must match the bytes actually on disk, so a
@@ -263,7 +267,7 @@ std::optional<VerificationArtifact> ArtifactStore::load(const ArtifactKey& key) 
     // concurrent writer's rename-publish of a newer artifact.
     in.seekg(0, std::ios::end);
     const std::streampos stream_end = in.tellg();
-    PSV_REQUIRE(stream_end >= 0 && static_cast<std::uint64_t>(stream_end) ==
+    PSV_REQUIRE_AS(::psv::ErrorCode::kIo, stream_end >= 0 && static_cast<std::uint64_t>(stream_end) ==
                                        kHeaderSize + payload_size,
                 "payload size mismatch");
     in.seekg(static_cast<std::streamoff>(kHeaderSize), std::ios::beg);
@@ -271,9 +275,9 @@ std::optional<VerificationArtifact> ArtifactStore::load(const ArtifactKey& key) 
     std::vector<std::uint8_t> payload(static_cast<std::size_t>(payload_size));
     in.read(reinterpret_cast<char*>(payload.data()),
             static_cast<std::streamsize>(payload.size()));
-    PSV_REQUIRE(in.gcount() == static_cast<std::streamsize>(payload.size()),
+    PSV_REQUIRE_AS(::psv::ErrorCode::kIo, in.gcount() == static_cast<std::streamsize>(payload.size()),
                 "truncated payload");
-    PSV_REQUIRE(digest128(payload.data(), payload.size()) == checksum,
+    PSV_REQUIRE_AS(::psv::ErrorCode::kIo, digest128(payload.data(), payload.size()) == checksum,
                 "payload checksum mismatch");
     ByteReader payload_reader(payload);
     return VerificationArtifact::deserialize(payload_reader);

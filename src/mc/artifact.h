@@ -58,6 +58,17 @@ struct ArtifactKey {
 /// Compose the cache key for a fingerprinted network under `opts`.
 ArtifactKey artifact_key(const ta::NetworkFingerprint& fp, const ExploreOptions& opts);
 
+// Shared serde helpers for engine result payloads. Used by the artifact
+// format below and by the report serialization of the wire protocol
+// (core/report_serde.h); both encode traces and statistics identically, so
+// a report travels the wire bit-exactly the way it is cached on disk.
+void write_explore_stats(ByteWriter& out, const ExploreStats& stats);
+ExploreStats read_explore_stats(ByteReader& in);
+void write_trace(ByteWriter& out, const Trace& trace);
+/// Throws psv::Error (kProtocol) on malformed input; never reads out of
+/// bounds.
+Trace read_trace(ByteReader& in);
+
 /// Canonical digest of one bound query. Uses the network's canonical id
 /// ranks, so the digest survives declaration reorders and renames that keep
 /// the fingerprint unchanged; location/automaton indices are raw because

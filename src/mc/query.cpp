@@ -20,8 +20,8 @@ ExploreOptions split_jobs(ExploreOptions opts, std::size_t n) {
 }
 
 void validate_query(const ta::Network& net, ta::ClockId clock, std::int64_t limit) {
-  PSV_REQUIRE(clock >= 0 && clock < net.num_clocks(), "max_clock_value: undeclared clock");
-  PSV_REQUIRE(limit > 0 && limit <= dbm::kMaxBoundValue, "max_clock_value: bad limit");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kVerify, clock >= 0 && clock < net.num_clocks(), "max_clock_value: undeclared clock");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kVerify, limit > 0 && limit <= dbm::kMaxBoundValue, "max_clock_value: bad limit");
 }
 
 /// Effective ranked-witness retention depth of a query.
@@ -41,7 +41,7 @@ std::vector<std::int32_t> probe_consts(const ta::Network& net, const StateFormul
 /// One probe: is (pred && clock > d) reachable?
 ReachResult probe(const ta::Network& net, const StateFormula& pred, ta::ClockId clock,
                   std::int64_t d, ExploreOptions opts) {
-  PSV_REQUIRE(d <= dbm::kMaxBoundValue, "clock bound exceeds representable range");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kVerify, d <= dbm::kMaxBoundValue, "clock bound exceeds representable range");
   StateFormula violated = pred;
   violated.and_clock(ta::cc_gt(clock, static_cast<std::int32_t>(d)));
   return reachable(net, violated, opts);
@@ -238,7 +238,7 @@ bool constrain_by(dbm::Dbm& zone, const ta::ClockConstraint& cc) {
       return zone.constrain(i, 0, dbm::bound_le(cc.bound)) &&
              zone.constrain(0, i, dbm::bound_le(-cc.bound));
     case ta::CmpOp::kNe:
-      PSV_FAIL("clock constraints with != are not supported in state formulas");
+      PSV_FAIL_AS(::psv::ErrorCode::kVerify, "clock constraints with != are not supported in state formulas");
   }
   return false;
 }
@@ -550,7 +550,7 @@ MaxClockResult max_clock_value(const ta::Network& net, const StateFormula& pred,
 BoundedResponseResult check_bounded_response(const ta::Network& net, const StateFormula& pending,
                                              ta::ClockId clock, std::int64_t delta,
                                              ExploreOptions opts) {
-  PSV_REQUIRE(clock >= 0 && clock < net.num_clocks(), "check_bounded_response: undeclared clock");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kVerify, clock >= 0 && clock < net.num_clocks(), "check_bounded_response: undeclared clock");
   BoundedResponseResult result;
   ReachResult r = probe(net, pending, clock, delta, opts);
   result.stats = r.stats;

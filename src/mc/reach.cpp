@@ -27,7 +27,7 @@ constexpr std::size_t kTerminalChunk = 1024;
 std::vector<std::int32_t> merge_clock_consts(std::vector<std::int32_t> base,
                                              const std::vector<std::int32_t>& extra) {
   if (extra.empty()) return base;
-  PSV_REQUIRE(extra.size() == base.size(),
+  PSV_REQUIRE_AS(::psv::ErrorCode::kVerify, extra.size() == base.size(),
               "extra_clock_consts must have one entry per network clock");
   for (std::size_t i = 0; i < base.size(); ++i) base[i] = std::max(base[i], extra[i]);
   return base;
@@ -91,7 +91,7 @@ std::optional<std::uint64_t> Reachability::insert(SymState&& state, std::size_t 
   // only fire in runs where the barrier check throws anyway, so the
   // throw/no-throw outcome stays deterministic.
   const std::size_t stored_now = total_stored_.load(std::memory_order_relaxed);
-  PSV_REQUIRE((enforce_cap ? stored_now < opts_.max_states : stored_now < hard_state_limit_),
+  PSV_REQUIRE_AS(::psv::ErrorCode::kVerify, (enforce_cap ? stored_now < opts_.max_states : stored_now < hard_state_limit_),
               "state-space exploration exceeded the configured limit of " +
                   std::to_string(opts_.max_states) + " states");
   const std::size_t local = shard.arena.size();
@@ -186,7 +186,7 @@ void Reachability::insert_wave() {
   // identical here, so checking the total at the barrier reproduces the
   // throw/no-throw decision exactly (memory overshoot is bounded by one
   // wave's accepted states).
-  PSV_REQUIRE(total_stored_.load(std::memory_order_relaxed) <= opts_.max_states,
+  PSV_REQUIRE_AS(::psv::ErrorCode::kVerify, total_stored_.load(std::memory_order_relaxed) <= opts_.max_states,
               "state-space exploration exceeded the configured limit of " +
                   std::to_string(opts_.max_states) + " states");
   // Assemble the next frontier rank-sorted: identical order to the
@@ -342,7 +342,7 @@ bool Reachability::insert_terminal_wave(ReachResult& result) {
       }
       // The sequential engine checks the cap before every store up to and
       // including the goal's own: reproduce its throw/no-throw decision.
-      PSV_REQUIRE(prior_stored + accepted_le <= opts_.max_states,
+      PSV_REQUIRE_AS(::psv::ErrorCode::kVerify, prior_stored + accepted_le <= opts_.max_states,
                   "state-space exploration exceeded the configured limit of " +
                       std::to_string(opts_.max_states) + " states");
       const std::size_t i_r = static_cast<std::size_t>(rank_r >> 32);
@@ -358,7 +358,7 @@ bool Reachability::insert_terminal_wave(ReachResult& result) {
     }
     // No goal accepted yet: the sequential engine processed this whole
     // chunk too — apply its cap decision at the deterministic barrier.
-    PSV_REQUIRE(total_stored_.load(std::memory_order_relaxed) <= opts_.max_states,
+    PSV_REQUIRE_AS(::psv::ErrorCode::kVerify, total_stored_.load(std::memory_order_relaxed) <= opts_.max_states,
                 "state-space exploration exceeded the configured limit of " +
                     std::to_string(opts_.max_states) + " states");
   }

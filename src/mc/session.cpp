@@ -135,7 +135,7 @@ VerificationSession::FlagReport VerificationSession::check_flags(
   if (!report.shared_sweep) return report;
   report.reachable.reserve(flags.size());
   for (const ta::VarId flag : flags) {
-    PSV_REQUIRE(flag >= 0 && flag < net_.num_vars(),
+    PSV_REQUIRE_AS(::psv::ErrorCode::kVerify, flag >= 0 && flag < net_.num_vars(),
                 "check_flags: flag variable outside the session network");
     report.reachable.push_back(var_seen_one_[static_cast<std::size_t>(flag)]);
   }

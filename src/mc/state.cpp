@@ -89,7 +89,7 @@ std::string StateFormula::to_string(const ta::Network& net) const {
 
 StateFormula at(const ta::Network& net, const std::string& automaton, const std::string& loc) {
   const auto aid = net.automaton_by_name(automaton);
-  PSV_REQUIRE(aid.has_value(), "no automaton named '" + automaton + "'");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kVerify, aid.has_value(), "no automaton named '" + automaton + "'");
   StateFormula f;
   f.and_loc(*aid, net.automaton(*aid).loc_by_name(loc));
   return f;
@@ -97,7 +97,7 @@ StateFormula at(const ta::Network& net, const std::string& automaton, const std:
 
 StateFormula not_at(const ta::Network& net, const std::string& automaton, const std::string& loc) {
   const auto aid = net.automaton_by_name(automaton);
-  PSV_REQUIRE(aid.has_value(), "no automaton named '" + automaton + "'");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kVerify, aid.has_value(), "no automaton named '" + automaton + "'");
   StateFormula f;
   f.and_loc(*aid, net.automaton(*aid).loc_by_name(loc), /*negated=*/true);
   return f;
@@ -141,7 +141,7 @@ bool satisfies([[maybe_unused]] const ta::Network& net, const SymState& state,
                zone.constrain(0, i, dbm::bound_le(-cc.bound));
           break;
         case ta::CmpOp::kNe:
-          PSV_FAIL("clock constraints with != are not supported in state formulas");
+          PSV_FAIL_AS(::psv::ErrorCode::kVerify, "clock constraints with != are not supported in state formulas");
       }
       if (!ok) return false;
     }
@@ -153,7 +153,7 @@ std::vector<std::int32_t> formula_clock_constants(const ta::Network& net,
                                                   const StateFormula& formula) {
   std::vector<std::int32_t> out(static_cast<std::size_t>(net.num_clocks()), -1);
   for (const auto& cc : formula.clocks) {
-    PSV_REQUIRE(cc.clock >= 0 && cc.clock < net.num_clocks(),
+    PSV_REQUIRE_AS(::psv::ErrorCode::kVerify, cc.clock >= 0 && cc.clock < net.num_clocks(),
                 "formula clock constraint references undeclared clock");
     out[static_cast<std::size_t>(cc.clock)] =
         std::max(out[static_cast<std::size_t>(cc.clock)], cc.bound);

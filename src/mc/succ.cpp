@@ -17,7 +17,7 @@ SuccGen::SuccGen(const ta::Network& net, std::vector<std::int32_t> extra_clock_c
   // shifted by one for the DBM reference clock at index 0.
   std::vector<std::int32_t> from_net = ta::clock_max_constants(net);
   if (!extra_clock_consts.empty()) {
-    PSV_REQUIRE(extra_clock_consts.size() == from_net.size(),
+    PSV_REQUIRE_AS(::psv::ErrorCode::kVerify, extra_clock_consts.size() == from_net.size(),
                 "extra clock constant vector arity mismatch");
     for (std::size_t i = 0; i < from_net.size(); ++i)
       from_net[i] = std::max(from_net[i], extra_clock_consts[i]);
@@ -67,7 +67,7 @@ bool SuccGen::apply_clock_constraint(Dbm& zone, const ta::ClockConstraint& cc) {
       return zone.constrain(i, 0, dbm::bound_le(cc.bound)) &&
              zone.constrain(0, i, dbm::bound_le(-cc.bound));
     case ta::CmpOp::kNe:
-      PSV_FAIL("clock guards with != are not supported");
+      PSV_FAIL_AS(::psv::ErrorCode::kVerify, "clock guards with != are not supported");
   }
   PSV_ASSERT(false, "unknown comparison operator");
 }
@@ -93,7 +93,7 @@ void SuccGen::apply_assignments(const ta::Update& update,
   for (const auto& asg : update.assignments) {
     const std::int64_t value = asg.value.eval(vars);
     const auto& decl = net_.vars()[static_cast<std::size_t>(asg.var)];
-    PSV_REQUIRE(value >= decl.min && value <= decl.max,
+    PSV_REQUIRE_AS(::psv::ErrorCode::kVerify, value >= decl.min && value <= decl.max,
                 "assignment drives variable '" + decl.name + "' out of its declared range [" +
                     std::to_string(decl.min) + "," + std::to_string(decl.max) + "] (value " +
                     std::to_string(value) + ")");
@@ -143,7 +143,7 @@ SymState SuccGen::initial() const {
     s.locs.push_back(net_.automaton(a).initial());
   s.vars = net_.initial_vars();
   s.zone = Dbm::zero(net_.num_clocks());
-  PSV_REQUIRE(finalize(s), "initial state violates location invariants");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kVerify, finalize(s), "initial state violates location invariants");
   return s;
 }
 

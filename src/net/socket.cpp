@@ -1,0 +1,217 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace psv::net {
+
+namespace {
+
+[[noreturn]] void fail_errno(const std::string& op) {
+  PSV_FAIL_AS(::psv::ErrorCode::kIo, op + " failed: " + std::strerror(errno));
+}
+
+/// The wire protocol writes one small header then a payload; disable
+/// Nagle's algorithm so pipelined request/response frames are not delayed
+/// behind coalescing timers.
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::send_all(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::size_t sent = 0;
+  while (sent < size) {
+    // MSG_NOSIGNAL: a vanished peer surfaces as EPIPE instead of SIGPIPE.
+    const ssize_t n = ::send(fd_, p + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("send");
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+bool Socket::recv_all(void* data, std::size_t size) {
+  auto* p = static_cast<unsigned char*>(data);
+  std::size_t got = 0;
+  while (got < size) {
+    const ssize_t n = ::recv(fd_, p + got, size - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("recv");
+    }
+    if (n == 0) {
+      if (got == 0) return false;  // clean end-of-stream between messages
+      PSV_FAIL_AS(::psv::ErrorCode::kProtocol,
+                  "connection closed mid-message (" + std::to_string(got) + "/" +
+                      std::to_string(size) + " bytes)");
+    }
+    got += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Socket::shutdown_read() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RD);
+}
+
+void Socket::shutdown_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void Socket::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::pair<std::string, std::uint16_t> parse_endpoint(const std::string& endpoint) {
+  const std::size_t colon = endpoint.rfind(':');
+  PSV_REQUIRE_AS(::psv::ErrorCode::kParse,
+                 colon != std::string::npos && colon > 0 && colon + 1 < endpoint.size(),
+                 "expected HOST:PORT, got '" + endpoint + "'");
+  const std::string host = endpoint.substr(0, colon);
+  const std::string port_text = endpoint.substr(colon + 1);
+  std::size_t consumed = 0;
+  unsigned long port = 0;
+  try {
+    port = std::stoul(port_text, &consumed);
+  } catch (const std::exception&) {
+    PSV_FAIL_AS(::psv::ErrorCode::kParse, "bad port in '" + endpoint + "'");
+  }
+  PSV_REQUIRE_AS(::psv::ErrorCode::kParse, consumed == port_text.size() && port <= 65535,
+                 "bad port in '" + endpoint + "'");
+  return {host, static_cast<std::uint16_t>(port)};
+}
+
+Socket connect_to(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &res);
+  PSV_REQUIRE_AS(::psv::ErrorCode::kIo, rc == 0,
+                 "cannot resolve '" + host + "': " + gai_strerror(rc));
+  Socket sock;
+  std::string last_error = "no addresses";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      sock = Socket(fd);
+      break;
+    }
+    last_error = std::strerror(errno);
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  PSV_REQUIRE_AS(::psv::ErrorCode::kIo, sock.valid(),
+                 "cannot connect to " + host + ":" + service + ": " + last_error);
+  set_nodelay(sock.fd());
+  return sock;
+}
+
+Listener::Listener(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* res = nullptr;
+  const std::string service = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(), service.c_str(), &hints,
+                               &res);
+  PSV_REQUIRE_AS(::psv::ErrorCode::kIo, rc == 0,
+                 "cannot resolve '" + host + "': " + gai_strerror(rc));
+  std::string last_error = "no addresses";
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 && ::listen(fd, SOMAXCONN) == 0) {
+      sock_ = Socket(fd);
+      break;
+    }
+    last_error = std::strerror(errno);
+    ::close(fd);
+  }
+  ::freeaddrinfo(res);
+  PSV_REQUIRE_AS(::psv::ErrorCode::kIo, sock_.valid(),
+                 "cannot listen on " + host + ":" + service + ": " + last_error);
+
+  sockaddr_storage addr{};
+  socklen_t addr_len = sizeof addr;
+  if (::getsockname(sock_.fd(), reinterpret_cast<sockaddr*>(&addr), &addr_len) != 0)
+    fail_errno("getsockname");
+  if (addr.ss_family == AF_INET) {
+    port_ = ntohs(reinterpret_cast<const sockaddr_in*>(&addr)->sin_port);
+  } else if (addr.ss_family == AF_INET6) {
+    port_ = ntohs(reinterpret_cast<const sockaddr_in6*>(&addr)->sin6_port);
+  }
+
+  if (::pipe(wake_pipe_) != 0) fail_errno("pipe");
+}
+
+Listener::~Listener() {
+  for (const int fd : wake_pipe_)
+    if (fd >= 0) ::close(fd);
+}
+
+std::optional<Socket> Listener::accept() {
+  for (;;) {
+    pollfd fds[2] = {{sock_.fd(), POLLIN, 0}, {wake_pipe_[0], POLLIN, 0}};
+    const int rc = ::poll(fds, 2, -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      fail_errno("poll");
+    }
+    if (fds[1].revents != 0) return std::nullopt;  // interrupted: shutting down
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(sock_.fd(), nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      fail_errno("accept");
+    }
+    set_nodelay(fd);
+    return Socket(fd);
+  }
+}
+
+void Listener::interrupt() {
+  const char byte = 1;
+  // Best effort; a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+}
+
+}  // namespace psv::net

@@ -1,0 +1,86 @@
+// Thin RAII wrappers over POSIX TCP sockets — the transport under the wire
+// protocol (net/wire.h). Deliberately minimal: blocking sockets, full-buffer
+// send/recv helpers with EINTR handling, and a poll-based listener whose
+// blocked accept() can be woken for graceful shutdown (self-pipe).
+//
+// All failures throw psv::Error with ErrorCode::kIo and the failing
+// operation + errno text in the message.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace psv::net {
+
+/// Owned socket file descriptor. Movable, closes on destruction.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Send the whole buffer (retrying on EINTR / short writes). Throws kIo
+  /// on failure, including a peer that closed the connection.
+  void send_all(const void* data, std::size_t size);
+
+  /// Receive exactly `size` bytes. Returns false on clean end-of-stream
+  /// before the FIRST byte (peer finished); throws kProtocol when the peer
+  /// closes mid-buffer (truncated message) and kIo on socket errors.
+  bool recv_all(void* data, std::size_t size);
+
+  /// Half-close helpers: shutdown_read() wakes a thread blocked in
+  /// recv_all() with clean end-of-stream (used for graceful drain);
+  /// shutdown_write() signals end-of-requests to the peer.
+  void shutdown_read();
+  void shutdown_write();
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Split "HOST:PORT" (throws kParse on malformed input or bad port).
+std::pair<std::string, std::uint16_t> parse_endpoint(const std::string& endpoint);
+
+/// Connect to host:port (numeric or resolvable host). Throws kIo.
+Socket connect_to(const std::string& host, std::uint16_t port);
+
+/// Listening TCP socket bound to host:port (port 0 = ephemeral; port()
+/// reports the actual one). accept() blocks in poll() and can be woken from
+/// another thread with interrupt(), after which it returns std::nullopt.
+class Listener {
+ public:
+  Listener(const std::string& host, std::uint16_t port);
+  ~Listener();
+
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Block until a connection arrives (returns it) or interrupt() is called
+  /// (returns std::nullopt, permanently — the listener is then done).
+  std::optional<Socket> accept();
+
+  /// Wake any blocked accept() and make every later accept() return
+  /// std::nullopt. Safe to call from another thread, and more than once.
+  void interrupt();
+
+ private:
+  Socket sock_;
+  std::uint16_t port_ = 0;
+  int wake_pipe_[2] = {-1, -1};  ///< self-pipe; [0] polled, [1] written
+};
+
+}  // namespace psv::net

@@ -5,12 +5,12 @@
 namespace psv::sim {
 
 void Kernel::schedule_at(TimeUs at, Action action) {
-  PSV_REQUIRE(at >= now_, "cannot schedule an event in the past");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, at >= now_, "cannot schedule an event in the past");
   queue_.push(Entry{at, next_seq_++, std::move(action)});
 }
 
 void Kernel::schedule_in(TimeUs delay, Action action) {
-  PSV_REQUIRE(delay >= 0, "negative event delay");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, delay >= 0, "negative event delay");
   schedule_at(now_ + delay, std::move(action));
 }
 

@@ -25,7 +25,7 @@ PlatformSim::PlatformSim(Kernel& kernel, const ta::Network& pim, const core::Pim
       rng_(std::move(rng)),
       program_(pim, info) {
   const core::SchemeValidation sv = core::validate_scheme(scheme, info.inputs, info.outputs);
-  PSV_REQUIRE(sv.ok(), "cannot simulate an invalid scheme:\n" + sv.to_string());
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, sv.ok(), "cannot simulate an invalid scheme:\n" + sv.to_string());
   for (const std::string& base : info.inputs) {
     InputChannel ch;
     ch.base = base;
@@ -56,7 +56,7 @@ void PlatformSim::record(Boundary boundary, const std::string& name) {
 }
 
 void PlatformSim::start() {
-  PSV_REQUIRE(!started_, "platform already started");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, !started_, "platform already started");
   started_ = true;
   program_.reset(kernel_.now());
   // Polling tasks begin at a random phase within their interval unless a
@@ -80,7 +80,7 @@ void PlatformSim::start() {
 void PlatformSim::inject_input(const std::string& base) {
   auto it = std::find_if(inputs_.begin(), inputs_.end(),
                          [&base](const InputChannel& ch) { return ch.base == base; });
-  PSV_REQUIRE(it != inputs_.end(), "no input named '" + base + "'");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, it != inputs_.end(), "no input named '" + base + "'");
   const std::size_t index = static_cast<std::size_t>(it - inputs_.begin());
   InputChannel& ch = *it;
   record(Boundary::kMonitored, base);
@@ -235,7 +235,7 @@ void PlatformSim::invoke() {
 void PlatformSim::push_output(const std::string& base) {
   auto it = std::find_if(outputs_.begin(), outputs_.end(),
                          [&base](const OutputChannel& ch) { return ch.base == base; });
-  PSV_REQUIRE(it != outputs_.end(), "no output named '" + base + "'");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, it != outputs_.end(), "no output named '" + base + "'");
   const std::size_t index = static_cast<std::size_t>(it - outputs_.begin());
   OutputChannel& ch = *it;
   const std::int32_t capacity =

@@ -61,7 +61,7 @@ MeasurementSummary measure_requirement(const ta::Network& pim, const core::PimIn
                                        const core::ImplementationScheme& scheme,
                                        const core::TimingRequirement& req,
                                        const MeasurementConfig& config) {
-  PSV_REQUIRE(config.scenarios > 0, "need at least one scenario");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, config.scenarios > 0, "need at least one scenario");
   MeasurementSummary summary;
   StatsAccumulator mc, mi, oc;
   Rng master(config.seed);
@@ -80,7 +80,7 @@ MeasurementSummary measure_requirement(const ta::Network& pim, const core::PimIn
     summary.missed_inputs += r.platform.missed_inputs;
     summary.scenarios.push_back(std::move(r));
   }
-  PSV_REQUIRE(!mc.empty(), "no scenario completed; the platform never responded "
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, !mc.empty(), "no scenario completed; the platform never responded "
                            "(check the scheme parameters or the horizon)");
   summary.mc = mc.summarize();
   summary.mi = mi.summarize();

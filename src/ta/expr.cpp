@@ -28,7 +28,7 @@ IntExpr IntExpr::constant(std::int64_t value) {
 }
 
 IntExpr IntExpr::var(VarId id) {
-  PSV_REQUIRE(id >= 0, "variable id must be non-negative");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, id >= 0, "variable id must be non-negative");
   auto node = std::make_shared<Node>();
   node->kind = Kind::kVar;
   node->var = id;

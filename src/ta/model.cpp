@@ -17,7 +17,7 @@ ClockConstraint cc_gt(ClockId c, std::int32_t b) { return {c, CmpOp::kGt, b}; }
 LocId Automaton::add_location(std::string name, LocKind kind,
                               std::vector<ClockConstraint> invariant) {
   for (const auto& loc : locations_)
-    PSV_REQUIRE(loc.name != name, "duplicate location name '" + name + "' in automaton " + name_);
+    PSV_REQUIRE_AS(::psv::ErrorCode::kModel, loc.name != name, "duplicate location name '" + name + "' in automaton " + name_);
   locations_.push_back(Location{std::move(name), kind, std::move(invariant)});
   const LocId id = static_cast<LocId>(locations_.size()) - 1;
   if (initial_ < 0) initial_ = id;
@@ -25,34 +25,34 @@ LocId Automaton::add_location(std::string name, LocKind kind,
 }
 
 void Automaton::set_initial(LocId loc) {
-  PSV_REQUIRE(loc >= 0 && loc < static_cast<LocId>(locations_.size()),
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, loc >= 0 && loc < static_cast<LocId>(locations_.size()),
               "initial location out of range");
   initial_ = loc;
 }
 
 int Automaton::add_edge(Edge edge) {
-  PSV_REQUIRE(edge.src >= 0 && edge.src < static_cast<LocId>(locations_.size()),
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, edge.src >= 0 && edge.src < static_cast<LocId>(locations_.size()),
               "edge source location out of range in automaton " + name_);
-  PSV_REQUIRE(edge.dst >= 0 && edge.dst < static_cast<LocId>(locations_.size()),
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, edge.dst >= 0 && edge.dst < static_cast<LocId>(locations_.size()),
               "edge target location out of range in automaton " + name_);
   edges_.push_back(std::move(edge));
   return static_cast<int>(edges_.size()) - 1;
 }
 
 Location& Automaton::location(LocId id) {
-  PSV_REQUIRE(id >= 0 && id < static_cast<LocId>(locations_.size()), "location id out of range");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, id >= 0 && id < static_cast<LocId>(locations_.size()), "location id out of range");
   return locations_[static_cast<std::size_t>(id)];
 }
 
 const Location& Automaton::location(LocId id) const {
-  PSV_REQUIRE(id >= 0 && id < static_cast<LocId>(locations_.size()), "location id out of range");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, id >= 0 && id < static_cast<LocId>(locations_.size()), "location id out of range");
   return locations_[static_cast<std::size_t>(id)];
 }
 
 LocId Automaton::loc_by_name(const std::string& name) const {
   for (std::size_t i = 0; i < locations_.size(); ++i)
     if (locations_[i].name == name) return static_cast<LocId>(i);
-  PSV_FAIL("no location named '" + name + "' in automaton " + name_);
+  PSV_FAIL_AS(::psv::ErrorCode::kModel, "no location named '" + name + "' in automaton " + name_);
 }
 
 std::vector<int> Automaton::edges_from(LocId src) const {
@@ -65,7 +65,7 @@ std::vector<int> Automaton::edges_from(LocId src) const {
 // --- Network ---------------------------------------------------------------
 
 ClockId Network::add_clock(std::string name) {
-  PSV_REQUIRE(!clock_index_.contains(name), "duplicate clock name '" + name + "'");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, !clock_index_.contains(name), "duplicate clock name '" + name + "'");
   clocks_.push_back(ClockDecl{name});
   const ClockId id = static_cast<ClockId>(clocks_.size()) - 1;
   clock_index_.emplace(std::move(name), id);
@@ -73,9 +73,9 @@ ClockId Network::add_clock(std::string name) {
 }
 
 VarId Network::add_var(std::string name, std::int64_t init, std::int64_t min, std::int64_t max) {
-  PSV_REQUIRE(!var_index_.contains(name), "duplicate variable name '" + name + "'");
-  PSV_REQUIRE(min <= max, "variable '" + name + "' has min > max");
-  PSV_REQUIRE(init >= min && init <= max,
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, !var_index_.contains(name), "duplicate variable name '" + name + "'");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, min <= max, "variable '" + name + "' has min > max");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, init >= min && init <= max,
               "variable '" + name + "' initial value outside its range");
   vars_.push_back(VarDecl{name, init, min, max});
   const VarId id = static_cast<VarId>(vars_.size()) - 1;
@@ -84,7 +84,7 @@ VarId Network::add_var(std::string name, std::int64_t init, std::int64_t min, st
 }
 
 ChanId Network::add_channel(std::string name, ChanKind kind) {
-  PSV_REQUIRE(!chan_index_.contains(name), "duplicate channel name '" + name + "'");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, !chan_index_.contains(name), "duplicate channel name '" + name + "'");
   channels_.push_back(ChanDecl{name, kind});
   const ChanId id = static_cast<ChanId>(channels_.size()) - 1;
   chan_index_.emplace(std::move(name), id);
@@ -92,9 +92,9 @@ ChanId Network::add_channel(std::string name, ChanKind kind) {
 }
 
 AutomatonId Network::add_automaton(Automaton automaton) {
-  PSV_REQUIRE(!automaton_index_.contains(automaton.name()),
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, !automaton_index_.contains(automaton.name()),
               "duplicate automaton name '" + automaton.name() + "'");
-  PSV_REQUIRE(!automaton.locations().empty(),
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, !automaton.locations().empty(),
               "automaton '" + automaton.name() + "' has no locations");
   const AutomatonId id = static_cast<AutomatonId>(automata_.size());
   automaton_index_.emplace(automaton.name(), id);
@@ -103,12 +103,12 @@ AutomatonId Network::add_automaton(Automaton automaton) {
 }
 
 Automaton& Network::automaton(AutomatonId id) {
-  PSV_REQUIRE(id >= 0 && id < num_automata(), "automaton id out of range");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, id >= 0 && id < num_automata(), "automaton id out of range");
   return automata_[static_cast<std::size_t>(id)];
 }
 
 const Automaton& Network::automaton(AutomatonId id) const {
-  PSV_REQUIRE(id >= 0 && id < num_automata(), "automaton id out of range");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, id >= 0 && id < num_automata(), "automaton id out of range");
   return automata_[static_cast<std::size_t>(id)];
 }
 
@@ -133,17 +133,17 @@ std::optional<AutomatonId> Network::automaton_by_name(const std::string& name) c
 }
 
 std::string Network::clock_name(ClockId id) const {
-  PSV_REQUIRE(id >= 0 && id < num_clocks(), "clock id out of range");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, id >= 0 && id < num_clocks(), "clock id out of range");
   return clocks_[static_cast<std::size_t>(id)].name;
 }
 
 std::string Network::var_name(VarId id) const {
-  PSV_REQUIRE(id >= 0 && id < num_vars(), "variable id out of range");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, id >= 0 && id < num_vars(), "variable id out of range");
   return vars_[static_cast<std::size_t>(id)].name;
 }
 
 std::string Network::channel_name(ChanId id) const {
-  PSV_REQUIRE(id >= 0 && id < static_cast<ChanId>(channels_.size()), "channel id out of range");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, id >= 0 && id < static_cast<ChanId>(channels_.size()), "channel id out of range");
   return channels_[static_cast<std::size_t>(id)].name;
 }
 

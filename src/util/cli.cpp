@@ -1,0 +1,182 @@
+#include "util/cli.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace psv::cli {
+
+namespace {
+
+/// Parse a whole string as a signed/unsigned integer, rejecting trailing
+/// garbage and range overflow with a kParse error naming the flag.
+template <typename T>
+T parse_integer(const std::string& flag, const std::string& text) {
+  std::size_t consumed = 0;
+  T value{};
+  try {
+    if constexpr (std::is_same_v<T, std::uint64_t>) {
+      PSV_REQUIRE_AS(ErrorCode::kParse, text.empty() || text.front() != '-',
+                     flag + " expects a non-negative value, got '" + text + "'");
+      value = static_cast<T>(std::stoull(text, &consumed));
+    } else {
+      const long long parsed = std::stoll(text, &consumed);
+      value = static_cast<T>(parsed);
+      PSV_REQUIRE_AS(ErrorCode::kParse, static_cast<long long>(value) == parsed,
+                     flag + " value '" + text + "' is out of range");
+    }
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    PSV_FAIL_AS(ErrorCode::kParse, flag + " expects a number, got '" + text + "'");
+  }
+  PSV_REQUIRE_AS(ErrorCode::kParse, consumed == text.size() && !text.empty(),
+                 flag + " expects a number, got '" + text + "'");
+  return value;
+}
+
+}  // namespace
+
+Parser::Parser(std::string program, std::string summary)
+    : program_(std::move(program)), summary_(std::move(summary)) {}
+
+void Parser::add(Flag flag) {
+  PSV_ASSERT(find(flag.name) == nullptr, "duplicate flag " + flag.name);
+  flags_.push_back(std::move(flag));
+}
+
+Parser::Flag* Parser::find(const std::string& name) {
+  auto it = std::find_if(flags_.begin(), flags_.end(),
+                         [&](const Flag& f) { return f.name == name; });
+  return it == flags_.end() ? nullptr : &*it;
+}
+
+void Parser::flag(const std::string& name, std::string* target, const std::string& value_name,
+                  const std::string& help) {
+  add(Flag{name, value_name, help, "", true, false,
+           [target](const std::string& text) { *target = text; }});
+}
+
+void Parser::flag(const std::string& name, int* target, const std::string& value_name,
+                  const std::string& help) {
+  add(Flag{name, value_name, help, "", true, false, [name, target](const std::string& text) {
+             *target = static_cast<int>(parse_integer<std::int64_t>(name, text));
+           }});
+}
+
+void Parser::flag(const std::string& name, std::int64_t* target, const std::string& value_name,
+                  const std::string& help) {
+  add(Flag{name, value_name, help, "", true, false, [name, target](const std::string& text) {
+             *target = parse_integer<std::int64_t>(name, text);
+           }});
+}
+
+void Parser::flag(const std::string& name, std::uint64_t* target, const std::string& value_name,
+                  const std::string& help) {
+  add(Flag{name, value_name, help, "", true, false, [name, target](const std::string& text) {
+             *target = parse_integer<std::uint64_t>(name, text);
+           }});
+}
+
+void Parser::flag(const std::string& name, unsigned* target, const std::string& value_name,
+                  const std::string& help) {
+  add(Flag{name, value_name, help, "", true, false, [name, target](const std::string& text) {
+             const std::uint64_t v = parse_integer<std::uint64_t>(name, text);
+             PSV_REQUIRE_AS(ErrorCode::kParse, v <= 0xFFFFFFFFu,
+                            name + " value '" + text + "' is out of range");
+             *target = static_cast<unsigned>(v);
+           }});
+}
+
+void Parser::flag(const std::string& name, bool* target, const std::string& help) {
+  add(Flag{name, "", help, "", false, false,
+           [target](const std::string&) { *target = true; }});
+}
+
+void Parser::flag_custom(const std::string& name, const std::string& value_name,
+                         const std::string& help,
+                         std::function<void(const std::string&)> apply) {
+  add(Flag{name, value_name, help, "", true, false, std::move(apply)});
+}
+
+void Parser::env_fallback(const std::string& name, const std::string& env_var) {
+  Flag* flag = find(name);
+  PSV_ASSERT(flag != nullptr && flag->takes_value,
+             "env fallback for unregistered value flag " + name);
+  flag->env_var = env_var;
+}
+
+std::vector<std::string> Parser::parse(int argc, char** argv) {
+  std::vector<std::string> positional;
+  for (Flag& f : flags_) f.seen = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      help_requested_ = true;
+      return positional;
+    }
+    if (arg.size() >= 2 && arg[0] == '-' && arg != "-" && !(arg[1] >= '0' && arg[1] <= '9')) {
+      Flag* flag = find(arg);
+      PSV_REQUIRE_AS(ErrorCode::kParse, flag != nullptr, "unknown option '" + arg + "'");
+      std::string value;
+      if (flag->takes_value) {
+        PSV_REQUIRE_AS(ErrorCode::kParse, i + 1 < argc,
+                       arg + " expects a " + flag->value_name + " value");
+        value = argv[++i];
+      }
+      flag->apply(value);
+      flag->seen = true;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  for (Flag& f : flags_) {
+    if (f.seen || f.env_var.empty()) continue;
+    if (const char* env = std::getenv(f.env_var.c_str()); env != nullptr && *env != '\0')
+      f.apply(env);
+  }
+  return positional;
+}
+
+std::string Parser::help() const {
+  std::ostringstream os;
+  os << summary_;
+  if (!summary_.empty() && summary_.back() != '\n') os << "\n";
+  os << "\noptions:\n";
+  std::size_t width = 0;
+  std::vector<std::string> heads;
+  heads.reserve(flags_.size());
+  for (const Flag& f : flags_) {
+    std::string head = "  " + f.name;
+    if (f.takes_value) head += " " + f.value_name;
+    width = std::max(width, head.size());
+    heads.push_back(std::move(head));
+  }
+  for (std::size_t i = 0; i < flags_.size(); ++i) {
+    const Flag& f = flags_[i];
+    os << heads[i] << std::string(width - heads[i].size() + 2, ' ');
+    // Multi-line help: continuation lines align under the first.
+    std::istringstream lines(f.help);
+    std::string line;
+    bool first = true;
+    while (std::getline(lines, line)) {
+      if (!first) os << std::string(width + 2, ' ');
+      os << line << "\n";
+      first = false;
+    }
+    if (first) os << "\n";
+    if (!f.env_var.empty())
+      os << std::string(width + 2, ' ') << "(default: $" << f.env_var << " when set)\n";
+  }
+  if (!epilog_.empty()) {
+    os << "\n" << epilog_;
+    if (epilog_.back() != '\n') os << "\n";
+  }
+  return os.str();
+}
+
+void Parser::epilog(std::string text) { epilog_ = std::move(text); }
+
+}  // namespace psv::cli

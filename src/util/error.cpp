@@ -2,12 +2,37 @@
 
 #include <sstream>
 
-namespace psv::detail {
+namespace psv {
 
-void throw_error(const char* file, int line, const std::string& msg) {
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kParse: return "parse";
+    case ErrorCode::kModel: return "model";
+    case ErrorCode::kVerify: return "verify";
+    case ErrorCode::kIo: return "io";
+    case ErrorCode::kProtocol: return "protocol";
+    case ErrorCode::kBusy: return "busy";
+    case ErrorCode::kInternal: break;
+  }
+  return "internal";
+}
+
+ErrorCode error_code_from_name(const std::string& name) {
+  if (name == "parse") return ErrorCode::kParse;
+  if (name == "model") return ErrorCode::kModel;
+  if (name == "verify") return ErrorCode::kVerify;
+  if (name == "io") return ErrorCode::kIo;
+  if (name == "protocol") return ErrorCode::kProtocol;
+  if (name == "busy") return ErrorCode::kBusy;
+  return ErrorCode::kInternal;
+}
+
+namespace detail {
+
+void throw_error(const char* file, int line, ErrorCode code, const std::string& msg) {
   std::ostringstream os;
   os << msg << " [" << file << ":" << line << "]";
-  throw Error(os.str());
+  throw Error(os.str(), code);
 }
 
 void fail_assert(const char* file, int line, const char* cond, const std::string& msg) {
@@ -17,4 +42,5 @@ void fail_assert(const char* file, int line, const char* cond, const std::string
   throw std::logic_error(os.str());
 }
 
-}  // namespace psv::detail
+}  // namespace detail
+}  // namespace psv

@@ -3,37 +3,82 @@
 // The framework treats user-facing misuse (malformed models, invalid
 // implementation schemes, out-of-range parameters) as recoverable errors
 // reported via psv::Error, and internal invariant breaches as assertions.
+//
+// Every Error carries an ErrorCode classifying the failure. The code is the
+// machine-readable half of the taxonomy: the wire protocol (net/wire.h) maps
+// it onto status frames, psv_verify maps it onto the documented exit codes
+// (every Error exits 2; the code only refines diagnostics), and servers use
+// kBusy to signal admission-control rejection that clients may retry.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 namespace psv {
+
+/// Failure classification carried by every psv::Error.
+///
+/// The numeric values are part of the wire protocol (status frames encode
+/// them verbatim); append new codes, never renumber.
+enum class ErrorCode : std::uint8_t {
+  kInternal = 0,  ///< invariant breach / unclassified failure in PSV itself
+  kParse = 1,     ///< malformed source text (.psv/.pss/.psvb, requirement specs)
+  kModel = 2,     ///< structurally invalid model, scheme, or request
+  kVerify = 3,    ///< verification failure (state cap exceeded, bad query)
+  kIo = 4,        ///< filesystem / input-output failure
+  kProtocol = 5,  ///< malformed binary input (wire frames, serde payloads)
+  kBusy = 6,      ///< server admission control rejected the request; retry later
+};
+
+/// Stable lower-case name of a code ("parse", "busy", ...); "internal" for
+/// unknown values.
+const char* error_code_name(ErrorCode code);
+
+/// Inverse of error_code_name; kInternal for unknown names.
+ErrorCode error_code_from_name(const std::string& name);
 
 /// Exception thrown for all user-facing framework errors (invalid models,
 /// invalid schemes, unsatisfiable queries, ...). The message is intended to
 /// be directly presentable to the user.
 class Error : public std::runtime_error {
  public:
-  explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const std::string& what, ErrorCode code = ErrorCode::kInternal)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_;
 };
 
 namespace detail {
-[[noreturn]] void throw_error(const char* file, int line, const std::string& msg);
+[[noreturn]] void throw_error(const char* file, int line, ErrorCode code,
+                              const std::string& msg);
 [[noreturn]] void fail_assert(const char* file, int line, const char* cond, const std::string& msg);
 }  // namespace detail
 
 }  // namespace psv
 
-/// Throw psv::Error with source location if `cond` does not hold.
-/// Use for validating user input (models, schemes, parameters).
-#define PSV_REQUIRE(cond, msg)                                   \
-  do {                                                           \
-    if (!(cond)) ::psv::detail::throw_error(__FILE__, __LINE__, (msg)); \
+/// Throw psv::Error with `code` and source location if `cond` does not hold.
+#define PSV_REQUIRE_AS(code, cond, msg)                                       \
+  do {                                                                        \
+    if (!(cond))                                                              \
+      ::psv::detail::throw_error(__FILE__, __LINE__, (code), (msg));          \
   } while (0)
 
+/// Unconditionally throw psv::Error with `code` and source location.
+#define PSV_FAIL_AS(code, msg) \
+  ::psv::detail::throw_error(__FILE__, __LINE__, (code), (msg))
+
+/// Throw psv::Error with source location if `cond` does not hold.
+/// Use for validating user input (models, schemes, parameters). Sites with
+/// a clear classification should prefer PSV_REQUIRE_AS.
+#define PSV_REQUIRE(cond, msg) \
+  PSV_REQUIRE_AS(::psv::ErrorCode::kInternal, cond, msg)
+
 /// Unconditionally throw psv::Error with source location.
-#define PSV_FAIL(msg) ::psv::detail::throw_error(__FILE__, __LINE__, (msg))
+#define PSV_FAIL(msg) PSV_FAIL_AS(::psv::ErrorCode::kInternal, msg)
 
 /// Internal invariant check; aborts via exception with diagnostics.
 /// Use for conditions that indicate a bug in PSV itself.

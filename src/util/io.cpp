@@ -9,10 +9,10 @@ namespace psv::util {
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  PSV_REQUIRE(in.good(), "cannot open '" + path + "'");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kIo, in.good(), "cannot open '" + path + "'");
   std::ostringstream os;
   os << in.rdbuf();
-  PSV_REQUIRE(!in.bad(), "failed reading '" + path + "'");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kIo, !in.bad(), "failed reading '" + path + "'");
   return os.str();
 }
 
@@ -27,10 +27,10 @@ std::optional<std::string> try_read_file(const std::string& path) {
 
 void write_file(const std::string& path, const std::string& contents) {
   std::ofstream out(path, std::ios::binary);
-  PSV_REQUIRE(out.good(), "cannot write '" + path + "'");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kIo, out.good(), "cannot write '" + path + "'");
   out << contents;
   out.flush();
-  PSV_REQUIRE(out.good(), "failed writing '" + path + "'");
+  PSV_REQUIRE_AS(::psv::ErrorCode::kIo, out.good(), "failed writing '" + path + "'");
 }
 
 }  // namespace psv::util

@@ -30,7 +30,7 @@ void ByteWriter::raw(const void* data, std::size_t size) {
 }
 
 void ByteReader::need(std::size_t n) const {
-  PSV_REQUIRE(n <= size_ - pos_, "truncated binary artifact: need " + std::to_string(n) +
+  PSV_REQUIRE_AS(::psv::ErrorCode::kProtocol, n <= size_ - pos_, "truncated binary artifact: need " + std::to_string(n) +
                                      " bytes, " + std::to_string(size_ - pos_) + " left");
 }
 
@@ -62,7 +62,7 @@ std::uint64_t ByteReader::u64() {
 
 bool ByteReader::boolean() {
   const std::uint8_t v = u8();
-  PSV_REQUIRE(v <= 1, "corrupt binary artifact: boolean byte " + std::to_string(v));
+  PSV_REQUIRE_AS(::psv::ErrorCode::kProtocol, v <= 1, "corrupt binary artifact: boolean byte " + std::to_string(v));
   return v == 1;
 }
 
@@ -70,7 +70,7 @@ std::string ByteReader::str() {
   const std::uint64_t len = u64();
   // Compare in u64 space BEFORE narrowing: on a 32-bit size_t a huge length
   // must throw here, not truncate its way past the bounds check.
-  PSV_REQUIRE(len <= remaining(), "truncated binary artifact: string length " +
+  PSV_REQUIRE_AS(::psv::ErrorCode::kProtocol, len <= remaining(), "truncated binary artifact: string length " +
                                       std::to_string(len) + " exceeds " +
                                       std::to_string(remaining()) + " remaining bytes");
   std::string out(reinterpret_cast<const char*>(data_ + pos_), static_cast<std::size_t>(len));
@@ -86,7 +86,7 @@ void ByteReader::raw(void* out, std::size_t size) {
 
 std::size_t ByteReader::length(std::size_t min_element_size) {
   const std::uint64_t n = u64();
-  PSV_REQUIRE(min_element_size == 0 || n <= remaining() / min_element_size,
+  PSV_REQUIRE_AS(::psv::ErrorCode::kProtocol, min_element_size == 0 || n <= remaining() / min_element_size,
               "corrupt binary artifact: element count " + std::to_string(n) +
                   " exceeds the remaining payload");
   return static_cast<std::size_t>(n);

@@ -12,6 +12,12 @@
 // instrumented PIM sweep for stage 1 and one combined PSM sweep for the
 // constraints and every delay bound.
 //
+// With --connect HOST:PORT the same invocations run against a psv_serve
+// daemon instead of in-process: requests travel as sources over the wire
+// protocol (net/wire.h), batch jobs are pipelined on one connection, and
+// the printed reports, verdict/slack lines, --stats-json contents, and exit
+// codes are byte-identical to the in-process run (wall-clock fields aside).
+//
 // Exit status: 0 when every requirement passes (constraints hold and the
 // relaxed bound delta'_mc is met), 1 when ANY requirement fails, 2 on
 // usage or input errors. One "verdict:" line is printed per requirement.
@@ -21,19 +27,23 @@
 // run on an unchanged model answers every bound and constraint without
 // exploring a single state.
 #include <chrono>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/framework.h"
+#include "core/report_serde.h"
 #include "core/service.h"
 #include "lang/manifest.h"
 #include "lang/model_parser.h"
 #include "lang/scheme_parser.h"
+#include "net/client.h"
 #include "sim/runner.h"
 #include "ta/print.h"
+#include "util/cli.h"
 #include "util/error.h"
 #include "util/io.h"
 #include "util/json.h"
@@ -41,58 +51,9 @@
 
 namespace {
 
-int usage() {
-  std::cerr
-      << "usage: psv_verify MODEL.psv SCHEME.pss \"REQ: in -> out within MS\" [\"REQ2...\"]\n"
-         "                  [options]\n"
-         "       psv_verify --batch JOBS.psvb [options]\n"
-         "\n"
-         "Checks every given timing requirement; all requirements of a job are\n"
-         "answered from shared exploration work (one PIM sweep, one combined PSM\n"
-         "sweep). A manifest job may list several candidate schemes — they share\n"
-         "the PIM verification and compete in a comparison report.\n"
-         "\n"
-         "One 'verdict:' line is printed per requirement. Exit status: 0 when every\n"
-         "requirement passes (constraints C1-C4 hold and the relaxed bound is met),\n"
-         "1 when any requirement fails, 2 on usage or input errors.\n"
-         "\n"
-         "options:\n"
-         "  --batch FILE  run the .psvb manifest FILE (jobs of model/scheme/req\n"
-         "                lines; paths resolve relative to the manifest)\n"
-         "  --sim N       additionally run N simulated scenarios per requirement\n"
-         "                (single-model form only)\n"
-         "  --seed S      simulation seed (default 2015; single-model form only)\n"
-         "  --limit MS    delay-search ceiling (default 1000000)\n"
-         "  --print-psm   dump the constructed PSM before verifying\n"
-         "                (single-model form only)\n"
-         "  --jobs N      exploration worker threads (default: all hardware\n"
-         "                threads; 1 = single-threaded; results are identical\n"
-         "                for every value)\n"
-         "  --engine E    bound-query engine: 'sweep' (default; one shared\n"
-         "                exploration answers the whole query batch) or\n"
-         "                'probe' (binary-search cross-check); bounds are\n"
-         "                bit-identical for both\n"
-         "  --slack       print the detailed slack report per scheme: the\n"
-         "                top-K critical traces of every requirement's M-C\n"
-         "                probe (one 'slack:' line per requirement is always\n"
-         "                printed, like 'verdict:')\n"
-         "  --top-k N     ranked critical traces retained per bound query\n"
-         "                (default 4, max 16; 0 disables trace retention)\n"
-         "  --stats-json FILE\n"
-         "                write per-stage statistics (wall clock, states\n"
-         "                stored/explored, explorations, cache state) as JSON;\n"
-         "                batch runs add a per-job breakdown\n"
-         "  --cache-dir DIR\n"
-         "                persist verification artifacts in DIR, keyed on the\n"
-         "                model's canonical fingerprint: a repeat run on an\n"
-         "                unchanged model re-verifies without exploration\n"
-         "                (default: $PSV_CACHE_DIR when set, else disabled)\n"
-         "  --no-cache    ignore $PSV_CACHE_DIR and run without the cache\n";
-  return 2;
-}
-
 struct CliOptions {
   std::string batch_path;
+  std::string connect;  ///< HOST:PORT of a psv_serve daemon; empty = in-process
   std::string model_path;
   std::string scheme_path;
   std::vector<std::string> requirement_texts;
@@ -109,9 +70,100 @@ struct CliOptions {
   bool no_cache = false;
 };
 
+/// The flag registry shared semantics with psv_serve live in util/cli; this
+/// builds psv_verify's instance over `cli`.
+psv::cli::Parser make_parser(CliOptions& cli) {
+  psv::cli::Parser parser(
+      "psv_verify",
+      "usage: psv_verify MODEL.psv SCHEME.pss \"REQ: in -> out within MS\" [\"REQ2...\"]\n"
+      "                  [options]\n"
+      "       psv_verify --batch JOBS.psvb [options]\n"
+      "\n"
+      "Checks every given timing requirement; all requirements of a job are\n"
+      "answered from shared exploration work (one PIM sweep, one combined PSM\n"
+      "sweep). A manifest job may list several candidate schemes — they share\n"
+      "the PIM verification and compete in a comparison report.");
+  parser.flag("--batch", &cli.batch_path, "FILE",
+              "run the .psvb manifest FILE (jobs of model/scheme/req\n"
+              "lines; paths resolve relative to the manifest)");
+  parser.flag("--connect", &cli.connect, "HOST:PORT",
+              "send the requests to a psv_serve daemon instead of\n"
+              "verifying in-process; batch jobs are pipelined on one\n"
+              "connection and reports are identical to a local run");
+  parser.flag("--sim", &cli.sim_scenarios, "N",
+              "additionally run N simulated scenarios per requirement\n"
+              "(single-model form only)");
+  parser.flag("--seed", &cli.seed, "S",
+              "simulation seed (default 2015; single-model form only)");
+  parser.flag("--limit", &cli.limit, "MS", "delay-search ceiling (default 1000000)");
+  parser.flag("--print-psm", &cli.print_psm,
+              "dump the constructed PSM before verifying\n"
+              "(single-model form only)");
+  parser.flag("--jobs", &cli.jobs, "N",
+              "exploration worker threads (default: all hardware\n"
+              "threads; 1 = single-threaded; results are identical\n"
+              "for every value)");
+  parser.flag_custom("--engine", "E",
+                     "bound-query engine: 'sweep' (default; one shared\n"
+                     "exploration answers the whole query batch) or\n"
+                     "'probe' (binary-search cross-check); bounds are\n"
+                     "bit-identical for both",
+                     [&cli](const std::string& value) {
+                       PSV_REQUIRE_AS(psv::ErrorCode::kParse,
+                                      value == "sweep" || value == "probe",
+                                      "--engine expects 'sweep' or 'probe'");
+                       cli.engine = value;
+                     });
+  parser.flag("--slack", &cli.slack_detail,
+              "print the detailed slack report per scheme: the\n"
+              "top-K critical traces of every requirement's M-C\n"
+              "probe (one 'slack:' line per requirement is always\n"
+              "printed, like 'verdict:')");
+  parser.flag_custom("--top-k", "N",
+                     "ranked critical traces retained per bound query\n"
+                     "(default 4, max 16; 0 disables trace retention)",
+                     [&cli](const std::string& value) {
+                       int parsed = -1;
+                       try {
+                         parsed = std::stoi(value);
+                       } catch (const std::exception&) {
+                         PSV_FAIL_AS(psv::ErrorCode::kParse,
+                                     "--top-k expects a number, got '" + value + "'");
+                       }
+                       PSV_REQUIRE_AS(psv::ErrorCode::kParse,
+                                      parsed >= 0 && parsed <= psv::mc::kMaxTopK,
+                                      "--top-k expects a value in [0, " +
+                                          std::to_string(psv::mc::kMaxTopK) + "]");
+                       cli.top_k = parsed;
+                     });
+  parser.flag("--stats-json", &cli.stats_json_path, "FILE",
+              "write per-stage statistics (wall clock, states\n"
+              "stored/explored, explorations, cache state) as JSON;\n"
+              "batch runs add a per-job breakdown");
+  parser.flag("--cache-dir", &cli.cache_dir, "DIR",
+              "persist verification artifacts in DIR, keyed on the\n"
+              "model's canonical fingerprint: a repeat run on an\n"
+              "unchanged model re-verifies without exploration");
+  parser.env_fallback("--cache-dir", "PSV_CACHE_DIR");
+  parser.flag("--no-cache", &cli.no_cache, "ignore $PSV_CACHE_DIR and run without the cache");
+  parser.epilog(
+      "One 'verdict:' line is printed per requirement. Exit status: 0 when every\n"
+      "requirement passes (constraints C1-C4 hold and the relaxed bound is met),\n"
+      "1 when any requirement fails, 2 on usage or input errors.");
+  return parser;
+}
+
+/// One unit of work: a request as sources, plus presentation metadata.
+struct Job {
+  std::string name;        ///< manifest job name, or the model path
+  std::string model_path;  ///< resolved path (for --stats-json)
+  std::string header;      ///< batch jobs announce themselves; empty = none
+  psv::core::SourceRequest source;
+};
+
 /// One executed job: the request's inputs plus its report.
 struct JobOutcome {
-  std::string name;        ///< manifest job name, or the model path
+  std::string name;
   std::string model_path;
   psv::core::VerifyReport report;
 };
@@ -176,7 +228,7 @@ void write_stats_json(const std::string& path, const std::vector<JobOutcome>& ou
                       unsigned jobs, const std::string& engine, double total_wall_ms,
                       const std::string& cache_dir) {
   std::ofstream out(path);
-  PSV_REQUIRE(out.good(), "cannot write '" + path + "'");
+  PSV_REQUIRE_AS(psv::ErrorCode::kIo, out.good(), "cannot write '" + path + "'");
 
   int cache_hits = 0, cache_misses = 0, cache_stores = 0;
   for (const JobOutcome& job : outcomes) {
@@ -330,75 +382,71 @@ void run_simulation(const psv::ta::Network& pim, const psv::core::PimInfo& info,
             << (measured.mc.max <= static_cast<double>(lemma2_total) ? "yes" : "NO") << "\n";
 }
 
+/// Execute every job, in-process or against a daemon. In daemon mode all
+/// jobs are pipelined on one connection first, then collected (responses
+/// may complete out of order server-side); outcomes come back in job order
+/// either way, so the printed output is identical.
+std::vector<JobOutcome> execute_jobs(const std::vector<Job>& jobs, const std::string& connect) {
+  std::vector<JobOutcome> outcomes;
+  outcomes.reserve(jobs.size());
+  if (connect.empty()) {
+    // One Verifier for the whole invocation: batch jobs share pooled
+    // sessions and the artifact cache.
+    psv::core::Verifier verifier;
+    for (const Job& job : jobs) {
+      outcomes.push_back(
+          {job.name, job.model_path, verifier.verify(psv::core::to_verify_request(job.source))});
+    }
+    return outcomes;
+  }
+  psv::net::Client client = psv::net::Client::connect(connect);
+  std::map<std::uint64_t, std::size_t> id_to_index;
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    id_to_index.emplace(client.send(jobs[i].source), i);
+  std::vector<std::optional<psv::core::VerifyReport>> reports(jobs.size());
+  while (client.outstanding() > 0) {
+    psv::net::Client::Response response = client.next_response();
+    if (!response.ok) PSV_FAIL_AS(response.error.code, response.error.message);
+    reports[id_to_index.at(response.request_id)] = std::move(response.report);
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    outcomes.push_back({jobs[i].name, jobs[i].model_path, std::move(*reports[i])});
+  return outcomes;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   CliOptions cli;
+  psv::cli::Parser parser = make_parser(cli);
   std::vector<std::string> positional;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--batch" && i + 1 < argc) {
-      cli.batch_path = argv[++i];
-    } else if (arg == "--sim" && i + 1 < argc) {
-      cli.sim_scenarios = std::stoi(argv[++i]);
-    } else if (arg == "--seed" && i + 1 < argc) {
-      cli.seed = std::stoull(argv[++i]);
-    } else if (arg == "--limit" && i + 1 < argc) {
-      cli.limit = std::stoll(argv[++i]);
-    } else if (arg == "--jobs" && i + 1 < argc) {
-      const int parsed = std::stoi(argv[++i]);
-      if (parsed < 0) {
-        std::cerr << "--jobs expects a non-negative thread count\n";
-        return usage();
-      }
-      cli.jobs = static_cast<unsigned>(parsed);
-    } else if (arg == "--engine" && i + 1 < argc) {
-      cli.engine = argv[++i];
-      if (cli.engine != "sweep" && cli.engine != "probe") {
-        std::cerr << "--engine expects 'sweep' or 'probe'\n";
-        return usage();
-      }
-    } else if (arg == "--slack") {
-      cli.slack_detail = true;
-    } else if (arg == "--top-k" && i + 1 < argc) {
-      cli.top_k = std::stoi(argv[++i]);
-      if (cli.top_k < 0 || cli.top_k > psv::mc::kMaxTopK) {
-        std::cerr << "--top-k expects a value in [0, " << psv::mc::kMaxTopK << "]\n";
-        return usage();
-      }
-    } else if (arg == "--stats-json" && i + 1 < argc) {
-      cli.stats_json_path = argv[++i];
-    } else if (arg == "--cache-dir" && i + 1 < argc) {
-      cli.cache_dir = argv[++i];
-    } else if (arg == "--no-cache") {
-      cli.no_cache = true;
-    } else if (arg == "--print-psm") {
-      cli.print_psm = true;
-    } else if (!arg.empty() && arg[0] == '-') {
-      std::cerr << "unknown option '" << arg << "'\n";
-      return usage();
-    } else {
-      positional.push_back(arg);
-    }
+  try {
+    positional = parser.parse(argc - 1, argv + 1);
+  } catch (const psv::Error& e) {
+    std::cerr << "error: " << e.what() << "\n\n" << parser.help();
+    return 2;
+  }
+  if (parser.help_requested()) {
+    std::cout << parser.help();
+    return 0;
   }
   if (cli.batch_path.empty()) {
-    if (positional.size() < 3) return usage();
+    if (positional.size() < 3) {
+      std::cerr << parser.help();
+      return 2;
+    }
     cli.model_path = positional[0];
     cli.scheme_path = positional[1];
     cli.requirement_texts.assign(positional.begin() + 2, positional.end());
   } else if (!positional.empty()) {
-    std::cerr << "--batch does not take MODEL/SCHEME/REQ arguments\n";
-    return usage();
+    std::cerr << "--batch does not take MODEL/SCHEME/REQ arguments\n" << parser.help();
+    return 2;
   }
+  // Cache resolution: --no-cache wins, then --cache-dir, then the
+  // PSV_CACHE_DIR fallback (already applied by the parser).
+  if (cli.no_cache) cli.cache_dir.clear();
 
   try {
-    // Cache resolution: --no-cache wins, then --cache-dir, then PSV_CACHE_DIR.
-    if (cli.no_cache) {
-      cli.cache_dir.clear();
-    } else if (cli.cache_dir.empty()) {
-      if (const char* env = std::getenv("PSV_CACHE_DIR"); env != nullptr) cli.cache_dir = env;
-    }
-
     psv::core::VerifyOptions options;
     options.search_limit = cli.limit;
     options.explore.jobs = cli.jobs;
@@ -407,77 +455,75 @@ int main(int argc, char** argv) {
     options.cache_dir = cli.cache_dir;
     if (cli.top_k >= 0) options.top_k = cli.top_k;
 
-    // One Verifier for the whole invocation: batch jobs share pooled
-    // sessions and the artifact cache.
-    psv::core::Verifier verifier;
-    std::vector<JobOutcome> outcomes;
     const auto wall_start = std::chrono::steady_clock::now();
-
     if (!cli.cache_dir.empty()) std::cout << "verification cache: " << cli.cache_dir << "\n";
 
-    if (cli.batch_path.empty()) {
-      // Single-model form.
-      const psv::ta::Network pim =
-          psv::lang::parse_model(psv::util::read_file(cli.model_path));
-      const psv::core::ImplementationScheme scheme =
-          psv::lang::parse_scheme(psv::util::read_file(cli.scheme_path));
-      psv::core::VerifyRequest request;
-      request.pim = pim;
-      request.info = psv::core::analyze_pim(pim);
-      request.schemes = {scheme};
-      for (const std::string& text : cli.requirement_texts)
-        request.requirements.push_back(psv::lang::parse_requirement(text));
-      request.options = options;
+    std::vector<Job> jobs;
+    // Parsed inputs of the single-model form, reused by --print-psm, the
+    // legacy single-requirement summary, and --sim.
+    std::optional<psv::ta::Network> pim;
+    std::optional<psv::core::PimInfo> info;
+    std::optional<psv::core::ImplementationScheme> scheme;
 
-      std::cout << scheme.describe() << "\n";
+    if (cli.batch_path.empty()) {
+      Job job;
+      job.name = cli.model_path;
+      job.model_path = cli.model_path;
+      job.source.model_source = psv::util::read_file(cli.model_path);
+      job.source.scheme_sources = {psv::util::read_file(cli.scheme_path)};
+      for (const std::string& text : cli.requirement_texts)
+        job.source.requirements.push_back(psv::lang::parse_requirement(text));
+      job.source.options = options;
+
+      pim = psv::lang::parse_model(job.source.model_source);
+      info = psv::core::analyze_pim(*pim);
+      scheme = psv::lang::parse_scheme(job.source.scheme_sources.front());
+      std::cout << scheme->describe() << "\n";
       if (cli.print_psm) {
-        psv::core::PsmArtifacts psm = psv::core::transform(pim, *request.info, scheme);
+        psv::core::PsmArtifacts psm = psv::core::transform(*pim, *info, *scheme);
         std::cout << psv::ta::network_text(psm.psm) << "\n";
       }
+      jobs.push_back(std::move(job));
+    } else {
+      const std::string base_dir = dir_of(cli.batch_path);
+      for (const psv::lang::ManifestJob& manifest_job :
+           psv::lang::parse_manifest(psv::util::read_file(cli.batch_path))) {
+        Job job;
+        job.name = manifest_job.name;
+        job.model_path = resolve(base_dir, manifest_job.model_path);
+        job.header = "=== job " + manifest_job.name + " (" + manifest_job.model_path + ") ===\n";
+        job.source.model_source = psv::util::read_file(job.model_path);
+        for (const std::string& scheme_path : manifest_job.scheme_paths)
+          job.source.scheme_sources.push_back(
+              psv::util::read_file(resolve(base_dir, scheme_path)));
+        job.source.requirements = manifest_job.requirements;
+        job.source.options = options;
+        jobs.push_back(std::move(job));
+      }
+    }
 
-      JobOutcome outcome;
-      outcome.name = cli.model_path;
-      outcome.model_path = cli.model_path;
-      outcome.report = verifier.verify(request);
+    std::vector<JobOutcome> outcomes = execute_jobs(jobs, cli.connect);
 
-      if (request.requirements.size() == 1) {
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      JobOutcome& outcome = outcomes[i];
+      if (!jobs[i].header.empty()) std::cout << jobs[i].header;
+      if (cli.batch_path.empty() && jobs[i].source.requirements.size() == 1) {
         // The historical single-run report, byte-compatible with the CI
-        // diff gates.
+        // diff gates. Wire reports omit the PSM construction artifacts
+        // (see core/report_serde.h); rebuild them locally — the transform
+        // is deterministic — so this summary is identical in both modes.
+        if (!cli.connect.empty())
+          outcome.report.schemes.front().psm = psv::core::transform(*pim, *info, *scheme);
         std::cout << psv::core::framework_result_from(outcome.report, 0, 0).summary() << "\n";
       } else {
         std::cout << outcome.report.summary() << "\n";
       }
       if (cli.slack_detail) print_slack_detail(outcome, cli.top_k);
-      if (cli.sim_scenarios > 0) {
+      if (cli.batch_path.empty() && cli.sim_scenarios > 0) {
         for (const psv::core::RequirementResult& r :
              outcome.report.schemes.front().requirements)
-          run_simulation(pim, *request.info, scheme, r.requirement, cli.sim_scenarios,
-                         cli.seed, r.bounds.lemma2_total);
-      }
-      outcomes.push_back(std::move(outcome));
-    } else {
-      // Manifest form: every job through the shared Verifier.
-      const std::string base_dir = dir_of(cli.batch_path);
-      const std::vector<psv::lang::ManifestJob> jobs =
-          psv::lang::parse_manifest(psv::util::read_file(cli.batch_path));
-      for (const psv::lang::ManifestJob& job : jobs) {
-        const std::string model_path = resolve(base_dir, job.model_path);
-        psv::core::VerifyRequest request;
-        request.pim = psv::lang::parse_model(psv::util::read_file(model_path));
-        request.requirements = job.requirements;
-        request.options = options;
-        for (const std::string& scheme_path : job.scheme_paths)
-          request.schemes.push_back(
-              psv::lang::parse_scheme(psv::util::read_file(resolve(base_dir, scheme_path))));
-
-        std::cout << "=== job " << job.name << " (" << job.model_path << ") ===\n";
-        JobOutcome outcome;
-        outcome.name = job.name;
-        outcome.model_path = model_path;
-        outcome.report = verifier.verify(request);
-        std::cout << outcome.report.summary() << "\n";
-        if (cli.slack_detail) print_slack_detail(outcome, cli.top_k);
-        outcomes.push_back(std::move(outcome));
+          run_simulation(*pim, *info, *scheme, r.requirement, cli.sim_scenarios, cli.seed,
+                         r.bounds.lemma2_total);
       }
     }
 
