@@ -13,9 +13,10 @@
 //
 //   * every wire report summary is byte-identical to its in-process twin;
 //   * the warm round's server-side explorations exactly match an in-process
-//     warm repeat — zero for the passing-scheme requests (answered from the
-//     session-pool memo); the failing-scheme requests re-run their witness
-//     queries identically on both sides.
+//     warm repeat;
+//   * the in-process warm repeat explores NOTHING — including the
+//     failing-scheme requests, whose witness searches are served from the
+//     session's persisted reachability memo instead of re-running.
 //
 // Wall-time ratios (pipelined throughput, warm speedup) are reported in the
 // JSON for trend tracking but not gated — they vary with machine load.
@@ -196,9 +197,9 @@ int main(int argc, char** argv) {
       }
     }
     // In-process warm repeat: the gold standard for what the server's warm
-    // round may cost. Passing-scheme requests answer from the session memo
-    // (zero explorations); the failing-scheme requests re-run their witness
-    // queries — on both sides identically.
+    // round may cost. Every repeated request — passing AND failing schemes —
+    // answers from the session memo: bounds and the flag sweep from the
+    // batch memo, the FAIL-path witness searches from the reachability memo.
     for (const psv::core::SourceRequest& request : batch)
       in_process_warm_explorations += tally(verifier.verify(psv::core::to_verify_request(request)));
   } catch (const std::exception& e) {
@@ -207,6 +208,7 @@ int main(int argc, char** argv) {
   }
 
   const bool warm_matches_memo = warm_explorations == in_process_warm_explorations;
+  const bool witness_memo_closed = in_process_warm_explorations == 0;
   const double throughput =
       cold_ms > 0.0 ? static_cast<double>(requests) * 1000.0 / cold_ms : 0.0;
   const double warm_speedup = warm_ms > 0.0 ? cold_ms / warm_ms : 0.0;
@@ -232,6 +234,7 @@ int main(int argc, char** argv) {
     w.field("in_process_warm_explorations", in_process_warm_explorations);
     w.field("wire_identical_to_in_process", wire_identical);
     w.field("warm_matches_in_process_memo", warm_matches_memo);
+    w.field("witness_memo_closed", witness_memo_closed);
     w.end_object();
   }
   os << "\n";
@@ -251,6 +254,12 @@ int main(int argc, char** argv) {
     std::cerr << "ERROR: warm round explored " << warm_explorations
               << " states server-side, but an in-process warm repeat explores "
               << in_process_warm_explorations << "; session pool failed to answer from memo\n";
+    return 1;
+  }
+  if (!witness_memo_closed) {
+    std::cerr << "ERROR: in-process warm repeat ran " << in_process_warm_explorations
+              << " exploration(s); the FAIL-path witness searches must be served from the"
+              " session's reachability memo\n";
     return 1;
   }
   return 0;

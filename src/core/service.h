@@ -187,10 +187,27 @@ class Verifier {
   /// caller must lock slot->mu before touching the session.
   std::shared_ptr<Slot> acquire(ta::Network&& net, const mc::ExploreOptions& explore);
 
+  /// Incremental exploration: hand `session` a warm-start ancestor store
+  /// when one with a matching network skeleton is known — pooled in memory,
+  /// or recorded on disk by a `<skeleton-hex>.psvanc` pointer file next to
+  /// the artifacts. No-op when the session already has a store of its own
+  /// (warm-loaded or previously queried).
+  void adopt_ancestor_if_any(mc::VerificationSession& session,
+                             const std::optional<mc::ArtifactStore>& store);
+
+  /// Publish `session`'s exported passed store as the warm-start ancestor
+  /// for its skeleton: into the in-memory index, and (when a cache directory
+  /// is active) as a `<skeleton-hex>.psvanc` pointer to the session's
+  /// artifact key so later processes find it too.
+  void publish_ancestor(const mc::VerificationSession& session,
+                        const std::optional<mc::ArtifactStore>& store);
+
   Config config_;
-  mutable std::mutex mu_;  ///< guards pool_ and lru_
+  mutable std::mutex mu_;  ///< guards pool_, lru_ and ancestors_
   std::unordered_map<std::string, std::shared_ptr<Slot>> pool_;
   std::list<std::string> lru_;  ///< most recently used at the back
+  /// skeleton-digest hex -> newest exported passed store for that skeleton.
+  std::unordered_map<std::string, std::shared_ptr<const mc::PassedStoreExport>> ancestors_;
 };
 
 }  // namespace psv::core

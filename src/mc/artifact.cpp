@@ -38,6 +38,10 @@ void write_explore_stats(ByteWriter& out, const ExploreStats& s) {
   out.u64(s.states_explored);
   out.u64(s.transitions_fired);
   out.u64(s.subsumed);
+  // Format v4: warm-start accounting.
+  out.u64(s.warm_states_reused);
+  out.u64(s.warm_states_revalidated);
+  out.u64(s.warm_seed_expansions);
 }
 
 ExploreStats read_explore_stats(ByteReader& in) {
@@ -46,6 +50,9 @@ ExploreStats read_explore_stats(ByteReader& in) {
   s.states_explored = static_cast<std::size_t>(in.u64());
   s.transitions_fired = static_cast<std::size_t>(in.u64());
   s.subsumed = static_cast<std::size_t>(in.u64());
+  s.warm_states_reused = static_cast<std::size_t>(in.u64());
+  s.warm_states_revalidated = static_cast<std::size_t>(in.u64());
+  s.warm_seed_expansions = static_cast<std::size_t>(in.u64());
   return s;
 }
 
@@ -127,17 +134,21 @@ ArtifactKey artifact_key(const ta::NetworkFingerprint& fp, const ExploreOptions&
   // counts by construction.
   h.u64(opts.max_states);
   h.u8(static_cast<std::uint8_t>(opts.engine));
+  // goal_pruning keeps bounds and verdicts identical but changes the served
+  // statistics (pruned sweeps explore fewer states), so cached results from
+  // the two modes must not alias.
+  h.u8(opts.goal_pruning ? 1 : 0);
   return ArtifactKey{h.digest()};
 }
 
-Digest128 bound_query_digest(const ta::CanonicalIds& ids, const BoundQuery& query) {
-  ByteWriter enc;
-  enc.str("psv-bound-query");
+namespace {
 
+/// Canonical state-formula encoding shared by every query digest.
+void encode_state_formula(ByteWriter& enc, const ta::CanonicalIds& ids, const StateFormula& f) {
   // Location requirements are a conjunction: sort their encodings.
   std::vector<std::vector<std::uint8_t>> locs;
-  locs.reserve(query.pred.locs.size());
-  for (const StateFormula::LocRequirement& lr : query.pred.locs) {
+  locs.reserve(f.locs.size());
+  for (const StateFormula::LocRequirement& lr : f.locs) {
     ByteWriter w;
     w.i32(lr.automaton);
     w.i32(lr.loc);
@@ -148,11 +159,11 @@ Digest128 bound_query_digest(const ta::CanonicalIds& ids, const BoundQuery& quer
   enc.u64(locs.size());
   for (const auto& l : locs) enc.raw(l.data(), l.size());
 
-  ta::encode_bool_expr(enc, query.pred.data, &ids);
+  ta::encode_bool_expr(enc, f.data, &ids);
 
   std::vector<std::vector<std::uint8_t>> ccs;
-  ccs.reserve(query.pred.clocks.size());
-  for (const ta::ClockConstraint& cc : query.pred.clocks) {
+  ccs.reserve(f.clocks.size());
+  for (const ta::ClockConstraint& cc : f.clocks) {
     ByteWriter w;
     ta::encode_clock_constraint(w, cc, &ids);
     ccs.push_back(w.take());
@@ -160,12 +171,36 @@ Digest128 bound_query_digest(const ta::CanonicalIds& ids, const BoundQuery& quer
   std::sort(ccs.begin(), ccs.end());
   enc.u64(ccs.size());
   for (const auto& c : ccs) enc.raw(c.data(), c.size());
+}
 
+}  // namespace
+
+Digest128 bound_query_digest(const ta::CanonicalIds& ids, const BoundQuery& query) {
+  ByteWriter enc;
+  enc.str("psv-bound-query");
+  encode_state_formula(enc, ids, query.pred);
   enc.i32(ids.clock(query.clock));
   enc.i64(query.limit);
   // The clamped retention depth is part of the result payload's identity;
   // query.hint deliberately not encoded (see header).
   enc.i32(std::clamp(query.top_k, 0, kMaxTopK));
+  return digest128(enc.buffer().data(), enc.size());
+}
+
+Digest128 state_formula_digest(const ta::CanonicalIds& ids, const StateFormula& formula) {
+  ByteWriter enc;
+  enc.str("psv-state-formula");
+  encode_state_formula(enc, ids, formula);
+  return digest128(enc.buffer().data(), enc.size());
+}
+
+Digest128 bounded_response_digest(const ta::CanonicalIds& ids, const StateFormula& pending,
+                                  ta::ClockId clock, std::int64_t delta) {
+  ByteWriter enc;
+  enc.str("psv-bounded-response");
+  encode_state_formula(enc, ids, pending);
+  enc.i32(ids.clock(clock));
+  enc.i64(delta);
   return digest128(enc.buffer().data(), enc.size());
 }
 
@@ -187,6 +222,25 @@ std::vector<std::uint8_t> VerificationArtifact::serialize() const {
     write_explore_stats(dl, deadlock.stats);
     out.raw(dl.buffer().data(), dl.size());
   }
+  // Format v4: reachability memos, bounded-response memos, skeleton digest,
+  // exported passed store.
+  out.u64(reaches.size());
+  for (const ReachEntry& entry : reaches) {
+    write_digest(out, entry.query);
+    out.boolean(entry.result.reachable);
+    write_trace(out, entry.result.trace);
+    write_explore_stats(out, entry.result.stats);
+  }
+  out.u64(responses.size());
+  for (const ResponseEntry& entry : responses) {
+    write_digest(out, entry.query);
+    out.boolean(entry.result.holds);
+    write_trace(out, entry.result.violation);
+    write_explore_stats(out, entry.result.stats);
+  }
+  write_digest(out, skeleton);
+  out.boolean(store.has_value());
+  if (store.has_value()) write_passed_store(out, *store);
   return out.take();
 }
 
@@ -214,6 +268,29 @@ VerificationArtifact VerificationArtifact::deserialize(ByteReader& in) {
     artifact.deadlock.trace = read_trace(in);
     artifact.deadlock.stats = read_explore_stats(in);
   }
+  // Format v4 payload.
+  const std::size_t reaches = in.length(/*min_element_size=*/16 + 1 + 8);
+  artifact.reaches.reserve(reaches);
+  for (std::size_t i = 0; i < reaches; ++i) {
+    ReachEntry entry;
+    entry.query = read_digest(in);
+    entry.result.reachable = in.boolean();
+    entry.result.trace = read_trace(in);
+    entry.result.stats = read_explore_stats(in);
+    artifact.reaches.push_back(std::move(entry));
+  }
+  const std::size_t responses = in.length(/*min_element_size=*/16 + 1 + 8);
+  artifact.responses.reserve(responses);
+  for (std::size_t i = 0; i < responses; ++i) {
+    ResponseEntry entry;
+    entry.query = read_digest(in);
+    entry.result.holds = in.boolean();
+    entry.result.violation = read_trace(in);
+    entry.result.stats = read_explore_stats(in);
+    artifact.responses.push_back(std::move(entry));
+  }
+  artifact.skeleton = read_digest(in);
+  if (in.boolean()) artifact.store = read_passed_store(in);
   PSV_REQUIRE_AS(::psv::ErrorCode::kProtocol, in.at_end(), "corrupt artifact: trailing bytes after payload");
   return artifact;
 }

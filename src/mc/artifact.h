@@ -19,9 +19,10 @@
 // endianness marker, an echo of the key, and a 128-bit payload checksum.
 // load() treats ANY mismatch — truncation, bit flips, version or endianness
 // drift, a foreign key — as a miss: one warning line, no crash, and the
-// caller falls back to exploration. Individual query_reachable() /
-// check_bounded_response() calls are not persisted (only memoized batch
-// bounds and the shared flag sweep are).
+// caller falls back to exploration. Since format v4, individual
+// query_reachable() / check_bounded_response() calls are persisted alongside
+// the batch bounds and the shared flag sweep, as is the exported passed
+// store that warm-starts skeleton-equal successors.
 #pragma once
 
 #include <cstdint>
@@ -31,6 +32,7 @@
 #include <vector>
 
 #include "mc/query.h"
+#include "mc/store.h"
 #include "ta/fingerprint.h"
 #include "util/hash.h"
 
@@ -38,12 +40,14 @@ namespace psv::mc {
 
 /// Bumped whenever the artifact payload layout, the canonical fingerprint
 /// encoding, or the semantics of a stored field change; files with any
-/// other version are ignored. Version 3: bound entries carry the ranked
-/// top-K witness traces and the witness extrapolation constants (the slack
-/// surface), so warm sessions serve slack reports and replayable critical
-/// traces without exploring. Version-2 files lack the payload and are
-/// rejected by the version check — a warned miss followed by re-exploration.
-inline constexpr std::uint32_t kArtifactFormatVersion = 3;
+/// other version are ignored. Version 4: artifacts carry the network's
+/// skeleton digest, memoized reachability and bounded-response results
+/// (the failing-path witness searches a repeated FAIL request re-runs),
+/// the exported passed store for warm-starting skeleton-equal successors,
+/// and warm-start counters in every ExploreStats block. Version-3 files
+/// lack all of these and are rejected by the version check — a warned miss
+/// followed by re-exploration.
+inline constexpr std::uint32_t kArtifactFormatVersion = 4;
 
 /// Content-addressed cache key; hex() names the artifact file.
 struct ArtifactKey {
@@ -79,6 +83,16 @@ Trace read_trace(ByteReader& in);
 /// so queries with different retention depths must not share a memo entry.
 Digest128 bound_query_digest(const ta::CanonicalIds& ids, const BoundQuery& query);
 
+/// Canonical digest of a bare state formula, with the same id treatment as
+/// bound_query_digest. Keys the memoized query_reachable() results.
+Digest128 state_formula_digest(const ta::CanonicalIds& ids, const StateFormula& formula);
+
+/// Canonical digest of one bounded-response check
+/// (A[](pending => clock <= delta)). Keys the memoized
+/// check_bounded_response() results.
+Digest128 bounded_response_digest(const ta::CanonicalIds& ids, const StateFormula& pending,
+                                  ta::ClockId clock, std::int64_t delta);
+
 /// The serializable memo of a verification session.
 struct VerificationArtifact {
   struct BoundEntry {
@@ -92,6 +106,34 @@ struct VerificationArtifact {
   bool has_flag_sweep = false;
   std::vector<std::uint8_t> var_seen_one;  ///< canonical var order, 0/1
   DeadlockResult deadlock;
+
+  // --- Format v4 ------------------------------------------------------------
+
+  /// Memoized plain reachability checks (state_formula_digest-keyed): the
+  /// witness searches a failing requirement re-runs on every repeated
+  /// request. Sorted by query digest.
+  struct ReachEntry {
+    Digest128 query;
+    ReachResult result;
+  };
+  std::vector<ReachEntry> reaches;
+
+  /// Memoized bounded-response checks (bounded_response_digest-keyed).
+  /// Sorted by query digest.
+  struct ResponseEntry {
+    Digest128 query;
+    BoundedResponseResult result;
+  };
+  std::vector<ResponseEntry> responses;
+
+  /// ta::skeleton_digest of the fingerprinted network: the key under which
+  /// this artifact's passed store is indexed as a warm-start ancestor for
+  /// structurally-related verifications.
+  Digest128 skeleton;
+
+  /// Passed store of the session's last complete capture sweep (mc/store.h);
+  /// absent when no capture sweep completed.
+  std::optional<PassedStoreExport> store;
 
   /// Payload encoding (header-less; ArtifactStore adds framing + checksum).
   std::vector<std::uint8_t> serialize() const;

@@ -36,6 +36,17 @@ struct ExploreOptions {
   /// Bound-query engine. Sweep answers from one shared exploration; probe
   /// is the legacy binary-search cross-check. Bounds are identical.
   QueryEngine engine = QueryEngine::kSweep;
+
+  /// Goal-directed pruning for bound-only sweeps: once every pending query
+  /// of a sweep round has witnessed an abstracted (infinite) probe-clock
+  /// bound, no further state can change the round's outcome — the round is
+  /// either inconclusive (the refine loop widens and re-runs) or unbounded
+  /// at the search limit (one witness suffices), so the sweep aborts early.
+  /// Sound only for bound sweeps; flag/deadlock passes must visit the full
+  /// space and ignore the flag. Results are identical with or without
+  /// pruning — only statistics (work) change, so the flag is part of the
+  /// artifact cache key.
+  bool goal_pruning = false;
 };
 
 /// Exploration statistics for reporting and benchmarks. Deterministic:
@@ -45,6 +56,18 @@ struct ExploreStats {
   std::size_t states_explored = 0;
   std::size_t transitions_fired = 0;
   std::size_t subsumed = 0;
+
+  /// Warm-start accounting (all zero for cold runs). `warm_states_reused`
+  /// counts ancestor-store states adopted without replay (creation context
+  /// untouched by the edit); `warm_states_revalidated` counts states
+  /// re-derived by replaying their recorded transition against the new
+  /// network; `warm_seed_expansions` counts the subset of states_explored
+  /// that were adopted seeds rather than fresh discoveries, so
+  /// `states_explored - warm_seed_expansions` is the fresh-state cost of a
+  /// warm run.
+  std::size_t warm_states_reused = 0;
+  std::size_t warm_states_revalidated = 0;
+  std::size_t warm_seed_expansions = 0;
 };
 
 /// Persistent-cache accounting for one pipeline stage (or a whole session),
@@ -71,6 +94,9 @@ inline void accumulate_stats(ExploreStats& into, const ExploreStats& from) {
   into.states_explored += from.states_explored;
   into.transitions_fired += from.transitions_fired;
   into.subsumed += from.subsumed;
+  into.warm_states_reused += from.warm_states_reused;
+  into.warm_states_revalidated += from.warm_states_revalidated;
+  into.warm_seed_expansions += from.warm_seed_expansions;
 }
 
 }  // namespace psv::mc

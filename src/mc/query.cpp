@@ -221,6 +221,8 @@ struct SweepRound {
   /// witness_consts for every target it resolves).
   std::vector<std::int32_t> extra;
   ExploreStats stats;
+  /// Passed store of this sweep (capture mode, complete runs only).
+  std::optional<PassedStoreExport> exported;
 };
 
 bool constrain_by(dbm::Dbm& zone, const ta::ClockConstraint& cc) {
@@ -255,7 +257,8 @@ bool constrain_by(dbm::Dbm& zone, const ta::ClockConstraint& cc) {
 /// and the round's bound outcomes are partial; the caller must discard them.
 SweepRound sweep_once(const ta::Network& net, const std::vector<BoundQuery>& queries,
                       const std::vector<SweepTarget>& targets, std::int64_t factor,
-                      ExploreOptions opts, FlagSweepOutcome* flags = nullptr) {
+                      ExploreOptions opts, FlagSweepOutcome* flags = nullptr,
+                      const PassedStoreExport* ancestor = nullptr, bool capture = false) {
   SweepRound round;
   round.consts.resize(targets.size());
   round.outcomes.assign(targets.size(), SweepOutcome{});
@@ -273,6 +276,8 @@ SweepRound sweep_once(const ta::Network& net, const std::vector<BoundQuery>& que
   }
   round.extra = extra;
   Reachability engine(net, StateFormula{}, opts, std::move(extra));
+  if (capture) engine.enable_capture();
+  if (ancestor != nullptr) engine.set_ancestor(ancestor);
   const auto visit = [&](const SymState& state, std::uint64_t id) {
     for (std::size_t t = 0; t < targets.size(); ++t) {
       const SweepTarget& target = targets[t];
@@ -309,7 +314,21 @@ SweepRound sweep_once(const ta::Network& net, const std::vector<BoundQuery>& que
     }
   };
   if (flags == nullptr) {
-    round.stats = engine.explore_all_ids(visit);
+    // Goal-directed pruning (opt-in): a bounds-only sweep whose every
+    // pending target has already witnessed an abstracted (infinite)
+    // probe-clock bound cannot change any answer — every target is either
+    // unbounded-at-limit (one witness suffices) or must refine at wider
+    // constants regardless of further states. Abort between waves. Off for
+    // flag/deadlock piggyback sweeps, whose visitors need the full space.
+    std::function<bool()> stop;
+    if (opts.goal_pruning) {
+      stop = [&round]() {
+        for (const SweepOutcome& o : round.outcomes)
+          if (!o.saw_inf) return false;
+        return true;
+      };
+    }
+    round.stats = engine.explore_all_ids(visit, stop);
   } else {
     flags->var_seen_one.assign(static_cast<std::size_t>(net.num_vars()), 0);
     DeadlockResult deadlock =
@@ -334,6 +353,7 @@ SweepRound sweep_once(const ta::Network& net, const std::vector<BoundQuery>& que
       o.ranked.push_back({o.best[i].first, std::move(traces[i])});
     if (o.saw_inf) o.inf_trace = engine.trace_of(o.inf_id);
   }
+  if (capture) round.exported = engine.take_export();
   return round;
 }
 
@@ -375,7 +395,9 @@ std::vector<MaxClockResult> sweep_max_clock_values(const ta::Network& net,
                                                    const std::vector<BoundQuery>& queries,
                                                    ExploreOptions opts,
                                                    BatchQueryStats* batch_stats,
-                                                   FlagSweepOutcome* flags) {
+                                                   FlagSweepOutcome* flags, WarmContext* warm) {
+  const PassedStoreExport* ancestor = warm != nullptr ? warm->ancestor : nullptr;
+  const bool capture = warm != nullptr && warm->capture;
   std::vector<MaxClockResult> results(queries.size());
   std::vector<SweepTarget> targets;
   targets.reserve(queries.size());
@@ -396,7 +418,7 @@ std::vector<MaxClockResult> sweep_max_clock_values(const ta::Network& net,
   // piggyback this same exploration also serves the C1–C4 flag recording
   // and the deadlock search.
   {
-    SweepRound round = sweep_once(net, queries, targets, 1, opts, flags);
+    SweepRound round = sweep_once(net, queries, targets, 1, opts, flags, ancestor, capture);
     if (flags != nullptr && flags->ran && !flags->valid) {
       // A timelock aborted the combined sweep: the deadlock verdict stands,
       // but the bound outcomes cover only part of the space. Account the
@@ -407,12 +429,13 @@ std::vector<MaxClockResult> sweep_max_clock_values(const ta::Network& net,
         accumulate_stats(batch_stats->explore, round.stats);
         ++batch_stats->explorations;
       }
-      round = sweep_once(net, queries, targets, 1, opts);
+      round = sweep_once(net, queries, targets, 1, opts, nullptr, ancestor, capture);
     }
     if (batch_stats) {
       accumulate_stats(batch_stats->explore, round.stats);
       ++batch_stats->explorations;
     }
+    if (warm != nullptr && round.exported.has_value()) warm->exported = std::move(round.exported);
     std::vector<SweepTarget> unresolved;
     for (std::size_t t = 0; t < targets.size(); ++t) {
       MaxClockResult& out = results[targets[t].query];
@@ -445,7 +468,8 @@ std::vector<MaxClockResult> sweep_max_clock_values(const ta::Network& net,
       std::vector<char> done(targets.size(), 0);
       for (std::size_t f = 0; f < factors.size(); ++f) {
         try {
-          rounds[f].emplace(sweep_once(net, queries, targets, factors[f], opts));
+          rounds[f].emplace(
+              sweep_once(net, queries, targets, factors[f], opts, nullptr, ancestor, capture));
         } catch (...) {
           errors[f] = std::current_exception();
           break;
@@ -462,7 +486,8 @@ std::vector<MaxClockResult> sweep_max_clock_values(const ta::Network& net,
       WorkerPool pool(static_cast<unsigned>(factors.size()) - 1);
       pool.parallel_for(factors.size(), [&](std::size_t f) {
         try {
-          rounds[f].emplace(sweep_once(net, queries, targets, factors[f], per_round));
+          rounds[f].emplace(
+              sweep_once(net, queries, targets, factors[f], per_round, nullptr, ancestor, capture));
         } catch (...) {
           errors[f] = std::current_exception();
         }
@@ -491,6 +516,13 @@ std::vector<MaxClockResult> sweep_max_clock_values(const ta::Network& net,
         accumulate_stats(batch_stats->explore, rounds[f]->stats);
       batch_stats->explorations += static_cast<int>(counted);
     }
+    // Keep the last accounted complete sweep's store: its extrapolation
+    // constants are the widest this batch needed, so it seeds the most of a
+    // successor's state space.
+    if (warm != nullptr) {
+      for (std::size_t f = 0; f < counted; ++f)
+        if (rounds[f]->exported.has_value()) warm->exported = std::move(rounds[f]->exported);
+    }
     std::vector<SweepTarget> unresolved;
     for (std::size_t t = 0; t < targets.size(); ++t) {
       MaxClockResult& out = results[targets[t].query];
@@ -514,7 +546,7 @@ std::vector<MaxClockResult> sweep_max_clock_values(const ta::Network& net,
 std::vector<MaxClockResult> max_clock_values(const ta::Network& net,
                                              const std::vector<BoundQuery>& queries,
                                              ExploreOptions opts, BatchQueryStats* batch_stats,
-                                             FlagSweepOutcome* flags) {
+                                             FlagSweepOutcome* flags, WarmContext* warm) {
   for (const BoundQuery& q : queries) validate_query(net, q.clock, q.limit);
   if (opts.engine == QueryEngine::kProbe) {
     // Probe explorations are goal-directed (early exit on reachability), so
@@ -533,7 +565,7 @@ std::vector<MaxClockResult> max_clock_values(const ta::Network& net,
     }
     return results;
   }
-  return sweep_max_clock_values(net, queries, opts, batch_stats, flags);
+  return sweep_max_clock_values(net, queries, opts, batch_stats, flags, warm);
 }
 
 MaxClockResult max_clock_value(const ta::Network& net, const StateFormula& pred,

@@ -31,6 +31,7 @@
 
 #include "mc/explore_options.h"
 #include "mc/state.h"
+#include "mc/store.h"
 #include "mc/succ.h"
 #include "mc/worker_pool.h"
 
@@ -98,8 +99,13 @@ class Reachability {
   /// explore_all variant whose visitor also receives the packed store id of
   /// each state, usable with trace_of() to rebuild a witness afterwards
   /// (the sweep bound engine records the id of the state attaining the
-  /// maximum). Same determinism guarantees as explore_all.
-  ExploreStats explore_all_ids(const std::function<void(const SymState&, std::uint64_t)>& visit);
+  /// maximum). Same determinism guarantees as explore_all. The optional
+  /// `stop` predicate is evaluated between waves (after the wave's visits,
+  /// before generating successors); returning true aborts the exploration
+  /// — the goal-directed pruning hook for sweeps whose remaining queries
+  /// are already saturated. Aborted runs never export a store.
+  ExploreStats explore_all_ids(const std::function<void(const SymState&, std::uint64_t)>& visit,
+                               const std::function<bool()>& stop = nullptr);
 
   /// Diagnostic trace from the initial state to a stored state, by the id
   /// handed to an explore_all_ids visitor. Valid until the engine dies.
@@ -126,6 +132,25 @@ class Reachability {
   DeadlockResult find_deadlock_ids(
       const std::function<void(const SymState&, std::uint64_t)>& visit);
 
+  /// Record everything a passed-store export needs (participating edges,
+  /// pre-extrapolation zones, deterministic insertion order, subsumption
+  /// covers) during the next exploration. Must be called before any run;
+  /// adds memory per stored state but no algorithmic cost.
+  void enable_capture();
+
+  /// Warm-start the next exploration from an ancestor store produced by a
+  /// skeleton-equal network. Each entry's zone is re-derived exactly under
+  /// THIS network; states whose neighbourhood is provably untouched by the
+  /// edit are seeded as closed (never re-expanded), the rest seed the first
+  /// frontier. Falls back to a cold start (silently) when the store does
+  /// not match. The pointee must outlive the run.
+  void set_ancestor(const PassedStoreExport* ancestor) { ancestor_ = ancestor; }
+
+  /// The store exported by the last COMPLETE capture-mode
+  /// explore_all_ids / find_deadlock_ids run; empty when capture was off or
+  /// the run aborted early (timelock, stop predicate).
+  std::optional<PassedStoreExport> take_export() { return std::move(export_); }
+
  private:
   /// Shard count of the passed/waiting store. Fixed (independent of `jobs`)
   /// so the shard assignment — and with it every bucket's insertion
@@ -139,6 +164,10 @@ class Reachability {
     SymState state;
     std::uint64_t parent;  ///< packed id, kNoParent for initial
     std::string label;     ///< edge label leading here
+    // Capture-mode extras (empty/default when capture is off).
+    std::vector<EdgeRef> edges;  ///< participating edges, firing order
+    dbm::Dbm pre_zone{0};        ///< pre-extrapolation zone when pre_differs
+    bool pre_differs = false;
   };
 
   /// One hash partition of the passed/waiting store. During a parallel
@@ -162,6 +191,10 @@ class Reachability {
     /// (rank, id) of goal-flagged states accepted in the current terminal
     /// chunk, rank-ascending.
     std::vector<std::pair<std::uint64_t, std::uint64_t>> accepted_goals;
+    /// Capture mode: (parent id, subsumer id) recorded whenever this
+    /// shard's subsumption check pruned a successor — the export needs them
+    /// to justify skipping closed states on a warm start.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> cover_events;
   };
 
   /// One generated successor, with everything the insertion phase needs
@@ -171,6 +204,10 @@ class Reachability {
     std::string label;
     std::size_t hash = 0;
     bool is_goal = false;
+    // Capture-mode extras, forwarded from SymSuccessor into the store.
+    std::vector<EdgeRef> edges;
+    dbm::Dbm pre_zone{0};
+    bool pre_differs = false;
   };
 
   static std::uint64_t pack_id(std::size_t shard, std::size_t index) {
@@ -187,8 +224,8 @@ class Reachability {
   /// insert (exact legacy semantics — used by the strictly sequential
   /// paths); parallel waves pass false and enforce the cap at the wave
   /// barrier instead, where the check is deterministic.
-  std::optional<std::uint64_t> insert(SymState&& state, std::size_t hash, std::uint64_t parent,
-                                      std::string&& label, bool enforce_cap = true);
+  std::optional<std::uint64_t> insert(GenSucc&& gs, std::uint64_t parent,
+                                      bool enforce_cap = true);
 
   /// Store the initial state and seed the frontier.
   std::uint64_t seed_initial();
@@ -219,6 +256,19 @@ class Reachability {
 
   Trace build_trace(std::uint64_t id) const;
 
+  /// Import the ancestor store (set_ancestor): re-derive every entry's zone
+  /// under this network in ordinal order, seed the arena, visit live seeds,
+  /// and assemble the first frontier from the non-closed ones. Returns
+  /// false (leaving the engine untouched) when the store does not fit this
+  /// network — the caller then seeds cold. In `deadlock_mode`, childless
+  /// cover-less seeds are always expanded so quiescence and timelocks are
+  /// re-detected by actual generation, never trusted from the old run.
+  bool seed_from_store(const std::function<void(const SymState&, std::uint64_t)>& visit,
+                       bool deadlock_mode);
+
+  /// Assemble the export of a completed capture run.
+  PassedStoreExport build_export() const;
+
   const ta::Network& net_;
   StateFormula goal_;
   ExploreOptions opts_;
@@ -234,6 +284,14 @@ class Reachability {
   std::vector<unsigned char> wave_blocked_;       ///< per frontier state
   ExploreStats stats_;  ///< explored/fired only; snapshot_stats adds the rest
   std::unique_ptr<WorkerPool> pool_;  ///< created on the first big wave
+
+  // Incremental-exploration state (enable_capture / set_ancestor).
+  bool capture_ = false;
+  const PassedStoreExport* ancestor_ = nullptr;
+  /// Packed ids in deterministic insertion order (capture mode): the
+  /// export's ordinal numbering.
+  std::vector<std::uint64_t> order_;
+  std::optional<PassedStoreExport> export_;
 };
 
 /// Convenience single-call reachability: is some state satisfying `goal`

@@ -144,6 +144,8 @@ class Server {
   std::atomic<std::uint64_t> explorations_total_{0};
   std::atomic<std::uint64_t> cache_hits_total_{0};
   std::atomic<std::uint64_t> cache_misses_total_{0};
+  std::atomic<std::uint64_t> warm_starts_{0};
+  std::atomic<std::uint64_t> states_reused_total_{0};
 };
 
 }  // namespace psv::net

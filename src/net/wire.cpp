@@ -64,6 +64,9 @@ void encode_server_stats(ByteWriter& out, const ServerStats& stats) {
   out.u64(stats.explorations_total);
   out.u64(stats.cache_hits_total);
   out.u64(stats.cache_misses_total);
+  // Protocol v2.
+  out.u64(stats.warm_starts);
+  out.u64(stats.states_reused);
 }
 
 ServerStats decode_server_stats(ByteReader& in) {
@@ -81,6 +84,8 @@ ServerStats decode_server_stats(ByteReader& in) {
   stats.explorations_total = in.u64();
   stats.cache_hits_total = in.u64();
   stats.cache_misses_total = in.u64();
+  stats.warm_starts = in.u64();
+  stats.states_reused = in.u64();
   PSV_REQUIRE_AS(ErrorCode::kProtocol, in.at_end(), "trailing bytes after stats payload");
   return stats;
 }

@@ -54,9 +54,12 @@ namespace psv::net {
 /// Highest protocol version this build speaks, and the lowest it still
 /// accepts from peers. Bump kProtocolVersion when the frame or payload
 /// encoding changes; raise kMinSupportedVersion only when dropping
-/// compatibility is intended.
-inline constexpr std::uint16_t kProtocolVersion = 1;
-inline constexpr std::uint16_t kMinSupportedVersion = 1;
+/// compatibility is intended. Version 2: ExploreStats blocks inside
+/// kReport payloads and the ServerStats payload gained the warm-start
+/// counters — a version-1 peer would misparse both, so the floor rises
+/// with the ceiling.
+inline constexpr std::uint16_t kProtocolVersion = 2;
+inline constexpr std::uint16_t kMinSupportedVersion = 2;
 
 /// Frame type tags. Part of the wire format: append, never renumber.
 enum class FrameType : std::uint8_t {
@@ -109,6 +112,9 @@ struct ServerStats {
   std::uint64_t explorations_total = 0;   ///< summed over served requests
   std::uint64_t cache_hits_total = 0;     ///< artifact-cache hits, served requests
   std::uint64_t cache_misses_total = 0;
+  // Incremental exploration (protocol v2).
+  std::uint64_t warm_starts = 0;    ///< served requests that reused an ancestor store
+  std::uint64_t states_reused = 0;  ///< ancestor states seeded without re-exploration
 };
 
 void encode_wire_error(ByteWriter& out, const WireError& error);

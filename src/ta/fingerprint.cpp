@@ -327,4 +327,72 @@ NetworkFingerprint fingerprint(const Network& net) {
   return fp;
 }
 
+Digest128 skeleton_digest(const Network& net) {
+  // Identity ranks: the shared expression encoders emit raw ids (nullptr
+  // would collapse every id to a placeholder and erase variable identity).
+  CanonicalIds raw;
+  raw.clock_rank.resize(static_cast<std::size_t>(net.num_clocks()));
+  for (std::size_t i = 0; i < raw.clock_rank.size(); ++i) raw.clock_rank[i] = static_cast<int>(i);
+  raw.var_rank.resize(static_cast<std::size_t>(net.num_vars()));
+  for (std::size_t i = 0; i < raw.var_rank.size(); ++i) raw.var_rank[i] = static_cast<int>(i);
+  raw.chan_rank.resize(net.channels().size());
+  for (std::size_t i = 0; i < raw.chan_rank.size(); ++i) raw.chan_rank[i] = static_cast<int>(i);
+
+  // Clock constraints with the bound masked: position and shape key, the
+  // constant does not.
+  const auto masked_cc = [](ByteWriter& w, const ClockConstraint& cc) {
+    w.u8(kTagClockCc);
+    w.i32(cc.clock);
+    w.u8(static_cast<std::uint8_t>(cc.op));
+  };
+
+  ByteWriter out;
+  out.str("psv-network-skeleton");
+  out.u32(kFingerprintVersion);
+  out.u64(static_cast<std::uint64_t>(net.num_clocks()));
+  out.u64(net.vars().size());
+  for (const VarDecl& d : net.vars()) {
+    out.i64(d.init);
+    out.i64(d.min);
+    out.i64(d.max);
+  }
+  out.u64(net.channels().size());
+  for (const ChanDecl& d : net.channels()) out.u8(static_cast<std::uint8_t>(d.kind));
+
+  out.u64(net.automata().size());
+  for (const Automaton& a : net.automata()) {
+    out.u8(kTagAutomaton);
+    out.u64(a.locations().size());
+    for (const Location& loc : a.locations()) {
+      out.u8(kTagLocation);
+      out.u8(static_cast<std::uint8_t>(loc.kind));
+      out.u64(loc.invariant.size());
+      for (const ClockConstraint& cc : loc.invariant) masked_cc(out, cc);
+    }
+    out.i32(a.initial());
+    out.u64(a.edges().size());
+    for (const Edge& e : a.edges()) {
+      out.u8(kTagEdge);
+      out.i32(e.src);
+      out.i32(e.dst);
+      encode_bool_expr(out, e.guard.data, &raw);
+      out.u64(e.guard.clocks.size());
+      for (const ClockConstraint& cc : e.guard.clocks) masked_cc(out, cc);
+      out.u8(static_cast<std::uint8_t>(e.sync.dir));
+      out.i32(e.sync.dir == SyncDir::kNone ? -1 : e.sync.chan);
+      out.u64(e.update.assignments.size());
+      for (const Assignment& as : e.update.assignments) {
+        out.i32(as.var);
+        encode_int_expr(out, as.value, &raw);
+      }
+      out.u64(e.update.resets.size());
+      for (const ClockReset& r : e.update.resets) {
+        out.i32(r.clock);
+        out.i32(r.value);
+      }
+    }
+  }
+  return digest128(out.buffer().data(), out.size());
+}
+
 }  // namespace psv::ta

@@ -19,6 +19,7 @@
 
 #include "core/analysis.h"
 #include "core/framework.h"
+#include "dbm/dbm.h"
 #include "core/pim.h"
 #include "core/transform.h"
 #include "lang/model_parser.h"
@@ -83,6 +84,49 @@ mc::VerificationArtifact sample_artifact() {
   artifact.deadlock.timelock = false;
   artifact.deadlock.trace.steps = {{"delay", "(L0, M0) vars{} zone{}"}};
   artifact.deadlock.stats = {100, 90, 300, 12};
+
+  // v4 payload: memoized reachability / bounded-response results, the
+  // skeleton digest, and a small passed store. The fuzzing tests below
+  // corrupt (and truncate inside) these bytes too.
+  mc::VerificationArtifact::ReachEntry reach;
+  reach.query = Digest128{0x5555, 0x6666};
+  reach.result.reachable = true;
+  reach.result.trace.steps = {{"P.L0->L1[ch!]", "(L1, M0) vars{a=1} zone{x<=5}"}};
+  reach.result.stats = {40, 33, 80, 4};
+  artifact.reaches.push_back(reach);
+  mc::VerificationArtifact::ResponseEntry response;
+  response.query = Digest128{0x7777, 0x9999};
+  response.result.holds = false;
+  response.result.violation.steps = {{"delay", "(L1, M0) vars{} zone{t>80}"}};
+  response.result.stats = {41, 34, 81, 5};
+  artifact.responses.push_back(response);
+  artifact.skeleton = Digest128{0xbbbb, 0xcccc};
+
+  mc::PassedStoreExport store;
+  store.num_clocks = 1;
+  store.num_vars = 1;
+  store.num_automata = 1;
+  store.max_consts = {0, 30};
+  store.edge_digests = {{Digest128{0x1, 0x2}}};
+  store.inv_digests = {{Digest128{0x3, 0x4}}};
+  mc::StoreEntry initial;
+  initial.locs = {0};
+  initial.vars = {7};
+  initial.zone = dbm::Dbm(1);
+  store.entries.push_back(initial);
+  mc::StoreEntry child;
+  child.parent = 0;
+  child.label = "M.Idle->Work[req?]";
+  child.edges = {{0, 0}};
+  child.locs = {1};
+  child.vars = {8};
+  child.zone = dbm::Dbm(1);
+  child.zone.up();
+  child.pre_zone = dbm::Dbm(1);
+  child.pre_differs = true;
+  child.covers = {0};
+  store.entries.push_back(child);
+  artifact.store = std::move(store);
   return artifact;
 }
 
@@ -116,6 +160,56 @@ void expect_artifacts_equal(const mc::VerificationArtifact& a, const mc::Verific
   EXPECT_EQ(a.deadlock.timelock, b.deadlock.timelock);
   EXPECT_EQ(a.deadlock.stats.states_stored, b.deadlock.stats.states_stored);
   ASSERT_EQ(a.deadlock.trace.steps.size(), b.deadlock.trace.steps.size());
+
+  ASSERT_EQ(a.reaches.size(), b.reaches.size());
+  for (std::size_t i = 0; i < a.reaches.size(); ++i) {
+    EXPECT_EQ(a.reaches[i].query, b.reaches[i].query);
+    EXPECT_EQ(a.reaches[i].result.reachable, b.reaches[i].result.reachable);
+    EXPECT_EQ(a.reaches[i].result.trace.to_string(), b.reaches[i].result.trace.to_string());
+    EXPECT_EQ(a.reaches[i].result.stats.states_explored, b.reaches[i].result.stats.states_explored);
+  }
+  ASSERT_EQ(a.responses.size(), b.responses.size());
+  for (std::size_t i = 0; i < a.responses.size(); ++i) {
+    EXPECT_EQ(a.responses[i].query, b.responses[i].query);
+    EXPECT_EQ(a.responses[i].result.holds, b.responses[i].result.holds);
+    EXPECT_EQ(a.responses[i].result.violation.to_string(),
+              b.responses[i].result.violation.to_string());
+  }
+  EXPECT_EQ(a.skeleton, b.skeleton);
+  ASSERT_EQ(a.store.has_value(), b.store.has_value());
+  if (a.store.has_value()) {
+    EXPECT_EQ(a.store->num_clocks, b.store->num_clocks);
+    EXPECT_EQ(a.store->num_vars, b.store->num_vars);
+    EXPECT_EQ(a.store->num_automata, b.store->num_automata);
+    EXPECT_EQ(a.store->max_consts, b.store->max_consts);
+    EXPECT_EQ(a.store->edge_digests, b.store->edge_digests);
+    EXPECT_EQ(a.store->inv_digests, b.store->inv_digests);
+    ASSERT_EQ(a.store->entries.size(), b.store->entries.size());
+    for (std::size_t i = 0; i < a.store->entries.size(); ++i) {
+      const mc::StoreEntry& x = a.store->entries[i];
+      const mc::StoreEntry& y = b.store->entries[i];
+      EXPECT_EQ(x.parent, y.parent);
+      EXPECT_EQ(x.label, y.label);
+      ASSERT_EQ(x.edges.size(), y.edges.size());
+      for (std::size_t e = 0; e < x.edges.size(); ++e) {
+        EXPECT_EQ(x.edges[e].automaton, y.edges[e].automaton);
+        EXPECT_EQ(x.edges[e].edge_index, y.edges[e].edge_index);
+      }
+      EXPECT_EQ(x.locs, y.locs);
+      EXPECT_EQ(x.vars, y.vars);
+      EXPECT_EQ(x.pre_differs, y.pre_differs);
+      EXPECT_EQ(x.covers, y.covers);
+      ASSERT_EQ(x.zone.dim(), y.zone.dim());
+      for (int r = 0; r < x.zone.dim(); ++r)
+        for (int c = 0; c < x.zone.dim(); ++c)
+          EXPECT_EQ(x.zone.at(r, c), y.zone.at(r, c)) << "zone[" << r << "][" << c << "]";
+      if (x.pre_differs) {
+        ASSERT_EQ(x.pre_zone.dim(), y.pre_zone.dim());
+        for (int r = 0; r < x.pre_zone.dim(); ++r)
+          for (int c = 0; c < x.pre_zone.dim(); ++c) EXPECT_EQ(x.pre_zone.at(r, c), y.pre_zone.at(r, c));
+      }
+    }
+  }
 }
 
 TEST(Artifact, PayloadRoundTrip) {
@@ -218,10 +312,11 @@ TEST(ArtifactHardening, VersionAndEndiannessMismatchesAreRejected) {
   write_file_bytes(store.path_of(key), bumped);
   EXPECT_FALSE(store.load(key).has_value());
 
-  // A stale v2 file (pre-ranked-trace payload) is rejected the same way: a
-  // warned miss that makes the session re-explore and overwrite it with v3.
+  // A stale v3 file (no reach/response memos, no skeleton, no passed store)
+  // is rejected the same way: a warned miss that makes the session
+  // re-explore and overwrite it with the current format.
   std::vector<std::uint8_t> stale = pristine;
-  stale[4] = 2;
+  stale[4] = static_cast<std::uint8_t>(mc::kArtifactFormatVersion - 1);
   write_file_bytes(store.path_of(key), stale);
   EXPECT_FALSE(store.load(key).has_value());
 

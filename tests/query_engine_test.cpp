@@ -135,7 +135,12 @@ TEST(QueryEngineDifferential, QuickstartPipelineIdenticalAcrossEnginesAndJobs) {
 // third automaton interleaves on its own clock to widen the product. The
 // exact maximum of t at ENV.Await is hi (delivery is immediate), or
 // unbounded without the invariant.
-Network random_reqresp_net(std::uint64_t seed, bool bounded, std::int32_t& expected_hi) {
+// `hi_delta`/`period_delta` perturb ONE seeded timing constant (clamped so
+// the net stays live) without touching the rng sequence or the structure:
+// the perturbed net is skeleton-equal to the unperturbed one — the shape the
+// incremental-exploration warm start targets.
+Network random_reqresp_net(std::uint64_t seed, bool bounded, std::int32_t& expected_hi,
+                           std::int32_t hi_delta = 0, std::int32_t period_delta = 0) {
   Rng rng(seed);
   Network net("rand" + std::to_string(seed));
   const ClockId t = net.add_clock("t");
@@ -144,7 +149,8 @@ Network random_reqresp_net(std::uint64_t seed, bool bounded, std::int32_t& expec
   const ChanId req = net.add_channel("req", ChanKind::kBinary);
   const ChanId resp = net.add_channel("resp", ChanKind::kBinary);
   const auto lo = static_cast<std::int32_t>(rng.uniform_int(1, 40));
-  const auto hi = static_cast<std::int32_t>(lo + rng.uniform_int(1, 400));
+  auto hi = static_cast<std::int32_t>(lo + rng.uniform_int(1, 400));
+  hi = hi + hi_delta < lo ? lo : hi + hi_delta;
   expected_hi = hi;
 
   Automaton env("ENV");
@@ -183,7 +189,7 @@ Network random_reqresp_net(std::uint64_t seed, bool bounded, std::int32_t& expec
   net.add_automaton(std::move(m));
 
   Automaton w("W");
-  const auto period = static_cast<std::int32_t>(rng.uniform_int(3, 25));
+  const auto period = static_cast<std::int32_t>(rng.uniform_int(3, 25)) + period_delta;
   const LocId w0 = w.add_location("W0", LocKind::kNormal, {cc_le(z, period)});
   const LocId w1 = w.add_location("W1", LocKind::kNormal, {cc_le(z, period)});
   Edge tick;
@@ -431,6 +437,70 @@ TEST(SessionReuse, RepeatedFlagChecksShareOneExploration) {
   EXPECT_EQ(session.stats().explorations, explorations) << "repeat must be served from cache";
   EXPECT_EQ(first.to_string(), second.to_string());
   EXPECT_TRUE(first.all_hold()) << first.to_string();
+}
+
+// --- Incremental exploration (warm start) ------------------------------------
+
+// Property, over the seeded randomized family: adopt the unperturbed net's
+// passed store into a session for a RANDOMLY single-edit-perturbed net
+// (one timing constant raised, lowered, or a period stretched — the
+// skeleton never changes) and the warm answers are bit-identical to a cold
+// session's at every thread count and under both engines. The ancestor only
+// accelerates the sweep engine; under the probe engine adoption must be an
+// exact no-op. Upward edits must actually reuse or revalidate stored states
+// — otherwise the warm start silently degraded to a cold run.
+TEST(IncrementalExploration, SeededPerturbedNetsWarmMatchesColdAcrossEnginesAndJobs) {
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    std::int32_t base_hi = 0;
+    const Network base = random_reqresp_net(seed, /*bounded=*/true, base_hi);
+
+    // One random single-constant edit: raise the work window, shrink it, or
+    // stretch the interleaver period.
+    Rng perturb_rng(seed * 977 + 13);
+    const auto which = static_cast<int>(perturb_rng.uniform_int(0, 2));
+    const auto d = static_cast<std::int32_t>(perturb_rng.uniform_int(1, 30));
+    const std::int32_t hi_delta = which == 0 ? d : which == 1 ? -d : 0;
+    const std::int32_t period_delta = which == 2 ? d : 0;
+    std::int32_t hi = 0;
+    const Network perturbed = random_reqresp_net(seed, true, hi, hi_delta, period_delta);
+    ASSERT_EQ(ta::skeleton_digest(base), ta::skeleton_digest(perturbed))
+        << "seed " << seed << ": a constant edit must not change the skeleton";
+
+    // The ancestor: one captured sweep over the unperturbed net.
+    mc::VerificationSession ancestor(base, engine_opts(mc::QueryEngine::kSweep, 1));
+    mc::BoundQuery base_query{mc::at(base, "ENV", "Await"), 0, 10'000, /*hint=*/64};
+    ancestor.max_clock_value(base_query);
+    const std::shared_ptr<const mc::PassedStoreExport> store = ancestor.exported_store();
+    ASSERT_NE(store, nullptr) << "seed " << seed << ": sweep session exported no store";
+
+    const mc::BoundQuery query{mc::at(perturbed, "ENV", "Await"), 0, 10'000, /*hint=*/64};
+    for (const mc::QueryEngine engine : {mc::QueryEngine::kSweep, mc::QueryEngine::kProbe}) {
+      for (const unsigned jobs : {1u, 2u, 8u}) {
+        const std::string label = "seed " + std::to_string(seed) + " edit " +
+                                  std::to_string(which) + " engine " +
+                                  (engine == mc::QueryEngine::kSweep ? "sweep" : "probe") +
+                                  " jobs " + std::to_string(jobs);
+        mc::VerificationSession cold(perturbed, engine_opts(engine, jobs));
+        const mc::MaxClockResult cold_result = cold.max_clock_value(query);
+
+        mc::VerificationSession warm(perturbed, engine_opts(engine, jobs));
+        warm.adopt_ancestor(store);
+        const mc::MaxClockResult warm_result = warm.max_clock_value(query);
+
+        expect_same_answer(cold_result, warm_result, label);
+        ASSERT_TRUE(warm_result.bounded) << label;
+        EXPECT_EQ(warm_result.bound, hi) << label;
+        if (engine == mc::QueryEngine::kSweep) {
+          EXPECT_GT(warm.stats().warm_start_states_reused() + warm.stats().states_revalidated(),
+                    0u)
+              << label << ": adopted ancestor was never consulted";
+        } else {
+          EXPECT_EQ(warm.stats().warm_start_states_reused(), 0u)
+              << label << ": the probe engine must ignore ancestors";
+        }
+      }
+    }
+  }
 }
 
 TEST(SessionReuse, SessionBackedPipelineMatchesLegacyPaths) {

@@ -115,7 +115,8 @@ int main(int argc, char** argv) {
                 << stats.requests_ok << " ok, " << stats.requests_error << " error, "
                 << stats.requests_busy << " busy) on " << stats.connections_accepted
                 << " connection(s); " << stats.explorations_total << " exploration(s), "
-                << stats.cache_hits_total << " cache hit(s)\n";
+                << stats.cache_hits_total << " cache hit(s), " << stats.warm_starts
+                << " warm start(s) reusing " << stats.states_reused << " state(s)\n";
     return 0;
   } catch (const psv::Error& e) {
     std::cerr << "error: " << e.what() << "\n";

@@ -68,6 +68,7 @@ struct CliOptions {
   std::string stats_json_path;
   std::string cache_dir;
   bool no_cache = false;
+  bool goal_pruning = false;
 };
 
 /// The flag registry shared semantics with psv_serve live in util/cli; this
@@ -136,10 +137,15 @@ psv::cli::Parser make_parser(CliOptions& cli) {
                                           std::to_string(psv::mc::kMaxTopK) + "]");
                        cli.top_k = parsed;
                      });
+  parser.flag("--goal-pruning", &cli.goal_pruning,
+              "stop bounds-only sweeps early once every pending\n"
+              "maximum is saturated (bounds and verdicts are\n"
+              "unchanged; statistics and cache keys differ)");
   parser.flag("--stats-json", &cli.stats_json_path, "FILE",
               "write per-stage statistics (wall clock, states\n"
-              "stored/explored, explorations, cache state) as JSON;\n"
-              "batch runs add a per-job breakdown");
+              "stored/explored, explorations, warm-start reuse,\n"
+              "cache state) as JSON; batch runs add a per-job\n"
+              "breakdown, --connect runs add the daemon counters");
   parser.flag("--cache-dir", &cli.cache_dir, "DIR",
               "persist verification artifacts in DIR, keyed on the\n"
               "model's canonical fingerprint: a repeat run on an\n"
@@ -189,6 +195,9 @@ void write_stage(psv::json::Writer& w, const psv::core::VerifyStageStats& s) {
   w.field("states_explored", s.explore.states_explored);
   w.field("transitions_fired", s.explore.transitions_fired);
   w.field("subsumed", s.explore.subsumed);
+  w.field("warm_start_states_reused", s.explore.warm_states_reused);
+  w.field("states_revalidated", s.explore.warm_states_revalidated);
+  w.field("warm_seed_expansions", s.explore.warm_seed_expansions);
   w.field("cache", s.cache.state());
   w.field("cache_hits", s.cache.hits);
   w.field("cache_misses", s.cache.misses);
@@ -226,22 +235,28 @@ void write_requirement(psv::json::Writer& w, const psv::core::SchemeVerification
 /// scheme/requirement; the "batch" array carries every job in full.
 void write_stats_json(const std::string& path, const std::vector<JobOutcome>& outcomes,
                       unsigned jobs, const std::string& engine, double total_wall_ms,
-                      const std::string& cache_dir) {
+                      const std::string& cache_dir,
+                      const std::optional<psv::net::ServerStats>& server_stats) {
   std::ofstream out(path);
   PSV_REQUIRE_AS(psv::ErrorCode::kIo, out.good(), "cannot write '" + path + "'");
 
   int cache_hits = 0, cache_misses = 0, cache_stores = 0;
+  std::size_t warm_reused = 0, revalidated = 0;
   for (const JobOutcome& job : outcomes) {
     for (const psv::core::VerifyStageStats& s : job.report.pim_stages) {
       cache_hits += s.cache.hits;
       cache_misses += s.cache.misses;
       cache_stores += s.cache.stores;
+      warm_reused += s.explore.warm_states_reused;
+      revalidated += s.explore.warm_states_revalidated;
     }
     for (const psv::core::SchemeVerification& sv : job.report.schemes) {
       for (const psv::core::VerifyStageStats& s : sv.stages) {
         cache_hits += s.cache.hits;
         cache_misses += s.cache.misses;
         cache_stores += s.cache.stores;
+        warm_reused += s.explore.warm_states_reused;
+        revalidated += s.explore.warm_states_revalidated;
       }
     }
   }
@@ -265,6 +280,22 @@ void write_stats_json(const std::string& path, const std::vector<JobOutcome>& ou
   w.field("misses", cache_misses);
   w.field("stores", cache_stores);
   w.end_object();
+  // Incremental-exploration totals over every stage of every job.
+  w.field("warm_start_states_reused", warm_reused);
+  w.field("states_revalidated", revalidated);
+  if (server_stats.has_value()) {
+    w.key("server");
+    w.begin_object();
+    w.field("requests_received", server_stats->requests_received);
+    w.field("requests_ok", server_stats->requests_ok);
+    w.field("sessions_pooled", server_stats->sessions_pooled);
+    w.field("explorations_total", server_stats->explorations_total);
+    w.field("cache_hits_total", server_stats->cache_hits_total);
+    w.field("cache_misses_total", server_stats->cache_misses_total);
+    w.field("warm_starts", server_stats->warm_starts);
+    w.field("states_reused", server_stats->states_reused);
+    w.end_object();
+  }
   w.key("verified");
   w.begin_object();
   w.field("pim_max_delay", first_req.pim.max_delay);
@@ -386,7 +417,8 @@ void run_simulation(const psv::ta::Network& pim, const psv::core::PimInfo& info,
 /// jobs are pipelined on one connection first, then collected (responses
 /// may complete out of order server-side); outcomes come back in job order
 /// either way, so the printed output is identical.
-std::vector<JobOutcome> execute_jobs(const std::vector<Job>& jobs, const std::string& connect) {
+std::vector<JobOutcome> execute_jobs(const std::vector<Job>& jobs, const std::string& connect,
+                                     std::optional<psv::net::ServerStats>* server_stats) {
   std::vector<JobOutcome> outcomes;
   outcomes.reserve(jobs.size());
   if (connect.empty()) {
@@ -409,6 +441,7 @@ std::vector<JobOutcome> execute_jobs(const std::vector<Job>& jobs, const std::st
     if (!response.ok) PSV_FAIL_AS(response.error.code, response.error.message);
     reports[id_to_index.at(response.request_id)] = std::move(response.report);
   }
+  if (server_stats != nullptr) *server_stats = client.server_stats();
   for (std::size_t i = 0; i < jobs.size(); ++i)
     outcomes.push_back({jobs[i].name, jobs[i].model_path, std::move(*reports[i])});
   return outcomes;
@@ -453,6 +486,7 @@ int main(int argc, char** argv) {
     options.explore.engine =
         cli.engine == "probe" ? psv::mc::QueryEngine::kProbe : psv::mc::QueryEngine::kSweep;
     options.cache_dir = cli.cache_dir;
+    options.explore.goal_pruning = cli.goal_pruning;
     if (cli.top_k >= 0) options.top_k = cli.top_k;
 
     const auto wall_start = std::chrono::steady_clock::now();
@@ -502,7 +536,9 @@ int main(int argc, char** argv) {
       }
     }
 
-    std::vector<JobOutcome> outcomes = execute_jobs(jobs, cli.connect);
+    std::optional<psv::net::ServerStats> server_stats;
+    std::vector<JobOutcome> outcomes = execute_jobs(
+        jobs, cli.connect, cli.stats_json_path.empty() ? nullptr : &server_stats);
 
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
       JobOutcome& outcome = outcomes[i];
@@ -539,7 +575,7 @@ int main(int argc, char** argv) {
 
     if (!cli.stats_json_path.empty()) {
       write_stats_json(cli.stats_json_path, outcomes, cli.jobs, cli.engine, total_wall_ms,
-                       cli.cache_dir);
+                       cli.cache_dir, server_stats);
       std::cout << "wrote per-stage stats to " << cli.stats_json_path << "\n";
     }
 
