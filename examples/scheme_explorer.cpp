@@ -11,6 +11,7 @@
 #include <iostream>
 
 #include "core/analysis.h"
+#include "core/schedulability.h"
 #include "core/scheme.h"
 #include "gpca/pump_model.h"
 #include "util/table.h"
@@ -40,6 +41,7 @@ core::ImplementationScheme variant(const std::string& name, core::ReadMechanism 
 
 int main() {
   const std::int64_t pim_bound = 500;  // the pump PIM's own worst case
+  const core::TimingRequirement req1{"REQ1", "BolusReq", "StartInfusion", 500};
 
   const std::vector<core::ImplementationScheme> schemes = {
       variant("board (poll 240 / period 200)", core::ReadMechanism::kPolling, 240,
@@ -59,9 +61,9 @@ int main() {
                     "P(500) plausible?"});
   table.set_align({Align::kLeft, Align::kRight, Align::kRight, Align::kRight, Align::kLeft});
   for (const core::ImplementationScheme& is : schemes) {
-    const std::int64_t in_bound = core::analytic_input_delay_bound(is, "BolusReq");
-    const std::int64_t out_bound = core::analytic_output_delay_bound(is, "StartInfusion");
-    const std::int64_t total = in_bound + out_bound + pim_bound;
+    const std::int64_t in_bound = core::analytic_input_delay_bound(is, req1.input);
+    const std::int64_t out_bound = core::analytic_output_delay_bound(is, req1.output);
+    const std::int64_t total = core::analytic_requirement_bound(is, req1, pim_bound);
     table.add_row({is.name, fmt_ms(static_cast<double>(in_bound)),
                    fmt_ms(static_cast<double>(out_bound)),
                    fmt_ms(static_cast<double>(total)), total <= 500 ? "yes" : "no"});

@@ -391,6 +391,201 @@ void encode_verify_report(ByteWriter& out, const VerifyReport& report) {
   for (const SchemeVerification& sv : report.schemes) encode_scheme_verification(out, sv);
 }
 
+namespace {
+
+void encode_sweep_axis(ByteWriter& out, const SweepAxis& axis) {
+  out.u8(static_cast<std::uint8_t>(axis.field));
+  out.str(axis.base);
+  out.i32(axis.lo);
+  out.i32(axis.hi);
+  out.i32(axis.step);
+}
+
+SweepAxis decode_sweep_axis(ByteReader& in) {
+  SweepAxis axis;
+  const std::uint8_t field = in.u8();
+  PSV_REQUIRE_AS(ErrorCode::kProtocol,
+                 field <= static_cast<std::uint8_t>(SweepField::kWriteStageMax),
+                 "malformed payload: sweep field tag " + std::to_string(field));
+  axis.field = static_cast<SweepField>(field);
+  axis.base = in.str();
+  axis.lo = in.i32();
+  axis.hi = in.i32();
+  axis.step = in.i32();
+  return axis;
+}
+
+void encode_i64_list(ByteWriter& out, const std::vector<std::int64_t>& v) {
+  out.u64(v.size());
+  for (const std::int64_t x : v) out.i64(x);
+}
+
+std::vector<std::int64_t> decode_i64_list(ByteReader& in) {
+  const std::size_t n = in.length(/*min_element_size=*/8);
+  std::vector<std::int64_t> v;
+  v.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) v.push_back(in.i64());
+  return v;
+}
+
+void encode_candidate_outcome(ByteWriter& out, const CandidateOutcome& c) {
+  out.u64(c.index);
+  out.u64(c.values.size());
+  for (const std::int32_t v : c.values) out.i32(v);
+  out.str(c.name);
+  out.u8(static_cast<std::uint8_t>(c.status));
+  out.boolean(c.constraints_ok);
+  out.boolean(c.satisfies);
+  encode_i64_list(out, c.analytic);
+  encode_i64_list(out, c.delays);
+  out.u64(c.bounded.size());
+  for (const std::uint8_t b : c.bounded) out.u8(b);
+  encode_i64_list(out, c.slack);
+  mc::write_explore_stats(out, c.explore);
+}
+
+CandidateOutcome decode_candidate_outcome(ByteReader& in) {
+  CandidateOutcome c;
+  c.index = static_cast<std::size_t>(in.u64());
+  const std::size_t values = in.length(/*min_element_size=*/4);
+  c.values.reserve(values);
+  for (std::size_t i = 0; i < values; ++i) c.values.push_back(in.i32());
+  c.name = in.str();
+  const std::uint8_t status = in.u8();
+  PSV_REQUIRE_AS(
+      ErrorCode::kProtocol,
+      status <= static_cast<std::uint8_t>(CandidateOutcome::Status::kPrunedDominated),
+      "malformed payload: candidate status " + std::to_string(status));
+  c.status = static_cast<CandidateOutcome::Status>(status);
+  c.constraints_ok = in.boolean();
+  c.satisfies = in.boolean();
+  c.analytic = decode_i64_list(in);
+  c.delays = decode_i64_list(in);
+  const std::size_t bounded = in.length(/*min_element_size=*/1);
+  c.bounded.reserve(bounded);
+  for (std::size_t i = 0; i < bounded; ++i) c.bounded.push_back(in.u8());
+  c.slack = decode_i64_list(in);
+  c.explore = mc::read_explore_stats(in);
+  return c;
+}
+
+}  // namespace
+
+SynthRequest to_synth_request(const SourceSynthRequest& request) {
+  SynthRequest out;
+  out.pim = lang::parse_model(request.model_source);
+  out.info = analyze_pim(out.pim);
+  out.tmpl = lang::parse_scheme_template(request.template_source);
+  out.requirements = request.requirements;
+  out.options = request.options;
+  out.synth = request.synth;
+  return out;
+}
+
+void encode_source_synth_request(ByteWriter& out, const SourceSynthRequest& request) {
+  out.str(request.model_source);
+  out.str(request.template_source);
+  out.u64(request.requirements.size());
+  for (const TimingRequirement& req : request.requirements)
+    encode_timing_requirement(out, req);
+  encode_verify_options(out, request.options);
+  out.u32(request.synth.workers);
+  out.boolean(request.synth.prune);
+  out.u64(request.synth.visit_seed);
+}
+
+SourceSynthRequest decode_source_synth_request(ByteReader& in) {
+  SourceSynthRequest request;
+  request.model_source = in.str();
+  request.template_source = in.str();
+  const std::size_t reqs = in.length(/*min_element_size=*/8 + 8 + 8 + 8);
+  check_count(reqs, "requirement");
+  request.requirements.reserve(reqs);
+  for (std::size_t i = 0; i < reqs; ++i)
+    request.requirements.push_back(decode_timing_requirement(in));
+  request.options = decode_verify_options(in);
+  request.synth.workers = in.u32();
+  request.synth.prune = in.boolean();
+  request.synth.visit_seed = in.u64();
+  PSV_REQUIRE_AS(ErrorCode::kProtocol, in.at_end(),
+                 "malformed payload: trailing bytes after synth request");
+  return request;
+}
+
+void encode_synth_report(ByteWriter& out, const SynthReport& report) {
+  out.u64(report.requirements.size());
+  for (const TimingRequirement& req : report.requirements)
+    encode_timing_requirement(out, req);
+  out.u64(report.axes.size());
+  for (const SweepAxis& axis : report.axes) encode_sweep_axis(out, axis);
+  out.u64(report.candidates.size());
+  for (const CandidateOutcome& c : report.candidates) encode_candidate_outcome(out, c);
+  out.u64(report.pareto.size());
+  for (const std::size_t idx : report.pareto) out.u64(idx);
+  out.u64(report.feasibility.size());
+  for (const FeasibilityEntry& f : report.feasibility) {
+    out.str(f.requirement);
+    out.boolean(f.bounded);
+    out.i64(f.tightest_ms);
+    out.str(f.witness);
+  }
+  out.u64(report.stats.candidates_total);
+  out.u64(report.stats.pruned_analytic);
+  out.u64(report.stats.pruned_dominated);
+  out.u64(report.stats.explored_cold);
+  out.u64(report.stats.explored_warm);
+  out.u64(report.stats.fresh_states);
+  out.u64(report.stats.warm_states_reused);
+}
+
+SynthReport decode_synth_report(ByteReader& in) {
+  SynthReport report;
+  const std::size_t reqs = in.length(/*min_element_size=*/8 + 8 + 8 + 8);
+  check_count(reqs, "requirement");
+  report.requirements.reserve(reqs);
+  for (std::size_t i = 0; i < reqs; ++i)
+    report.requirements.push_back(decode_timing_requirement(in));
+  const std::size_t axes = in.length(/*min_element_size=*/1 + 8 + 4 + 4 + 4);
+  check_count(axes, "sweep-axis");
+  report.axes.reserve(axes);
+  for (std::size_t i = 0; i < axes; ++i) report.axes.push_back(decode_sweep_axis(in));
+  const std::size_t candidates = in.length(/*min_element_size=*/8 + 8 + 8 + 1 + 2 + 32);
+  check_count(candidates, "candidate");
+  report.candidates.reserve(candidates);
+  for (std::size_t i = 0; i < candidates; ++i)
+    report.candidates.push_back(decode_candidate_outcome(in));
+  const std::size_t pareto = in.length(/*min_element_size=*/8);
+  check_count(pareto, "pareto-index");
+  report.pareto.reserve(pareto);
+  for (std::size_t i = 0; i < pareto; ++i) {
+    const std::size_t idx = static_cast<std::size_t>(in.u64());
+    PSV_REQUIRE_AS(ErrorCode::kProtocol, idx < report.candidates.size(),
+                   "malformed payload: pareto index out of range");
+    report.pareto.push_back(idx);
+  }
+  const std::size_t feasibility = in.length(/*min_element_size=*/8 + 1 + 8 + 8);
+  check_count(feasibility, "feasibility-entry");
+  report.feasibility.reserve(feasibility);
+  for (std::size_t i = 0; i < feasibility; ++i) {
+    FeasibilityEntry f;
+    f.requirement = in.str();
+    f.bounded = in.boolean();
+    f.tightest_ms = in.i64();
+    f.witness = in.str();
+    report.feasibility.push_back(std::move(f));
+  }
+  report.stats.candidates_total = in.u64();
+  report.stats.pruned_analytic = in.u64();
+  report.stats.pruned_dominated = in.u64();
+  report.stats.explored_cold = in.u64();
+  report.stats.explored_warm = in.u64();
+  report.stats.fresh_states = in.u64();
+  report.stats.warm_states_reused = in.u64();
+  PSV_REQUIRE_AS(ErrorCode::kProtocol, in.at_end(),
+                 "malformed payload: trailing bytes after synth report");
+  return report;
+}
+
 VerifyReport decode_verify_report(ByteReader& in) {
   VerifyReport report;
   const std::size_t reqs = in.length(/*min_element_size=*/8 + 8 + 8 + 8);

@@ -25,6 +25,7 @@
 #pragma once
 
 #include "core/service.h"
+#include "core/synth.h"
 #include "util/serde.h"
 
 namespace psv::core {
@@ -54,5 +55,29 @@ TimingRequirement decode_timing_requirement(ByteReader& in);
 
 void encode_verify_report(ByteWriter& out, const VerifyReport& report);
 VerifyReport decode_verify_report(ByteReader& in);
+
+/// A SynthRequest as it travels the wire (protocol v3 kSynth frames):
+/// program sources plus typed requirements and options. The scheme source
+/// is a synthesis TEMPLATE (.pss text with sweep ranges,
+/// lang::parse_scheme_template).
+struct SourceSynthRequest {
+  std::string model_source;                     ///< .psv program text
+  std::string template_source;                  ///< .pss text with sweep ranges
+  std::vector<TimingRequirement> requirements;  ///< at least one
+  VerifyOptions options;
+  SynthOptions synth;
+};
+
+/// Parse a SourceSynthRequest into a synthesis request. Throws psv::Error
+/// (kParse/kModel) exactly like the CLI's own parsing.
+SynthRequest to_synth_request(const SourceSynthRequest& request);
+
+void encode_source_synth_request(ByteWriter& out, const SourceSynthRequest& request);
+SourceSynthRequest decode_source_synth_request(ByteReader& in);
+
+/// SynthReport travels field-for-field; frontier_text()/summary() of a
+/// decoded report render byte-identical to the server-side report.
+void encode_synth_report(ByteWriter& out, const SynthReport& report);
+SynthReport decode_synth_report(ByteReader& in);
 
 }  // namespace psv::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "core/analysis.h"
 #include "util/strings.h"
 
 namespace psv::core {
@@ -124,6 +125,13 @@ SchedulabilityReport check_schedulability(const ta::Network& pim, const PimInfo&
   }
 
   return report;
+}
+
+std::int64_t analytic_requirement_bound(const ImplementationScheme& scheme,
+                                        const TimingRequirement& req,
+                                        std::int64_t pim_internal_bound) {
+  return analytic_input_delay_bound(scheme, req.input) +
+         analytic_output_delay_bound(scheme, req.output) + pim_internal_bound;
 }
 
 }  // namespace psv::core

@@ -62,4 +62,15 @@ std::vector<EmissionWindow> emission_windows(const ta::Network& pim, const PimIn
 SchedulabilityReport check_schedulability(const ta::Network& pim, const PimInfo& info,
                                           const ImplementationScheme& scheme);
 
+/// Lemma-1/Lemma-2 analytic pre-bound for one requirement under `scheme`
+/// (examples/scheme_explorer's sketch, promoted): the closed-form input +
+/// output delay bounds of the requirement's pair plus the PIM-internal
+/// bound. An upper bound on the verified end-to-end delay that costs no
+/// exploration, monotone non-decreasing in every SweepAxis with
+/// monotone_worse_up() — scheme synthesis uses it to rank candidates
+/// before exploring any of them.
+std::int64_t analytic_requirement_bound(const ImplementationScheme& scheme,
+                                        const TimingRequirement& req,
+                                        std::int64_t pim_internal_bound);
+
 }  // namespace psv::core

@@ -174,4 +174,158 @@ ImplementationScheme example_is1(const std::vector<std::string>& input_names,
   return is;
 }
 
+namespace {
+
+const char* sweep_field_suffix(SweepField field) {
+  switch (field) {
+    case SweepField::kPollingInterval: return "polling_interval";
+    case SweepField::kInputDelayMin: return "delay_min";
+    case SweepField::kInputDelayMax: return "delay_max";
+    case SweepField::kMinInterarrival: return "min_interarrival";
+    case SweepField::kSustainDuration: return "sustain";
+    case SweepField::kOutputDelayMin: return "delay_min";
+    case SweepField::kOutputDelayMax: return "delay_max";
+    case SweepField::kPeriod: return "period";
+    case SweepField::kBufferSize: return "buffer_size";
+    case SweepField::kReadStageMax: return "read_stage";
+    case SweepField::kComputeStageMax: return "compute_stage";
+    case SweepField::kWriteStageMax: return "write_stage";
+  }
+  return "?";
+}
+
+void apply_sweep_value(ImplementationScheme& scheme, const SweepAxis& axis, std::int32_t value) {
+  const auto input = [&]() -> InputSpec& {
+    auto it = scheme.inputs.find(axis.base);
+    PSV_REQUIRE_AS(::psv::ErrorCode::kModel, it != scheme.inputs.end(),
+                   "sweep axis " + axis.label() + ": no such input in the template");
+    return it->second;
+  };
+  const auto output = [&]() -> OutputSpec& {
+    auto it = scheme.outputs.find(axis.base);
+    PSV_REQUIRE_AS(::psv::ErrorCode::kModel, it != scheme.outputs.end(),
+                   "sweep axis " + axis.label() + ": no such output in the template");
+    return it->second;
+  };
+  switch (axis.field) {
+    case SweepField::kPollingInterval: input().polling_interval = value; return;
+    case SweepField::kInputDelayMin: input().delay_min = value; return;
+    case SweepField::kInputDelayMax: input().delay_max = value; return;
+    case SweepField::kMinInterarrival: input().min_interarrival = value; return;
+    case SweepField::kSustainDuration: input().sustain_duration = value; return;
+    case SweepField::kOutputDelayMin: output().delay_min = value; return;
+    case SweepField::kOutputDelayMax: output().delay_max = value; return;
+    case SweepField::kPeriod: scheme.io.period = value; return;
+    case SweepField::kBufferSize: scheme.io.buffer_size = value; return;
+    case SweepField::kReadStageMax: scheme.io.read_stage_max = value; return;
+    case SweepField::kComputeStageMax: scheme.io.compute_stage_max = value; return;
+    case SweepField::kWriteStageMax: scheme.io.write_stage_max = value; return;
+  }
+}
+
+}  // namespace
+
+std::size_t SweepAxis::count() const {
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, step > 0 && lo <= hi,
+                 "sweep axis " + label() + ": need LO <= HI and a positive step");
+  return static_cast<std::size_t>((hi - lo) / step) + 1;
+}
+
+std::int32_t SweepAxis::value_at(std::size_t idx) const {
+  return lo + static_cast<std::int32_t>(idx) * step;
+}
+
+std::string SweepAxis::label() const {
+  switch (field) {
+    case SweepField::kPollingInterval:
+    case SweepField::kInputDelayMin:
+    case SweepField::kInputDelayMax:
+    case SweepField::kMinInterarrival:
+    case SweepField::kSustainDuration:
+      return "input." + base + "." + sweep_field_suffix(field);
+    case SweepField::kOutputDelayMin:
+    case SweepField::kOutputDelayMax:
+      return "output." + base + "." + sweep_field_suffix(field);
+    case SweepField::kPeriod:
+    case SweepField::kBufferSize:
+    case SweepField::kReadStageMax:
+    case SweepField::kComputeStageMax:
+    case SweepField::kWriteStageMax:
+      break;
+  }
+  return std::string("io.") + sweep_field_suffix(field);
+}
+
+bool SweepAxis::monotone_worse_up() const {
+  switch (field) {
+    // Raising an interval's UPPER bound only adds behaviors — every trace
+    // feasible at the smaller ceiling stays feasible — so the exact
+    // verified worst-case delay is weakly increasing. These are the only
+    // axes dominance pruning may relax pointwise.
+    case SweepField::kInputDelayMax:
+    case SweepField::kOutputDelayMax:
+    case SweepField::kReadStageMax:
+    case SweepField::kComputeStageMax:
+    case SweepField::kWriteStageMax:
+      return true;
+    // Period and polling interval are NOT monotone in the exact verified
+    // bound: the Lemma-1 closed forms weakly increase in them, but the
+    // exact delay depends on the alignment of the invocation grid with the
+    // environment's cycle, and a longer period can land reads closer to
+    // arrivals (measurably so on quickstart: period 30 -> 99 ms but
+    // period 35 -> 79 ms). Relaxing them would prune satisfying
+    // candidates, so dominance requires equality.
+    case SweepField::kPollingInterval:
+    case SweepField::kPeriod:
+    case SweepField::kInputDelayMin:
+    case SweepField::kMinInterarrival:
+    case SweepField::kSustainDuration:
+    case SweepField::kOutputDelayMin:
+    case SweepField::kBufferSize:
+      return false;
+  }
+  return false;
+}
+
+std::size_t SchemeTemplate::candidate_count() const {
+  std::size_t total = 1;
+  for (const SweepAxis& axis : axes) {
+    const std::size_t n = axis.count();
+    PSV_REQUIRE_AS(::psv::ErrorCode::kModel, total <= (std::size_t{1} << 20) / n,
+                   "candidate lattice exceeds 2^20 points");
+    total *= n;
+  }
+  return total;
+}
+
+std::vector<std::int32_t> SchemeTemplate::values_at(std::size_t index) const {
+  std::vector<std::int32_t> values(axes.size());
+  for (std::size_t k = axes.size(); k-- > 0;) {
+    const std::size_t n = axes[k].count();
+    values[k] = axes[k].value_at(index % n);
+    index /= n;
+  }
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, index == 0, "candidate index out of range");
+  return values;
+}
+
+ImplementationScheme SchemeTemplate::instantiate(const std::vector<std::int32_t>& values) const {
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, values.size() == axes.size(),
+                 "candidate value vector does not match the sweep axes");
+  ImplementationScheme scheme = base;
+  for (std::size_t k = 0; k < axes.size(); ++k) apply_sweep_value(scheme, axes[k], values[k]);
+  return scheme;
+}
+
+std::string SchemeTemplate::candidate_name(const std::vector<std::int32_t>& values) const {
+  std::ostringstream os;
+  os << base.name << "[";
+  for (std::size_t k = 0; k < axes.size(); ++k) {
+    if (k > 0) os << ",";
+    os << axes[k].label() << "=" << (k < values.size() ? values[k] : 0);
+  }
+  os << "]";
+  return os.str();
+}
+
 }  // namespace psv::core

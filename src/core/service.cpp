@@ -243,6 +243,17 @@ void Verifier::adopt_ancestor_if_any(mc::VerificationSession& session,
   if (ancestor != nullptr) session.adopt_ancestor(std::move(ancestor));
 }
 
+void Verifier::pin_ancestor(const std::string& skeleton_hex) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++pinned_[skeleton_hex];
+}
+
+void Verifier::unpin_ancestor(const std::string& skeleton_hex) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = pinned_.find(skeleton_hex);
+  if (it != pinned_.end() && --it->second <= 0) pinned_.erase(it);
+}
+
 void Verifier::publish_ancestor(const mc::VerificationSession& session,
                                 const std::optional<mc::ArtifactStore>& store) {
   std::shared_ptr<const mc::PassedStoreExport> exported = session.exported_store();
@@ -250,6 +261,10 @@ void Verifier::publish_ancestor(const mc::VerificationSession& session,
   const std::string skeleton = session.skeleton().hex();
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // A pinned skeleton keeps its first published export (and its on-disk
+    // pointer): every candidate of a synthesis fan-out warm-starts from the
+    // SAME ancestor rather than from whichever sibling finished last.
+    if (pinned_.count(skeleton) != 0 && ancestors_.count(skeleton) != 0) return;
     ancestors_[skeleton] = exported;
   }
   if (!store.has_value()) return;
@@ -305,6 +320,9 @@ VerifyReport Verifier::verify(const VerifyRequest& request) {
   {
     std::shared_ptr<Slot> slot = acquire(std::move(pim_net), opts.explore);
     std::lock_guard<std::mutex> lock(slot->mu);
+    // Pooled sessions outlive requests: (re)install this request's cancel
+    // token — including null, to shed a finished predecessor's.
+    slot->session->set_cancel(opts.explore.cancel);
     if (store && !slot->load_attempted) {
       slot->session->load(*store);
       slot->load_attempted = true;
@@ -341,6 +359,7 @@ VerifyReport Verifier::verify(const VerifyRequest& request) {
     std::shared_ptr<Slot> slot = acquire(std::move(instrumented.net), opts.explore);
     std::lock_guard<std::mutex> lock(slot->mu);
     mc::VerificationSession& session = *slot->session;
+    session.set_cancel(opts.explore.cancel);
     if (store && !slot->load_attempted) {
       session.load(*store);
       slot->load_attempted = true;

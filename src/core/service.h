@@ -175,6 +175,16 @@ class Verifier {
   /// Sessions currently pooled (diagnostic).
   std::size_t pooled_sessions() const;
 
+  /// Pin the published warm-start ancestor of a skeleton (hex of
+  /// ta::skeleton_digest): while pinned, publish_ancestor keeps the pinned
+  /// export instead of replacing it, so a fan-out of structurally-identical
+  /// requests (scheme synthesis) all adopt ONE shared read-only
+  /// PassedStoreExport — a shared_ptr copy per candidate, never a
+  /// re-deserialization. A pin with no published ancestor yet pins
+  /// whichever export is published first.
+  void pin_ancestor(const std::string& skeleton_hex);
+  void unpin_ancestor(const std::string& skeleton_hex);
+
  private:
   /// One pooled session; `mu` serializes queries from concurrent requests.
   struct Slot {
@@ -208,6 +218,9 @@ class Verifier {
   std::list<std::string> lru_;  ///< most recently used at the back
   /// skeleton-digest hex -> newest exported passed store for that skeleton.
   std::unordered_map<std::string, std::shared_ptr<const mc::PassedStoreExport>> ancestors_;
+  /// Skeletons whose ancestors_ entry is frozen (see pin_ancestor). The
+  /// value counts nested pins.
+  std::unordered_map<std::string, int> pinned_;
 };
 
 }  // namespace psv::core

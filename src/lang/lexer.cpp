@@ -138,6 +138,12 @@ std::vector<Token> tokenize(const std::string& source) {
       case '(': push(TokKind::kLParen, 1); continue;
       case ')': push(TokKind::kRParen, 1); continue;
       case ',': push(TokKind::kComma, 1); continue;
+      case '.':
+        if (peek(1) == '.') {
+          push(TokKind::kRange, 2);
+          continue;
+        }
+        break;
       case '+': push(TokKind::kPlus, 1); continue;
       case '*': push(TokKind::kStar, 1); continue;
       case '?': push(TokKind::kQuestion, 1); continue;
@@ -181,6 +187,7 @@ std::string tok_kind_str(TokKind kind) {
     case TokKind::kStar: return "'*'";
     case TokKind::kBang: return "'!'";
     case TokKind::kQuestion: return "'?'";
+    case TokKind::kRange: return "'..'";
     case TokKind::kEnd: return "end of input";
   }
   return "?";

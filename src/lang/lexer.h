@@ -34,6 +34,7 @@ enum class TokKind {
   kStar,     ///< *
   kBang,     ///< !
   kQuestion, ///< ?
+  kRange,    ///< .. (sweep range in synthesis templates)
   kEnd,      ///< end of input
 };
 

@@ -50,27 +50,32 @@ std::pair<std::string, std::string> split_key(const std::string& line) {
 
 }  // namespace
 
-std::vector<ManifestJob> parse_manifest(const std::string& source) {
-  std::vector<ManifestJob> jobs;
+Manifest parse_manifest_full(const std::string& source) {
+  Manifest manifest;
   const std::vector<std::pair<int, std::string>> lines = content_lines(source);
 
   std::size_t i = 0;
   while (i < lines.size()) {
     const auto& [line_no, line] = lines[i];
     auto [key, rest] = split_key(line);
-    if (key != "job") fail_at(line_no, "expected 'job NAME {', got '" + line + "'");
-    ManifestJob job;
+    const bool is_synth = key == "synth";
+    if (key != "job" && !is_synth)
+      fail_at(line_no, "expected 'job NAME {' or 'synth NAME {', got '" + line + "'");
     if (!rest.empty() && rest.back() == '{') rest = trim(rest.substr(0, rest.size() - 1));
-    job.name = rest;
-    if (job.name.empty()) fail_at(line_no, "job needs a name: 'job NAME {'");
+    const std::string name = rest;
+    if (name.empty()) fail_at(line_no, "'" + key + "' needs a name: '" + key + " NAME {'");
     // The opening brace may trail the name or sit on its own line.
     if (line.back() != '{') {
       ++i;
       if (i >= lines.size() || lines[i].second != "{")
-        fail_at(line_no, "expected '{' after 'job " + job.name + "'");
+        fail_at(line_no, "expected '{' after '" + key + " " + name + "'");
     }
     ++i;
 
+    std::string model_path;
+    std::string template_path;
+    std::vector<std::string> scheme_paths;
+    std::vector<core::TimingRequirement> requirements;
     bool closed = false;
     while (i < lines.size()) {
       const auto& [body_no, body] = lines[i];
@@ -82,28 +87,53 @@ std::vector<ManifestJob> parse_manifest(const std::string& source) {
       const auto [body_key, value] = split_key(body);
       if (value.empty()) fail_at(body_no, "'" + body_key + "' needs a value");
       if (body_key == "model") {
-        if (!job.model_path.empty()) fail_at(body_no, "job '" + job.name + "' has two models");
-        job.model_path = value;
-      } else if (body_key == "scheme") {
-        job.scheme_paths.push_back(value);
+        if (!model_path.empty()) fail_at(body_no, "'" + name + "' has two models");
+        model_path = value;
+      } else if (body_key == "scheme" && !is_synth) {
+        scheme_paths.push_back(value);
+      } else if (body_key == "template" && is_synth) {
+        if (!template_path.empty()) fail_at(body_no, "'" + name + "' has two templates");
+        template_path = value;
       } else if (body_key == "req") {
         try {
-          job.requirements.push_back(parse_requirement(value));
+          requirements.push_back(parse_requirement(value));
         } catch (const Error& e) {
           fail_at(body_no, std::string("bad requirement: ") + e.what());
         }
       } else {
-        fail_at(body_no, "unknown key '" + body_key + "' (expected model/scheme/req)");
+        fail_at(body_no, "unknown key '" + body_key + "' (expected model/" +
+                             (is_synth ? "template" : "scheme") + "/req)");
       }
       ++i;
     }
-    if (!closed) fail_at(line_no, "job '" + job.name + "' is missing its closing '}'");
-    if (job.model_path.empty()) fail_at(line_no, "job '" + job.name + "' declares no model");
-    if (job.scheme_paths.empty()) fail_at(line_no, "job '" + job.name + "' declares no scheme");
-    if (job.requirements.empty())
-      fail_at(line_no, "job '" + job.name + "' declares no requirements");
-    jobs.push_back(std::move(job));
+    if (!closed) fail_at(line_no, "'" + key + " " + name + "' is missing its closing '}'");
+    if (model_path.empty()) fail_at(line_no, "'" + name + "' declares no model");
+    if (requirements.empty()) fail_at(line_no, "'" + name + "' declares no requirements");
+    if (is_synth) {
+      if (template_path.empty()) fail_at(line_no, "'" + name + "' declares no template");
+      ManifestSynthJob job;
+      job.name = name;
+      job.model_path = std::move(model_path);
+      job.template_path = std::move(template_path);
+      job.requirements = std::move(requirements);
+      manifest.synth_jobs.push_back(std::move(job));
+    } else {
+      if (scheme_paths.empty()) fail_at(line_no, "job '" + name + "' declares no scheme");
+      ManifestJob job;
+      job.name = name;
+      job.model_path = std::move(model_path);
+      job.scheme_paths = std::move(scheme_paths);
+      job.requirements = std::move(requirements);
+      manifest.jobs.push_back(std::move(job));
+    }
   }
+  PSV_REQUIRE_AS(::psv::ErrorCode::kParse, !manifest.jobs.empty() || !manifest.synth_jobs.empty(),
+                 "manifest declares no jobs");
+  return manifest;
+}
+
+std::vector<ManifestJob> parse_manifest(const std::string& source) {
+  std::vector<ManifestJob> jobs = parse_manifest_full(source).jobs;
   PSV_REQUIRE_AS(::psv::ErrorCode::kParse, !jobs.empty(), "manifest declares no jobs");
   return jobs;
 }

@@ -47,8 +47,35 @@ struct ManifestJob {
   std::vector<core::TimingRequirement> requirements;  ///< at least one
 };
 
+/// One `synth NAME { ... }` block of a manifest: a synthesis job over a
+/// parameterized scheme template (psv_verify --synth, daemon kSynth):
+///
+///   synth pump-sweep {
+///     model examples/models/pump.psv
+///     template examples/models/board_sweep.pss
+///     req REQ2: BolusReq -> StopInfusion within 2500
+///   }
+struct ManifestSynthJob {
+  std::string name;
+  std::string model_path;                ///< exactly one per block
+  std::string template_path;             ///< exactly one per block
+  std::vector<core::TimingRequirement> requirements;  ///< at least one
+};
+
+/// A parsed .psvb manifest: verification jobs plus synthesis jobs, each in
+/// declaration order.
+struct Manifest {
+  std::vector<ManifestJob> jobs;
+  std::vector<ManifestSynthJob> synth_jobs;
+};
+
 /// Parse a .psvb manifest's contents. Throws psv::Error with line context
-/// on syntax errors, duplicate keys, or empty jobs.
+/// on syntax errors, duplicate keys, or empty jobs. Requires at least one
+/// `job` or `synth` block.
+Manifest parse_manifest_full(const std::string& source);
+
+/// Compatibility form: the `job` blocks only. Throws when the manifest has
+/// no `job` block (synth-only manifests need parse_manifest_full).
 std::vector<ManifestJob> parse_manifest(const std::string& source);
 
 /// Parse a block of requirement lines ("NAME: in -> out within MS", one per

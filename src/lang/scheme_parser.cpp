@@ -9,7 +9,8 @@ namespace {
 
 class SchemeParser {
  public:
-  explicit SchemeParser(const std::string& source) : tokens_(tokenize(source)) {}
+  explicit SchemeParser(const std::string& source, bool template_mode = false)
+      : tokens_(tokenize(source)), template_mode_(template_mode) {}
 
   core::ImplementationScheme run() {
     expect_keyword("scheme");
@@ -30,6 +31,8 @@ class SchemeParser {
     expect(TokKind::kEnd, "end of file");
     return std::move(scheme_);
   }
+
+  std::vector<core::SweepAxis> take_axes() { return std::move(axes_); }
 
  private:
   const Token& peek() const { return tokens_[std::min(pos_, tokens_.size() - 1)]; }
@@ -53,6 +56,33 @@ class SchemeParser {
     PSV_REQUIRE_AS(::psv::ErrorCode::kParse, t.kind == TokKind::kIdent && t.text == word,
                 at_msg(t) + "expected keyword '" + word + "'");
     take();
+  }
+
+  /// A sweepable value position: a plain integer, or (in template mode)
+  /// `sweep LO..HI step S`, which records a lattice axis and reads as LO.
+  std::int32_t sweep_int(core::SweepField field, const std::string& base,
+                         const std::string& what) {
+    if (!at_keyword("sweep")) return static_cast<std::int32_t>(expect_int(what));
+    const Token kw = take();
+    PSV_REQUIRE_AS(::psv::ErrorCode::kParse, template_mode_,
+                at_msg(kw) + "sweep ranges are only allowed in synthesis templates "
+                             "(psv_verify --synth / .psvb synth blocks)");
+    core::SweepAxis axis;
+    axis.field = field;
+    axis.base = base;
+    axis.lo = static_cast<std::int32_t>(expect_int(what + " sweep lower bound"));
+    expect(TokKind::kRange, "'..'");
+    axis.hi = static_cast<std::int32_t>(expect_int(what + " sweep upper bound"));
+    expect_keyword("step");
+    axis.step = static_cast<std::int32_t>(expect_int(what + " sweep step"));
+    PSV_REQUIRE_AS(::psv::ErrorCode::kParse, axis.step > 0 && axis.lo <= axis.hi,
+                at_msg(kw) + what + ": sweep needs LO <= HI and a positive step");
+    for (const core::SweepAxis& seen : axes_)
+      PSV_REQUIRE_AS(::psv::ErrorCode::kParse,
+                  seen.field != axis.field || seen.base != axis.base,
+                  at_msg(kw) + what + ": duplicate sweep axis " + axis.label());
+    axes_.push_back(axis);
+    return axis.lo;
   }
 
   void parse_input() {
@@ -80,17 +110,20 @@ class SchemeParser {
         } else if (v.text == "polling") {
           spec.read = core::ReadMechanism::kPolling;
           expect_keyword("interval");
-          spec.polling_interval = static_cast<std::int32_t>(expect_int("polling interval"));
+          spec.polling_interval =
+              sweep_int(core::SweepField::kPollingInterval, base, "polling interval");
         } else {
           PSV_FAIL_AS(::psv::ErrorCode::kParse, at_msg(v) + "unknown read mechanism '" + v.text + "'");
         }
       } else if (key.text == "delay") {
-        spec.delay_min = static_cast<std::int32_t>(expect_int("delay min"));
-        spec.delay_max = static_cast<std::int32_t>(expect_int("delay max"));
+        spec.delay_min = sweep_int(core::SweepField::kInputDelayMin, base, "delay min");
+        spec.delay_max = sweep_int(core::SweepField::kInputDelayMax, base, "delay max");
       } else if (key.text == "min_interarrival") {
-        spec.min_interarrival = static_cast<std::int32_t>(expect_int("min inter-arrival"));
+        spec.min_interarrival =
+            sweep_int(core::SweepField::kMinInterarrival, base, "min inter-arrival");
       } else if (key.text == "sustain") {
-        spec.sustain_duration = static_cast<std::int32_t>(expect_int("sustain duration"));
+        spec.sustain_duration =
+            sweep_int(core::SweepField::kSustainDuration, base, "sustain duration");
       } else {
         PSV_FAIL_AS(::psv::ErrorCode::kParse, at_msg(key) + "unknown input property '" + key.text + "'");
       }
@@ -107,8 +140,8 @@ class SchemeParser {
     while (!at(TokKind::kRBrace)) {
       const Token key = expect(TokKind::kIdent, "output property");
       if (key.text == "delay") {
-        spec.delay_min = static_cast<std::int32_t>(expect_int("delay min"));
-        spec.delay_max = static_cast<std::int32_t>(expect_int("delay max"));
+        spec.delay_min = sweep_int(core::SweepField::kOutputDelayMin, base, "delay min");
+        spec.delay_max = sweep_int(core::SweepField::kOutputDelayMax, base, "delay max");
       } else {
         PSV_FAIL_AS(::psv::ErrorCode::kParse, at_msg(key) + "unknown output property '" + key.text + "'");
       }
@@ -126,7 +159,7 @@ class SchemeParser {
         const Token v = expect(TokKind::kIdent, "invocation kind");
         if (v.text == "periodic") {
           scheme_.io.invocation = core::InvocationKind::kPeriodic;
-          scheme_.io.period = static_cast<std::int32_t>(expect_int("period"));
+          scheme_.io.period = sweep_int(core::SweepField::kPeriod, "", "period");
         } else if (v.text == "aperiodic") {
           scheme_.io.invocation = core::InvocationKind::kAperiodic;
         } else {
@@ -136,7 +169,7 @@ class SchemeParser {
         const Token v = expect(TokKind::kIdent, "transfer kind");
         if (v.text == "buffers") {
           scheme_.io.transfer = core::TransferKind::kBuffer;
-          scheme_.io.buffer_size = static_cast<std::int32_t>(expect_int("buffer size"));
+          scheme_.io.buffer_size = sweep_int(core::SweepField::kBufferSize, "", "buffer size");
         } else if (v.text == "shared-variable") {
           scheme_.io.transfer = core::TransferKind::kSharedVariable;
         } else {
@@ -152,10 +185,12 @@ class SchemeParser {
           PSV_FAIL_AS(::psv::ErrorCode::kParse, at_msg(v) + "unknown read policy '" + v.text + "'");
         }
       } else if (key.text == "stages") {
-        scheme_.io.read_stage_max = static_cast<std::int32_t>(expect_int("read stage max"));
+        scheme_.io.read_stage_max =
+            sweep_int(core::SweepField::kReadStageMax, "", "read stage max");
         scheme_.io.compute_stage_max =
-            static_cast<std::int32_t>(expect_int("compute stage max"));
-        scheme_.io.write_stage_max = static_cast<std::int32_t>(expect_int("write stage max"));
+            sweep_int(core::SweepField::kComputeStageMax, "", "compute stage max");
+        scheme_.io.write_stage_max =
+            sweep_int(core::SweepField::kWriteStageMax, "", "write stage max");
       } else {
         PSV_FAIL_AS(::psv::ErrorCode::kParse, at_msg(key) + "unknown io property '" + key.text + "'");
       }
@@ -165,13 +200,23 @@ class SchemeParser {
 
   std::vector<Token> tokens_;
   std::size_t pos_ = 0;
+  bool template_mode_ = false;
   core::ImplementationScheme scheme_;
+  std::vector<core::SweepAxis> axes_;
 };
 
 }  // namespace
 
 core::ImplementationScheme parse_scheme(const std::string& source) {
   return SchemeParser(source).run();
+}
+
+core::SchemeTemplate parse_scheme_template(const std::string& source) {
+  SchemeParser parser(source, /*template_mode=*/true);
+  core::SchemeTemplate tmpl;
+  tmpl.base = parser.run();
+  tmpl.axes = parser.take_axes();
+  return tmpl;
 }
 
 core::TimingRequirement parse_requirement(const std::string& text) {

@@ -34,7 +34,17 @@
 namespace psv::lang {
 
 /// Parse a scheme file's contents. Throws psv::Error with position context.
+/// Sweep ranges are rejected here; use parse_scheme_template for them.
 core::ImplementationScheme parse_scheme(const std::string& source);
+
+/// Parse a `.pss` synthesis template: plain scheme syntax where any numeric
+/// field position may read `sweep LO..HI step S` instead of an integer,
+/// declaring one lattice axis (see docs/LANGUAGE.md):
+///
+///   output StopInfusion { delay 10 sweep 50..150 step 5 }
+///
+/// The returned template's base scheme holds every swept field at LO.
+core::SchemeTemplate parse_scheme_template(const std::string& source);
 
 /// Parse "NAME: input -> output within BOUND".
 core::TimingRequirement parse_requirement(const std::string& text);

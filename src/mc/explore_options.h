@@ -3,7 +3,9 @@
 // in the full engine and its threading headers.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
+#include <memory>
 
 namespace psv::mc {
 
@@ -47,6 +49,14 @@ struct ExploreOptions {
   /// pruning — only statistics (work) change, so the flag is part of the
   /// artifact cache key.
   bool goal_pruning = false;
+
+  /// Cooperative cancellation. When set and flipped to true, explorations
+  /// abandon at the next wave barrier by throwing ErrorCode::kCancelled;
+  /// partial results are discarded (aborted runs never export or memoize).
+  /// Like `jobs`, the token cannot change any completed result — it only
+  /// decides whether a result is produced at all — so it is NOT part of the
+  /// artifact cache key.
+  std::shared_ptr<const std::atomic<bool>> cancel;
 };
 
 /// Exploration statistics for reporting and benchmarks. Deterministic:

@@ -33,6 +33,14 @@ std::vector<std::int32_t> merge_clock_consts(std::vector<std::int32_t> base,
   return base;
 }
 
+/// Cooperative cancellation, honoured at wave barriers only — between
+/// barriers a wave always completes, so a run either finishes a wave
+/// deterministically or abandons the whole exploration.
+void check_cancel(const ExploreOptions& opts) {
+  if (opts.cancel != nullptr && opts.cancel->load(std::memory_order_relaxed))
+    PSV_FAIL_AS(::psv::ErrorCode::kCancelled, "exploration cancelled by cooperative token");
+}
+
 }  // namespace
 
 std::string Trace::to_string() const {
@@ -255,6 +263,7 @@ ReachResult Reachability::run() {
     return result;
   }
   while (!frontier_.empty()) {
+    check_cancel(opts_);
     generate_wave(/*compute_goal=*/true, /*compute_blocked=*/false);
     bool any_goal = false;
     for (std::size_t i = 0; i < frontier_.size() && !any_goal; ++i) {
@@ -415,6 +424,7 @@ ExploreStats Reachability::explore_all_ids(
       for (const std::uint64_t id : frontier_) visit(stored(id).state, id);
     }
     skip_visit = false;
+    check_cancel(opts_);
     if (stop && stop()) {
       aborted = true;
       break;
@@ -447,6 +457,7 @@ DeadlockResult Reachability::find_deadlock_ids(
   bool skip_visit = warm;
   bool first_warm_wave = warm;
   while (!frontier_.empty()) {
+    check_cancel(opts_);
     if (first_warm_wave) {
       stats_.warm_seed_expansions += frontier_.size();
       first_warm_wave = false;

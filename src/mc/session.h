@@ -65,6 +65,17 @@ class VerificationSession {
   const ta::Network& net() const { return net_; }
   const ExploreOptions& options() const { return opts_; }
 
+  /// Install (or clear, with null) the cooperative cancel token every
+  /// subsequent exploration honours. Pooled sessions outlive individual
+  /// requests, so each request must set its own token — including null to
+  /// shed a predecessor's. A fired token aborts explorations at the next
+  /// wave barrier with ErrorCode::kCancelled; the memo is untouched
+  /// (entries are recorded only after completed explorations), so the
+  /// session stays valid for later requests.
+  void set_cancel(std::shared_ptr<const std::atomic<bool>> cancel) {
+    opts_.cancel = std::move(cancel);
+  }
+
   /// Answer a batch of maximum-clock queries from shared explorations
   /// (engine per options().engine). Results are index-aligned with
   /// `queries`; repeated queries are served from the session cache.

@@ -41,6 +41,19 @@ std::uint64_t Client::send(const core::SourceRequest& request) {
   return id;
 }
 
+std::uint64_t Client::send_synth(const core::SourceSynthRequest& request) {
+  PSV_REQUIRE_AS(ErrorCode::kProtocol, version_ >= 3,
+                 "synthesis requires protocol version 3; this connection negotiated "
+                 "version " +
+                     std::to_string(version_));
+  const std::uint64_t id = next_id_++;
+  ByteWriter out;
+  core::encode_source_synth_request(out, request);
+  write_frame(sock_, FrameType::kSynth, id, out.buffer());
+  ++outstanding_;
+  return id;
+}
+
 std::optional<Client::Response> Client::read_response(ServerStats* stats) {
   for (;;) {
     std::optional<Frame> frame = read_frame(sock_);
@@ -54,6 +67,15 @@ std::optional<Client::Response> Client::read_response(ServerStats* stats) {
         response.ok = true;
         ByteReader in(frame->payload);
         response.report = core::decode_verify_report(in);
+        return response;
+      }
+      case FrameType::kSynthReport: {
+        Response response;
+        response.request_id = frame->request_id;
+        response.ok = true;
+        response.is_synth = true;
+        ByteReader in(frame->payload);
+        response.synth_report = core::decode_synth_report(in);
         return response;
       }
       case FrameType::kError: {
@@ -71,7 +93,7 @@ std::optional<Client::Response> Client::read_response(ServerStats* stats) {
         PSV_REQUIRE_AS(ErrorCode::kProtocol, stats != nullptr,
                        "unsolicited stats-report frame");
         ByteReader in(frame->payload);
-        *stats = decode_server_stats(in);
+        *stats = decode_server_stats(in, version_);
         return std::nullopt;
       }
       default:
@@ -108,6 +130,21 @@ core::VerifyReport Client::verify(const core::SourceRequest& request) {
     if (!response.ok)
       PSV_FAIL_AS(response.error.code, response.error.message);
     return std::move(response.report);
+  }
+}
+
+core::SynthReport Client::synth(const core::SourceSynthRequest& request) {
+  const std::uint64_t id = send_synth(request);
+  for (;;) {
+    Response response = next_response();
+    if (response.request_id != id) {
+      ++outstanding_;
+      buffered_.push_back(std::move(response));
+      continue;
+    }
+    if (!response.ok)
+      PSV_FAIL_AS(response.error.code, response.error.message);
+    return std::move(response.synth_report);
   }
 }
 

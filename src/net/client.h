@@ -40,22 +40,32 @@ class Client {
   struct Response {
     std::uint64_t request_id = 0;
     bool ok = false;
-    core::VerifyReport report;  ///< meaningful when ok
-    WireError error;            ///< meaningful when !ok
+    bool is_synth = false;          ///< response to a kSynth request
+    core::VerifyReport report;      ///< meaningful when ok && !is_synth
+    core::SynthReport synth_report; ///< meaningful when ok && is_synth
+    WireError error;                ///< meaningful when !ok
   };
 
   /// Queue one request without waiting; returns its (connection-unique,
   /// monotonically increasing) request id.
   std::uint64_t send(const core::SourceRequest& request);
 
-  /// Block for the next verify response not yet delivered (buffered ones
-  /// first). Throws psv::Error(kProtocol) when the server closes the
+  /// Queue one synthesis job (kSynth, protocol v3). Throws
+  /// psv::Error(kProtocol) when the connection negotiated version < 3 —
+  /// the server would reject the frame anyway.
+  std::uint64_t send_synth(const core::SourceSynthRequest& request);
+
+  /// Block for the next verify/synth response not yet delivered (buffered
+  /// ones first). Throws psv::Error(kProtocol) when the server closes the
   /// connection with requests still outstanding or answers out of protocol.
   Response next_response();
 
   /// Synchronous round trip: send + wait for THAT response; a server-side
   /// failure is rethrown as psv::Error carrying the server's ErrorCode.
   core::VerifyReport verify(const core::SourceRequest& request);
+
+  /// Synchronous synthesis round trip (see send_synth).
+  core::SynthReport synth(const core::SourceSynthRequest& request);
 
   /// Fetch the server's counters (kStats round trip). Verify responses
   /// arriving in between are buffered for next_response().

@@ -103,6 +103,7 @@ void Server::serve_connection(const std::shared_ptr<Connection>& conn) {
                            " at most; this server requires at least " +
                            std::to_string(kMinSupportedVersion));
         const std::uint16_t negotiated = std::min(client_max, kProtocolVersion);
+        conn->version = negotiated;
         ByteWriter out;
         out.u16(negotiated);
         std::lock_guard<std::mutex> lock(conn->write_mu);
@@ -114,9 +115,24 @@ void Server::serve_connection(const std::shared_ptr<Connection>& conn) {
         case FrameType::kVerify:
           handle_verify(conn, std::move(*frame));
           break;
+        case FrameType::kSynth:
+          // Version gate: synthesis frames exist since protocol v3. A v2
+          // client that sends one anyway gets a typed, per-request error
+          // (the connection survives — its kVerify traffic is still fine).
+          if (conn->version < 3) {
+            requests_received_.fetch_add(1);
+            requests_error_.fetch_add(1);
+            send_error(conn, frame->request_id, ErrorCode::kProtocol,
+                       "synth frames require protocol version 3; this connection "
+                       "negotiated version " +
+                           std::to_string(conn->version));
+            break;
+          }
+          handle_synth(conn, std::move(*frame));
+          break;
         case FrameType::kStats: {
           ByteWriter out;
-          encode_server_stats(out, stats());
+          encode_server_stats(out, stats(), conn->version);
           std::lock_guard<std::mutex> lock(conn->write_mu);
           write_frame(conn->sock, FrameType::kStatsReport, frame->request_id, out.buffer());
           break;
@@ -205,6 +221,76 @@ void Server::handle_verify(const std::shared_ptr<Connection>& conn, Frame frame)
       {
         std::lock_guard<std::mutex> lock(conn->write_mu);
         write_frame(conn->sock, FrameType::kReport, frame.request_id, out.buffer());
+      }
+    } catch (const Error& e) {
+      requests_error_.fetch_add(1);
+      send_error(conn, frame.request_id, e.code(), e.what());
+    } catch (const std::exception& e) {
+      requests_error_.fetch_add(1);
+      send_error(conn, frame.request_id, ErrorCode::kInternal, e.what());
+    }
+    requests_in_flight_.fetch_sub(1);
+    bool close_now = false;
+    {
+      std::lock_guard<std::mutex> lock(conn->write_mu);
+      close_now = --conn->pending == 0 && conn->reader_done;
+    }
+    if (close_now) conn->sock.shutdown_write();
+    {
+      std::lock_guard<std::mutex> lock(workers_mu_);
+      --active_workers_;
+    }
+    workers_cv_.notify_all();
+  }).detach();
+}
+
+void Server::handle_synth(const std::shared_ptr<Connection>& conn, Frame frame) {
+  requests_received_.fetch_add(1);
+  if (frame.request_id == 0) {
+    requests_error_.fetch_add(1);
+    send_error(conn, 0, ErrorCode::kProtocol, "synth frame with request id 0");
+    return;
+  }
+  // Synthesis shares the verify admission cap: one kSynth job occupies one
+  // in-flight slot however many candidates it fans out over internally.
+  const std::uint64_t in_flight = requests_in_flight_.fetch_add(1) + 1;
+  if (config_.max_inflight > 0 && in_flight > config_.max_inflight) {
+    requests_in_flight_.fetch_sub(1);
+    requests_busy_.fetch_add(1);
+    send_error(conn, frame.request_id, ErrorCode::kBusy,
+               "server busy: " + std::to_string(config_.max_inflight) +
+                   " requests already in flight");
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    ++conn->pending;
+  }
+  {
+    std::lock_guard<std::mutex> lock(workers_mu_);
+    ++active_workers_;
+  }
+  std::thread([this, conn, frame = std::move(frame)]() mutable {
+    if (config_.test_request_hook) config_.test_request_hook(frame.request_id);
+    try {
+      ByteReader in(frame.payload);
+      const core::SourceSynthRequest source = core::decode_source_synth_request(in);
+      const core::SynthRequest request = core::to_synth_request(source);
+      core::SchemeSynthesizer synthesizer(verifier_);
+      const core::SynthReport report = synthesizer.run(request);
+      synth_requests_.fetch_add(1);
+      synth_candidates_.fetch_add(report.stats.candidates_total);
+      synth_pruned_.fetch_add(report.stats.pruned_analytic + report.stats.pruned_dominated);
+      synth_explored_.fetch_add(report.stats.explored_cold + report.stats.explored_warm);
+      synth_fresh_states_.fetch_add(report.stats.fresh_states);
+      if (report.stats.warm_states_reused > 0) warm_starts_.fetch_add(1);
+      states_reused_total_.fetch_add(report.stats.warm_states_reused);
+      ByteWriter out;
+      core::encode_synth_report(out, report);
+      requests_ok_.fetch_add(1);
+      {
+        std::lock_guard<std::mutex> lock(conn->write_mu);
+        write_frame(conn->sock, FrameType::kSynthReport, frame.request_id, out.buffer());
       }
     } catch (const Error& e) {
       requests_error_.fetch_add(1);
@@ -320,6 +406,11 @@ ServerStats Server::stats() const {
   stats.cache_misses_total = cache_misses_total_.load();
   stats.warm_starts = warm_starts_.load();
   stats.states_reused = states_reused_total_.load();
+  stats.synth_requests = synth_requests_.load();
+  stats.synth_candidates = synth_candidates_.load();
+  stats.synth_pruned = synth_pruned_.load();
+  stats.synth_explored = synth_explored_.load();
+  stats.synth_fresh_states = synth_fresh_states_.load();
   return stats;
 }
 

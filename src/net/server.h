@@ -5,10 +5,11 @@
 //   * one accept thread blocks in Listener::accept();
 //   * one reader thread per connection performs the handshake and then
 //     decodes frames in order;
-//   * each kVerify frame is handed to its own worker thread, so requests
-//     pipelined on one connection execute concurrently and responses
-//     complete out of order — a per-connection write mutex keeps response
-//     frames whole;
+//   * each kVerify/kSynth frame is handed to its own worker thread, so
+//     requests pipelined on one connection execute concurrently and
+//     responses complete out of order — a per-connection write mutex keeps
+//     response frames whole (synthesis jobs additionally fan out candidate
+//     workers inside the shared Verifier);
 //   * admission control bounds the total in-flight verify workers across
 //     all connections; excess requests are rejected immediately with a
 //     typed kError frame carrying ErrorCode::kBusy (clients may retry).
@@ -93,17 +94,23 @@ class Server {
  private:
   struct Connection {
     Socket sock;
+    /// Negotiated protocol version of this connection (set by the
+    /// handshake; only the reader thread writes it, workers read it).
+    /// Gates v3-only traffic: kSynth frames from a v2 peer get a typed
+    /// kProtocol error, and kStatsReport payloads use the v2 layout.
+    std::uint16_t version = 0;
     std::mutex write_mu;  ///< serializes response frames on this socket
     // Guarded by write_mu: whoever last finishes (reader, or the final
     // in-flight worker after the reader left) half-closes the write side so
     // the client sees end-of-responses.
-    std::size_t pending = 0;   ///< verify workers not yet completed
+    std::size_t pending = 0;   ///< verify/synth workers not yet completed
     bool reader_done = false;  ///< reader thread has exited its loop
   };
 
   void accept_loop();
   void serve_connection(const std::shared_ptr<Connection>& conn);
   void handle_verify(const std::shared_ptr<Connection>& conn, Frame frame);
+  void handle_synth(const std::shared_ptr<Connection>& conn, Frame frame);
   void send_error(const std::shared_ptr<Connection>& conn, std::uint64_t request_id,
                   ErrorCode code, const std::string& message);
   void run_prewarm();
@@ -146,6 +153,12 @@ class Server {
   std::atomic<std::uint64_t> cache_misses_total_{0};
   std::atomic<std::uint64_t> warm_starts_{0};
   std::atomic<std::uint64_t> states_reused_total_{0};
+  // Scheme synthesis (kSynth, protocol v3).
+  std::atomic<std::uint64_t> synth_requests_{0};
+  std::atomic<std::uint64_t> synth_candidates_{0};
+  std::atomic<std::uint64_t> synth_pruned_{0};
+  std::atomic<std::uint64_t> synth_explored_{0};
+  std::atomic<std::uint64_t> synth_fresh_states_{0};
 };
 
 }  // namespace psv::net

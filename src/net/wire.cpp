@@ -12,7 +12,7 @@ constexpr char kMagic[4] = {'P', 'S', 'V', 'W'};
 
 bool known_frame_type(std::uint8_t raw) {
   return raw >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         raw <= static_cast<std::uint8_t>(FrameType::kStatsReport);
+         raw <= static_cast<std::uint8_t>(FrameType::kSynthReport);
 }
 
 }  // namespace
@@ -26,6 +26,8 @@ const char* frame_type_name(FrameType type) {
     case FrameType::kError: return "error";
     case FrameType::kStats: return "stats";
     case FrameType::kStatsReport: return "stats-report";
+    case FrameType::kSynth: return "synth";
+    case FrameType::kSynthReport: return "synth-report";
   }
   return "unknown";
 }
@@ -42,7 +44,7 @@ void encode_wire_error(ByteWriter& out, const WireError& error) {
 WireError decode_wire_error(ByteReader& in) {
   WireError error;
   const std::uint8_t raw = in.u8();
-  PSV_REQUIRE_AS(ErrorCode::kProtocol, raw <= static_cast<std::uint8_t>(ErrorCode::kBusy),
+  PSV_REQUIRE_AS(ErrorCode::kProtocol, raw <= static_cast<std::uint8_t>(ErrorCode::kCancelled),
                  "unknown error code " + std::to_string(raw) + " in error frame");
   error.code = static_cast<ErrorCode>(raw);
   error.message = in.str();
@@ -50,7 +52,7 @@ WireError decode_wire_error(ByteReader& in) {
   return error;
 }
 
-void encode_server_stats(ByteWriter& out, const ServerStats& stats) {
+void encode_server_stats(ByteWriter& out, const ServerStats& stats, std::uint16_t version) {
   out.u64(stats.connections_accepted);
   out.u64(stats.connections_active);
   out.u64(stats.requests_received);
@@ -67,9 +69,18 @@ void encode_server_stats(ByteWriter& out, const ServerStats& stats) {
   // Protocol v2.
   out.u64(stats.warm_starts);
   out.u64(stats.states_reused);
+  // Protocol v3: synthesis counters, gated on the negotiated version so v2
+  // peers (whose decoder rejects trailing bytes) keep parsing.
+  if (version >= 3) {
+    out.u64(stats.synth_requests);
+    out.u64(stats.synth_candidates);
+    out.u64(stats.synth_pruned);
+    out.u64(stats.synth_explored);
+    out.u64(stats.synth_fresh_states);
+  }
 }
 
-ServerStats decode_server_stats(ByteReader& in) {
+ServerStats decode_server_stats(ByteReader& in, std::uint16_t version) {
   ServerStats stats;
   stats.connections_accepted = in.u64();
   stats.connections_active = in.u64();
@@ -86,6 +97,13 @@ ServerStats decode_server_stats(ByteReader& in) {
   stats.cache_misses_total = in.u64();
   stats.warm_starts = in.u64();
   stats.states_reused = in.u64();
+  if (version >= 3) {
+    stats.synth_requests = in.u64();
+    stats.synth_candidates = in.u64();
+    stats.synth_pruned = in.u64();
+    stats.synth_explored = in.u64();
+    stats.synth_fresh_states = in.u64();
+  }
   PSV_REQUIRE_AS(ErrorCode::kProtocol, in.at_end(), "trailing bytes after stats payload");
   return stats;
 }

@@ -33,7 +33,10 @@
 //   kReport      core::VerifyReport (encode_verify_report)
 //   kError       u8 ErrorCode + str message
 //   kStats       (empty)
-//   kStatsReport ServerStats (encode_server_stats)
+//   kStatsReport ServerStats (encode_server_stats; layout depends on the
+//                NEGOTIATED version — v2 peers receive the v2 prefix only)
+//   kSynth       core::SourceSynthRequest (encode_source_synth_request, v3+)
+//   kSynthReport core::SynthReport (encode_synth_report, v3+)
 //
 // Every decoder is bounds-checked and throws psv::Error(kProtocol) on
 // malformed input: bad magic, unknown frame type, nonzero reserved byte,
@@ -57,8 +60,11 @@ namespace psv::net {
 /// compatibility is intended. Version 2: ExploreStats blocks inside
 /// kReport payloads and the ServerStats payload gained the warm-start
 /// counters — a version-1 peer would misparse both, so the floor rises
-/// with the ceiling.
-inline constexpr std::uint16_t kProtocolVersion = 2;
+/// with the ceiling. Version 3: synthesis frames (kSynth/kSynthReport) and
+/// synthesis counters in ServerStats — both gated on the NEGOTIATED
+/// connection version, so the floor stays at 2: a v2 peer never sees a v3
+/// payload, and a v2 client sending kSynth gets a typed kProtocol error.
+inline constexpr std::uint16_t kProtocolVersion = 3;
 inline constexpr std::uint16_t kMinSupportedVersion = 2;
 
 /// Frame type tags. Part of the wire format: append, never renumber.
@@ -70,6 +76,8 @@ enum class FrameType : std::uint8_t {
   kError = 5,        ///< server → client: ErrorCode + message
   kStats = 6,        ///< client → server: server-stats probe
   kStatsReport = 7,  ///< server → client: ServerStats
+  kSynth = 8,        ///< client → server: SourceSynthRequest (v3+)
+  kSynthReport = 9,  ///< server → client: SynthReport (v3+)
 };
 
 /// "frame-type-name" for diagnostics ("hello", "report", ...).
@@ -115,13 +123,23 @@ struct ServerStats {
   // Incremental exploration (protocol v2).
   std::uint64_t warm_starts = 0;    ///< served requests that reused an ancestor store
   std::uint64_t states_reused = 0;  ///< ancestor states seeded without re-exploration
+  // Scheme synthesis (protocol v3; encoded only on v3+ connections).
+  std::uint64_t synth_requests = 0;         ///< kSynth jobs served
+  std::uint64_t synth_candidates = 0;       ///< lattice points across served jobs
+  std::uint64_t synth_pruned = 0;           ///< analytic + dominated cuts
+  std::uint64_t synth_explored = 0;         ///< candidates actually verified
+  std::uint64_t synth_fresh_states = 0;     ///< fresh-state cost of served jobs
 };
 
 void encode_wire_error(ByteWriter& out, const WireError& error);
 WireError decode_wire_error(ByteReader& in);
 
-void encode_server_stats(ByteWriter& out, const ServerStats& stats);
-ServerStats decode_server_stats(ByteReader& in);
+/// ServerStats layout depends on the negotiated connection version: the v3
+/// synthesis counters are appended only when `version >= 3` (the decoder's
+/// trailing-bytes check makes an unconditional append misparse on v2
+/// peers).
+void encode_server_stats(ByteWriter& out, const ServerStats& stats, std::uint16_t version);
+ServerStats decode_server_stats(ByteReader& in, std::uint16_t version);
 
 /// Serialize a frame (header + payload) into a contiguous buffer.
 std::vector<std::uint8_t> encode_frame(FrameType type, std::uint64_t request_id,

@@ -12,6 +12,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kIo: return "io";
     case ErrorCode::kProtocol: return "protocol";
     case ErrorCode::kBusy: return "busy";
+    case ErrorCode::kCancelled: return "cancelled";
     case ErrorCode::kInternal: break;
   }
   return "internal";
@@ -24,6 +25,7 @@ ErrorCode error_code_from_name(const std::string& name) {
   if (name == "io") return ErrorCode::kIo;
   if (name == "protocol") return ErrorCode::kProtocol;
   if (name == "busy") return ErrorCode::kBusy;
+  if (name == "cancelled") return ErrorCode::kCancelled;
   return ErrorCode::kInternal;
 }
 

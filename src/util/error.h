@@ -29,6 +29,7 @@ enum class ErrorCode : std::uint8_t {
   kIo = 4,        ///< filesystem / input-output failure
   kProtocol = 5,  ///< malformed binary input (wire frames, serde payloads)
   kBusy = 6,      ///< server admission control rejected the request; retry later
+  kCancelled = 7, ///< exploration abandoned via a cooperative cancel token
 };
 
 /// Stable lower-case name of a code ("parse", "busy", ...); "internal" for

@@ -16,6 +16,7 @@
 
 #include "core/report_serde.h"
 #include "core/service.h"
+#include "core/synth.h"
 #include "model_paths.h"
 #include "net/client.h"
 #include "net/server.h"
@@ -311,6 +312,85 @@ TEST(Daemon, GracefulDrainFinishesInFlightRequests) {
 
   // After the drain the daemon no longer accepts connections.
   EXPECT_THROW((void)net::Client("127.0.0.1", port), Error);
+}
+
+TEST(Daemon, SynthOverWireMatchesInProcess) {
+  const std::string dir = find_model_dir();
+  if (dir.empty()) GTEST_SKIP() << "example model files not found from test cwd";
+  net::Server server(loopback_config());
+  server.start();
+
+  core::SourceSynthRequest source;
+  source.model_source = read_file(dir + "quickstart.psv");
+  source.template_source = read_file(dir + "fast_sweep.pss");
+  source.requirements = {{"QREQ", "Req", "Ack", 80}};
+  source.synth.workers = 1;
+
+  core::Verifier local;
+  core::SchemeSynthesizer synthesizer(local);
+  const core::SynthReport expected = synthesizer.run(core::to_synth_request(source));
+
+  net::Client client("127.0.0.1", server.port());
+  ASSERT_GE(client.negotiated_version(), 3);
+  const core::SynthReport served = client.synth(source);
+  EXPECT_EQ(served.frontier_text(), expected.frontier_text());
+  EXPECT_EQ(served.summary(), expected.summary());
+  EXPECT_EQ(served.stats.candidates_total, expected.stats.candidates_total);
+  EXPECT_EQ(served.pareto, expected.pareto);
+
+  const net::ServerStats stats = client.server_stats();
+  EXPECT_EQ(stats.synth_requests, 1u);
+  EXPECT_EQ(stats.synth_candidates, expected.stats.candidates_total);
+  EXPECT_EQ(stats.synth_explored,
+            expected.stats.explored_cold + expected.stats.explored_warm);
+  EXPECT_EQ(stats.synth_pruned,
+            expected.stats.pruned_analytic + expected.stats.pruned_dominated);
+  server.stop();
+}
+
+TEST(Daemon, SynthFrameFromV2ClientRejectedWithTypedProtocolError) {
+  net::Server server(loopback_config());
+  server.start();
+
+  // Handshake as an old (v2) client: the server must accept the connection
+  // but reject kSynth frames with a typed error — and keep the connection
+  // alive for the traffic v2 does support.
+  net::Socket sock = net::connect_to("127.0.0.1", server.port());
+  ByteWriter hello;
+  hello.u16(2);
+  net::write_frame(sock, net::FrameType::kHello, 0, hello.buffer());
+  std::optional<net::Frame> ack = net::read_frame(sock);
+  ASSERT_TRUE(ack.has_value());
+  ASSERT_EQ(ack->type, net::FrameType::kHelloAck);
+  {
+    ByteReader in(ack->payload);
+    EXPECT_EQ(in.u16(), 2);
+  }
+
+  net::write_frame(sock, net::FrameType::kSynth, 7, {});
+  std::optional<net::Frame> reply = net::read_frame(sock);
+  ASSERT_TRUE(reply.has_value());
+  ASSERT_EQ(reply->type, net::FrameType::kError);
+  EXPECT_EQ(reply->request_id, 7u);
+  {
+    ByteReader in(reply->payload);
+    const net::WireError error = net::decode_wire_error(in);
+    EXPECT_EQ(error.code, ErrorCode::kProtocol);
+    EXPECT_NE(error.message.find("version 3"), std::string::npos);
+  }
+
+  // The connection survives: a kStats round trip still works, answered in
+  // the v2 layout (no synthesis counters).
+  net::write_frame(sock, net::FrameType::kStats, 8, {});
+  std::optional<net::Frame> stats_reply = net::read_frame(sock);
+  ASSERT_TRUE(stats_reply.has_value());
+  ASSERT_EQ(stats_reply->type, net::FrameType::kStatsReport);
+  {
+    ByteReader in(stats_reply->payload);
+    const net::ServerStats stats = net::decode_server_stats(in, 2);
+    EXPECT_EQ(stats.synth_requests, 0u);
+  }
+  server.stop();
 }
 
 TEST(Daemon, PrewarmPopulatesSessionPool) {

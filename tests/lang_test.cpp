@@ -312,6 +312,86 @@ TEST(Manifest, ParsesJobsWithSchemesAndRequirements) {
   EXPECT_EQ(jobs[1].requirements[0].bound_ms, 80);
 }
 
+TEST(SchemeParser, SweepRangesParseInTemplateMode) {
+  const std::string source =
+      "scheme S {\n"
+      "  input A { signal pulse read polling interval sweep 40..240 step 40\n"
+      "            delay 1 sweep 3..9 step 3 }\n"
+      "  output B { delay 1 3 }\n"
+      "  io { invocation periodic 10\n"
+      "       transfer buffers 5 policy read-all stages 1 1 1 }\n"
+      "}\n";
+  const core::SchemeTemplate tmpl = parse_scheme_template(source);
+  ASSERT_EQ(tmpl.axes.size(), 2u);
+  EXPECT_EQ(tmpl.axes[0].label(), "input.A.polling_interval");
+  EXPECT_EQ(tmpl.axes[0].count(), 6u);
+  EXPECT_EQ(tmpl.axes[1].label(), "input.A.delay_max");
+  EXPECT_EQ(tmpl.axes[1].count(), 3u);
+  EXPECT_EQ(tmpl.candidate_count(), 18u);
+  // The base scheme reads every swept position at LO.
+  EXPECT_EQ(tmpl.base.inputs.at("A").polling_interval, 40);
+  EXPECT_EQ(tmpl.base.inputs.at("A").delay_max, 3);
+
+  // The same source through the non-template parser is rejected with a
+  // pointer at the synthesis entry points.
+  try {
+    parse_scheme(source);
+    FAIL() << "sweep outside template mode must throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kParse);
+    EXPECT_NE(std::string(e.what()).find("synthesis templates"), std::string::npos)
+        << e.what();
+  }
+
+  // Degenerate and duplicate ranges are rejected in template mode too.
+  EXPECT_THROW(parse_scheme_template("scheme S {\n io { invocation periodic "
+                                     "sweep 20..10 step 5\n transfer buffers 5 "
+                                     "policy read-all stages 1 1 1 }\n}\n"),
+               Error);
+  EXPECT_THROW(parse_scheme_template("scheme S {\n input A { signal pulse read "
+                                     "interrupt delay 1 sweep 3..9 step 3\n"
+                                     " delay 1 sweep 3..9 step 3 }\n"
+                                     " output B { delay 1 3 }\n"
+                                     " io { invocation periodic 10\n transfer "
+                                     "buffers 5 policy read-all stages 1 1 1 "
+                                     "}\n}\n"),
+               Error);
+}
+
+TEST(Manifest, ParsesSynthBlocksAlongsideJobs) {
+  const lang::Manifest manifest = parse_manifest_full(
+      "job pump {\n"
+      "  model models/pump.psv\n"
+      "  scheme models/board.pss\n"
+      "  req REQ1: BolusReq -> StartInfusion within 500\n"
+      "}\n"
+      "synth pump_sweep {\n"
+      "  model models/pump.psv\n"
+      "  template models/board_sweep.pss\n"
+      "  req REQ2: BolusReq -> StopInfusion within 2500\n"
+      "}\n");
+  ASSERT_EQ(manifest.jobs.size(), 1u);
+  ASSERT_EQ(manifest.synth_jobs.size(), 1u);
+  EXPECT_EQ(manifest.synth_jobs[0].name, "pump_sweep");
+  EXPECT_EQ(manifest.synth_jobs[0].model_path, "models/pump.psv");
+  EXPECT_EQ(manifest.synth_jobs[0].template_path, "models/board_sweep.pss");
+  ASSERT_EQ(manifest.synth_jobs[0].requirements.size(), 1u);
+  EXPECT_EQ(manifest.synth_jobs[0].requirements[0].name, "REQ2");
+
+  // Synth blocks take 'template', not 'scheme' — and vice versa.
+  EXPECT_THROW(parse_manifest_full("synth s {\n model m.psv\n scheme x.pss\n"
+                                   " req R: A -> B within 5\n}\n"),
+               Error);
+  EXPECT_THROW(parse_manifest_full("job j {\n model m.psv\n template x.pss\n"
+                                   " req R: A -> B within 5\n}\n"),
+               Error);
+  // The compatibility wrapper serves job blocks only and rejects
+  // synth-only manifests.
+  EXPECT_THROW(parse_manifest("synth s {\n model m.psv\n template x.pss\n"
+                              " req R: A -> B within 5\n}\n"),
+               Error);
+}
+
 TEST(Manifest, RejectsStructuralErrors) {
   EXPECT_THROW(parse_manifest(""), Error);
   // Missing model.

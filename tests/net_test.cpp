@@ -149,15 +149,39 @@ TEST(Wire, ErrorAndStatsPayloadRoundTrip) {
     stats.requests_busy = 2;
     stats.sessions_pooled = 5;
     stats.explorations_total = 123;
+    stats.synth_requests = 4;
+    stats.synth_fresh_states = 999;
     ByteWriter out;
-    net::encode_server_stats(out, stats);
+    net::encode_server_stats(out, stats, net::kProtocolVersion);
     ByteReader in(out.buffer());
-    const net::ServerStats decoded = net::decode_server_stats(in);
+    const net::ServerStats decoded = net::decode_server_stats(in, net::kProtocolVersion);
     EXPECT_EQ(decoded.connections_accepted, 3u);
     EXPECT_EQ(decoded.requests_ok, 17u);
     EXPECT_EQ(decoded.requests_busy, 2u);
     EXPECT_EQ(decoded.sessions_pooled, 5u);
     EXPECT_EQ(decoded.explorations_total, 123u);
+    EXPECT_EQ(decoded.synth_requests, 4u);
+    EXPECT_EQ(decoded.synth_fresh_states, 999u);
+  }
+  {
+    // Version-gated layout: a v2 encoding carries no synthesis counters and
+    // still round-trips for a v2 peer; a v3 decoder applied to it throws
+    // (truncated), and vice versa a v2 decoder rejects the longer payload.
+    net::ServerStats stats;
+    stats.requests_ok = 7;
+    stats.synth_requests = 5;
+    ByteWriter v2;
+    net::encode_server_stats(v2, stats, 2);
+    ByteReader in2(v2.buffer());
+    const net::ServerStats decoded2 = net::decode_server_stats(in2, 2);
+    EXPECT_EQ(decoded2.requests_ok, 7u);
+    EXPECT_EQ(decoded2.synth_requests, 0u);  // not on the wire in v2
+    ByteReader cross(v2.buffer());
+    EXPECT_THROW((void)net::decode_server_stats(cross, 3), Error);
+    ByteWriter v3;
+    net::encode_server_stats(v3, stats, 3);
+    ByteReader cross2(v3.buffer());
+    EXPECT_THROW((void)net::decode_server_stats(cross2, 2), Error);
   }
 }
 
@@ -221,7 +245,13 @@ void decode_message(const std::vector<std::uint8_t>& bytes) {
       PSV_REQUIRE_AS(ErrorCode::kProtocol, in.at_end(), "stats frame carries no payload");
       break;
     case net::FrameType::kStatsReport:
-      (void)net::decode_server_stats(in);
+      (void)net::decode_server_stats(in, net::kProtocolVersion);
+      break;
+    case net::FrameType::kSynth:
+      (void)core::decode_source_synth_request(in);
+      break;
+    case net::FrameType::kSynthReport:
+      (void)core::decode_synth_report(in);
       break;
   }
 }
@@ -271,7 +301,7 @@ TEST(WireFuzz, StatsFramesBitFlipsAndTruncations) {
   stats.requests_ok = 11;
   stats.cache_hits_total = 7;
   ByteWriter payload;
-  net::encode_server_stats(payload, stats);
+  net::encode_server_stats(payload, stats, net::kProtocolVersion);
   fuzz_frame(net::encode_frame(net::FrameType::kStatsReport, 3, payload.buffer()));
 }
 

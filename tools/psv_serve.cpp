@@ -4,9 +4,10 @@
 //   psv_serve [--host HOST] [--port N] [--cache-dir DIR] [options]
 //
 // Clients (psv_verify --connect HOST:PORT, or any net::Client) negotiate a
-// protocol version, then pipeline verify requests on one connection; the
-// daemon answers them concurrently, bounded by --max-inflight (excess
-// requests are rejected with a typed BUSY error clients may retry). All
+// protocol version, then pipeline verify requests — and, from protocol v3,
+// scheme-synthesis jobs — on one connection; the daemon answers them
+// concurrently, bounded by --max-inflight (excess requests are rejected
+// with a typed BUSY error clients may retry). All
 // connections share the session pool and the artifact cache, so a request
 // the daemon has answered before — from any client — is served from memo
 // without exploring a single state.
@@ -110,13 +111,19 @@ int main(int argc, char** argv) {
     server.stop();
 
     const psv::net::ServerStats stats = server.stats();
-    if (!quiet)
+    if (!quiet) {
       std::cerr << "psv_serve: served " << stats.requests_received << " request(s) ("
                 << stats.requests_ok << " ok, " << stats.requests_error << " error, "
                 << stats.requests_busy << " busy) on " << stats.connections_accepted
                 << " connection(s); " << stats.explorations_total << " exploration(s), "
                 << stats.cache_hits_total << " cache hit(s), " << stats.warm_starts
                 << " warm start(s) reusing " << stats.states_reused << " state(s)\n";
+      if (stats.synth_requests > 0)
+        std::cerr << "psv_serve: synthesis: " << stats.synth_requests << " job(s), "
+                  << stats.synth_candidates << " candidate(s), " << stats.synth_explored
+                  << " explored, " << stats.synth_pruned << " pruned, "
+                  << stats.synth_fresh_states << " fresh state(s)\n";
+    }
     return 0;
   } catch (const psv::Error& e) {
     std::cerr << "error: " << e.what() << "\n";

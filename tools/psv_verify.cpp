@@ -37,6 +37,7 @@
 #include "core/framework.h"
 #include "core/report_serde.h"
 #include "core/service.h"
+#include "core/synth.h"
 #include "lang/manifest.h"
 #include "lang/model_parser.h"
 #include "lang/scheme_parser.h"
@@ -57,6 +58,10 @@ struct CliOptions {
   std::string model_path;
   std::string scheme_path;
   std::vector<std::string> requirement_texts;
+  bool synth = false;           ///< scheme synthesis: SCHEME.pss is a template
+  unsigned synth_workers = 0;   ///< candidate-level workers (0 = auto)
+  bool no_prune = false;        ///< disable analytic + dominance pruning
+  std::uint64_t visit_seed = 0; ///< nonzero = shuffled candidate visit order
   int sim_scenarios = 0;
   std::uint64_t seed = 2015;
   std::int64_t limit = 1'000'000;
@@ -79,11 +84,14 @@ psv::cli::Parser make_parser(CliOptions& cli) {
       "usage: psv_verify MODEL.psv SCHEME.pss \"REQ: in -> out within MS\" [\"REQ2...\"]\n"
       "                  [options]\n"
       "       psv_verify --batch JOBS.psvb [options]\n"
+      "       psv_verify --synth MODEL.psv TEMPLATE.pss \"REQ...\" [options]\n"
       "\n"
       "Checks every given timing requirement; all requirements of a job are\n"
       "answered from shared exploration work (one PIM sweep, one combined PSM\n"
       "sweep). A manifest job may list several candidate schemes — they share\n"
-      "the PIM verification and compete in a comparison report.");
+      "the PIM verification and compete in a comparison report. With --synth\n"
+      "the scheme file is a TEMPLATE with sweep ranges; the whole candidate\n"
+      "lattice is searched and the Pareto + feasibility frontiers printed.");
   parser.flag("--batch", &cli.batch_path, "FILE",
               "run the .psvb manifest FILE (jobs of model/scheme/req\n"
               "lines; paths resolve relative to the manifest)");
@@ -91,6 +99,22 @@ psv::cli::Parser make_parser(CliOptions& cli) {
               "send the requests to a psv_serve daemon instead of\n"
               "verifying in-process; batch jobs are pipelined on one\n"
               "connection and reports are identical to a local run");
+  parser.flag("--synth", &cli.synth,
+              "scheme synthesis: SCHEME.pss is a TEMPLATE whose fields\n"
+              "may carry 'sweep LO..HI step S' ranges; the candidate\n"
+              "lattice is searched in parallel with warm-start sharing\n"
+              "and pruning, and the Pareto + feasibility frontiers are\n"
+              "printed as 'frontier:' lines");
+  parser.flag("--synth-workers", &cli.synth_workers, "N",
+              "candidate-level synthesis workers (default: auto;\n"
+              "frontiers are identical for every value)");
+  parser.flag("--no-prune", &cli.no_prune,
+              "synthesis: explore every candidate instead of pruning\n"
+              "(identical frontiers, more work)");
+  parser.flag("--visit-seed", &cli.visit_seed, "S",
+              "synthesis: nonzero S visits candidates in a seeded\n"
+              "shuffled order instead of nearest-neighbour (frontiers\n"
+              "are identical for every order)");
   parser.flag("--sim", &cli.sim_scenarios, "N",
               "additionally run N simulated scenarios per requirement\n"
               "(single-model form only)");
@@ -155,7 +179,12 @@ psv::cli::Parser make_parser(CliOptions& cli) {
   parser.epilog(
       "One 'verdict:' line is printed per requirement. Exit status: 0 when every\n"
       "requirement passes (constraints C1-C4 hold and the relaxed bound is met),\n"
-      "1 when any requirement fails, 2 on usage or input errors.");
+      "1 when any requirement fails, 2 on usage or input errors.\n"
+      "\n"
+      "With --synth, SCHEME.pss is a template: one 'frontier:' line is printed\n"
+      "per Pareto-optimal satisfying candidate and per requirement's feasibility\n"
+      "bound. Exit status: 0 when at least one candidate satisfies every\n"
+      "requirement, 1 when none does, 2 on usage or input errors.");
   return parser;
 }
 
@@ -172,6 +201,21 @@ struct JobOutcome {
   std::string name;
   std::string model_path;
   psv::core::VerifyReport report;
+};
+
+/// One synthesis unit: a template sweep as sources, plus presentation data.
+struct SynthJob {
+  std::string name;
+  std::string model_path;
+  std::string header;  ///< batch jobs announce themselves; empty = none
+  psv::core::SourceSynthRequest source;
+};
+
+/// One executed synthesis job.
+struct SynthOutcome {
+  std::string name;
+  std::string model_path;
+  psv::core::SynthReport report;
 };
 
 /// Directory prefix of `path` including the trailing separator, "" if none.
@@ -230,10 +274,34 @@ void write_requirement(psv::json::Writer& w, const psv::core::SchemeVerification
   w.end_object();
 }
 
+/// Summed warm-start state reuse over a report's explored candidates (the
+/// CI smoke gate asserts this is nonzero).
+std::uint64_t synth_warm_reused(const psv::core::SynthReport& report) {
+  std::uint64_t warm_reused = 0;
+  for (const psv::core::CandidateOutcome& c : report.candidates)
+    warm_reused += c.explore.warm_states_reused;
+  return warm_reused;
+}
+
+/// The synthesis counters the CI gates read.
+void write_synth_counters(psv::json::Writer& w, const psv::core::SynthStats& stats,
+                          std::uint64_t warm_reused) {
+  w.field("candidates_total", stats.candidates_total);
+  w.field("pruned_analytic", stats.pruned_analytic);
+  w.field("pruned_dominated", stats.pruned_dominated);
+  w.field("explored_cold", stats.explored_cold);
+  w.field("explored_warm", stats.explored_warm);
+  w.field("fresh_states", stats.fresh_states);
+  w.field("warm_states_reused", warm_reused);
+}
+
 /// The stats JSON: the historical single-run fields (model, requirement,
 /// verified, stages — read by the CI gates) describe the FIRST job's first
-/// scheme/requirement; the "batch" array carries every job in full.
+/// scheme/requirement; the "batch" array carries every job in full. Synthesis
+/// runs add a "synthesis" object (aggregate counters + per-job breakdown with
+/// the Pareto and feasibility frontiers).
 void write_stats_json(const std::string& path, const std::vector<JobOutcome>& outcomes,
+                      const std::vector<SynthOutcome>& synth_outcomes,
                       unsigned jobs, const std::string& engine, double total_wall_ms,
                       const std::string& cache_dir,
                       const std::optional<psv::net::ServerStats>& server_stats) {
@@ -261,14 +329,16 @@ void write_stats_json(const std::string& path, const std::vector<JobOutcome>& ou
     }
   }
 
-  const JobOutcome& first = outcomes.front();
-  const psv::core::SchemeVerification& first_scheme = first.report.schemes.front();
-  const psv::core::RequirementResult& first_req = first_scheme.requirements.front();
+  // Synthesis-only runs have no verify outcomes; the historical first-job
+  // fields are then omitted and "model" names the first synthesis job.
+  const JobOutcome* first = outcomes.empty() ? nullptr : &outcomes.front();
 
   psv::json::Writer w(out);
   w.begin_object();
-  w.field("model", first.model_path);
-  w.field("requirement", first_req.requirement.name);
+  w.field("model", first != nullptr ? first->model_path : synth_outcomes.front().model_path);
+  if (first != nullptr)
+    w.field("requirement",
+            first->report.schemes.front().requirements.front().requirement.name);
   w.field("engine", engine);
   w.field("jobs", jobs);
   w.field("total_wall_ms", total_wall_ms);
@@ -296,24 +366,80 @@ void write_stats_json(const std::string& path, const std::vector<JobOutcome>& ou
     w.field("states_reused", server_stats->states_reused);
     w.end_object();
   }
-  w.key("verified");
-  w.begin_object();
-  w.field("pim_max_delay", first_req.pim.max_delay);
-  w.field("lemma2_total", first_req.bounds.lemma2_total);
-  w.field("psm_mc_delay", first_req.bounds.verified_mc_delay);
-  w.field("constraints_hold", first_scheme.constraints.all_hold());
-  w.field("meets_relaxed", first_req.psm_meets_relaxed);
-  if (!first_scheme.slack.requirements.empty()) {
-    w.field("slack_ms", first_scheme.slack.requirements.front().slack_ms);
-    w.field("binding_requirement", first_scheme.slack.binding().requirement);
+  if (first != nullptr) {
+    const psv::core::SchemeVerification& first_scheme = first->report.schemes.front();
+    const psv::core::RequirementResult& first_req = first_scheme.requirements.front();
+    w.key("verified");
+    w.begin_object();
+    w.field("pim_max_delay", first_req.pim.max_delay);
+    w.field("lemma2_total", first_req.bounds.lemma2_total);
+    w.field("psm_mc_delay", first_req.bounds.verified_mc_delay);
+    w.field("constraints_hold", first_scheme.constraints.all_hold());
+    w.field("meets_relaxed", first_req.psm_meets_relaxed);
+    if (!first_scheme.slack.requirements.empty()) {
+      w.field("slack_ms", first_scheme.slack.requirements.front().slack_ms);
+      w.field("binding_requirement", first_scheme.slack.binding().requirement);
+    }
+    w.end_object();
+    // Legacy pipeline-order stage list of the first job's first scheme.
+    w.key("stages");
+    w.begin_array();
+    for (const psv::core::VerifyStageStats& s : first->report.pim_stages) write_stage(w, s);
+    for (const psv::core::VerifyStageStats& s : first_scheme.stages) write_stage(w, s);
+    w.end_array();
   }
-  w.end_object();
-  // Legacy pipeline-order stage list of the first job's first scheme.
-  w.key("stages");
-  w.begin_array();
-  for (const psv::core::VerifyStageStats& s : first.report.pim_stages) write_stage(w, s);
-  for (const psv::core::VerifyStageStats& s : first_scheme.stages) write_stage(w, s);
-  w.end_array();
+  if (!synth_outcomes.empty()) {
+    // Aggregate synthesis counters (CI gates grep these), then per job the
+    // counters plus both frontiers.
+    psv::core::SynthStats totals;
+    std::uint64_t total_warm_reused = 0;
+    for (const SynthOutcome& job : synth_outcomes) {
+      totals.candidates_total += job.report.stats.candidates_total;
+      totals.pruned_analytic += job.report.stats.pruned_analytic;
+      totals.pruned_dominated += job.report.stats.pruned_dominated;
+      totals.explored_cold += job.report.stats.explored_cold;
+      totals.explored_warm += job.report.stats.explored_warm;
+      totals.fresh_states += job.report.stats.fresh_states;
+      total_warm_reused += synth_warm_reused(job.report);
+    }
+    w.key("synthesis");
+    w.begin_object();
+    write_synth_counters(w, totals, total_warm_reused);
+    w.key("jobs");
+    w.begin_array();
+    for (const SynthOutcome& job : synth_outcomes) {
+      w.begin_object();
+      w.field("job", job.name);
+      w.field("model", job.model_path);
+      write_synth_counters(w, job.report.stats, synth_warm_reused(job.report));
+      w.key("pareto");
+      w.begin_array();
+      for (std::size_t index : job.report.pareto) {
+        w.begin_object();
+        w.field("name", job.report.candidates[index].name);
+        w.key("delays");
+        w.begin_array();
+        for (std::int64_t d : job.report.candidates[index].delays) w.value(d);
+        w.end_array();
+        w.end_object();
+      }
+      w.end_array();
+      w.key("feasibility");
+      w.begin_array();
+      for (const psv::core::FeasibilityEntry& f : job.report.feasibility) {
+        w.begin_object();
+        w.field("requirement", f.requirement);
+        w.field("bounded", f.bounded);
+        w.field("tightest_ms", f.tightest_ms);
+        w.field("witness", f.witness);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
+  }
   // Full per-job breakdown.
   w.key("batch");
   w.begin_array();
@@ -447,6 +573,41 @@ std::vector<JobOutcome> execute_jobs(const std::vector<Job>& jobs, const std::st
   return outcomes;
 }
 
+/// Execute every synthesis job, in-process or against a daemon (kSynth
+/// frames, pipelined like verify jobs). The frontier lines are identical in
+/// both modes and at every worker count.
+std::vector<SynthOutcome> execute_synth_jobs(
+    const std::vector<SynthJob>& jobs, const std::string& connect,
+    std::optional<psv::net::ServerStats>* server_stats) {
+  std::vector<SynthOutcome> outcomes;
+  outcomes.reserve(jobs.size());
+  if (connect.empty()) {
+    // One Verifier for the whole sweep: every candidate shares the pooled
+    // sessions and the pinned warm-start ancestor.
+    psv::core::Verifier verifier;
+    psv::core::SchemeSynthesizer synthesizer(verifier);
+    for (const SynthJob& job : jobs) {
+      outcomes.push_back(
+          {job.name, job.model_path, synthesizer.run(psv::core::to_synth_request(job.source))});
+    }
+    return outcomes;
+  }
+  psv::net::Client client = psv::net::Client::connect(connect);
+  std::map<std::uint64_t, std::size_t> id_to_index;
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    id_to_index.emplace(client.send_synth(jobs[i].source), i);
+  std::vector<std::optional<psv::core::SynthReport>> reports(jobs.size());
+  while (client.outstanding() > 0) {
+    psv::net::Client::Response response = client.next_response();
+    if (!response.ok) PSV_FAIL_AS(response.error.code, response.error.message);
+    reports[id_to_index.at(response.request_id)] = std::move(response.synth_report);
+  }
+  if (server_stats != nullptr) *server_stats = client.server_stats();
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    outcomes.push_back({jobs[i].name, jobs[i].model_path, std::move(*reports[i])});
+  return outcomes;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -492,14 +653,33 @@ int main(int argc, char** argv) {
     const auto wall_start = std::chrono::steady_clock::now();
     if (!cli.cache_dir.empty()) std::cout << "verification cache: " << cli.cache_dir << "\n";
 
+    psv::core::SynthOptions synth_options;
+    synth_options.workers = cli.synth_workers;
+    synth_options.prune = !cli.no_prune;
+    synth_options.visit_seed = cli.visit_seed;
+
     std::vector<Job> jobs;
+    std::vector<SynthJob> synth_jobs;
     // Parsed inputs of the single-model form, reused by --print-psm, the
     // legacy single-requirement summary, and --sim.
     std::optional<psv::ta::Network> pim;
     std::optional<psv::core::PimInfo> info;
     std::optional<psv::core::ImplementationScheme> scheme;
 
-    if (cli.batch_path.empty()) {
+    if (cli.batch_path.empty() && cli.synth) {
+      PSV_REQUIRE_AS(psv::ErrorCode::kParse, cli.sim_scenarios == 0 && !cli.print_psm,
+                     "--synth does not combine with --sim or --print-psm");
+      SynthJob job;
+      job.name = cli.model_path;
+      job.model_path = cli.model_path;
+      job.source.model_source = psv::util::read_file(cli.model_path);
+      job.source.template_source = psv::util::read_file(cli.scheme_path);
+      for (const std::string& text : cli.requirement_texts)
+        job.source.requirements.push_back(psv::lang::parse_requirement(text));
+      job.source.options = options;
+      job.source.synth = synth_options;
+      synth_jobs.push_back(std::move(job));
+    } else if (cli.batch_path.empty()) {
       Job job;
       job.name = cli.model_path;
       job.model_path = cli.model_path;
@@ -520,8 +700,9 @@ int main(int argc, char** argv) {
       jobs.push_back(std::move(job));
     } else {
       const std::string base_dir = dir_of(cli.batch_path);
-      for (const psv::lang::ManifestJob& manifest_job :
-           psv::lang::parse_manifest(psv::util::read_file(cli.batch_path))) {
+      const psv::lang::Manifest manifest =
+          psv::lang::parse_manifest_full(psv::util::read_file(cli.batch_path));
+      for (const psv::lang::ManifestJob& manifest_job : manifest.jobs) {
         Job job;
         job.name = manifest_job.name;
         job.model_path = resolve(base_dir, manifest_job.model_path);
@@ -534,11 +715,34 @@ int main(int argc, char** argv) {
         job.source.options = options;
         jobs.push_back(std::move(job));
       }
+      for (const psv::lang::ManifestSynthJob& manifest_job : manifest.synth_jobs) {
+        SynthJob job;
+        job.name = manifest_job.name;
+        job.model_path = resolve(base_dir, manifest_job.model_path);
+        job.header =
+            "=== synth " + manifest_job.name + " (" + manifest_job.model_path + ") ===\n";
+        job.source.model_source = psv::util::read_file(job.model_path);
+        job.source.template_source =
+            psv::util::read_file(resolve(base_dir, manifest_job.template_path));
+        job.source.requirements = manifest_job.requirements;
+        job.source.options = options;
+        job.source.synth = synth_options;
+        synth_jobs.push_back(std::move(job));
+      }
     }
 
+    // When both job kinds run over --connect, the synthesis batch executes
+    // last and fetches the daemon counters so they include every request.
+    const bool want_stats = !cli.stats_json_path.empty();
     std::optional<psv::net::ServerStats> server_stats;
-    std::vector<JobOutcome> outcomes = execute_jobs(
-        jobs, cli.connect, cli.stats_json_path.empty() ? nullptr : &server_stats);
+    std::vector<JobOutcome> outcomes;
+    if (!jobs.empty())
+      outcomes = execute_jobs(
+          jobs, cli.connect, want_stats && synth_jobs.empty() ? &server_stats : nullptr);
+    std::vector<SynthOutcome> synth_outcomes;
+    if (!synth_jobs.empty())
+      synth_outcomes =
+          execute_synth_jobs(synth_jobs, cli.connect, want_stats ? &server_stats : nullptr);
 
     for (std::size_t i = 0; i < outcomes.size(); ++i) {
       JobOutcome& outcome = outcomes[i];
@@ -563,6 +767,11 @@ int main(int argc, char** argv) {
       }
     }
 
+    for (std::size_t i = 0; i < synth_outcomes.size(); ++i) {
+      if (!synth_jobs[i].header.empty()) std::cout << synth_jobs[i].header;
+      std::cout << synth_outcomes[i].report.summary() << "\n";
+    }
+
     const double total_wall_ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - wall_start)
             .count();
@@ -572,10 +781,14 @@ int main(int argc, char** argv) {
       print_verdicts(job);
       all_passed = all_passed && job.report.all_passed();
     }
+    // A synthesis job "passes" when some candidate satisfies every
+    // requirement (non-empty Pareto frontier).
+    for (const SynthOutcome& job : synth_outcomes)
+      all_passed = all_passed && !job.report.pareto.empty();
 
     if (!cli.stats_json_path.empty()) {
-      write_stats_json(cli.stats_json_path, outcomes, cli.jobs, cli.engine, total_wall_ms,
-                       cli.cache_dir, server_stats);
+      write_stats_json(cli.stats_json_path, outcomes, synth_outcomes, cli.jobs, cli.engine,
+                       total_wall_ms, cli.cache_dir, server_stats);
       std::cout << "wrote per-stage stats to " << cli.stats_json_path << "\n";
     }
 
