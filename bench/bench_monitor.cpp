@@ -1,0 +1,215 @@
+// Runtime-monitor throughput gate: on-line enforcement must be cheap
+// enough to sit on a device's I/O path.
+//
+//   bench_monitor [--events N] [--reps R] [--out FILE]
+//
+// Streams N deterministic pseudo-random timestamped events (seeded psv::Rng,
+// same stream every run) through monitor::DelayMonitor twice: once with
+// every obligation discharged inside its bound ("clean") and once with a
+// known set of late completions injected ("violating"). The generator is
+// straight-line arithmetic, so the expected verdict is known by
+// construction and the gate is strict: the clean stream must end OK, the
+// violating stream must report exactly the injected first-late completion
+// per requirement, and both runs process the full stream (observation
+// continues past the first violation). Reports best-of-R wall time and
+// events/sec per configuration and emits a JSON document for the CI bench
+// artifact. Exit code 1 on any gate failure.
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "monitor/monitor.h"
+#include "util/rng.h"
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: bench_monitor [--events N] [--reps R] [--out FILE]\n";
+  return 2;
+}
+
+struct Event {
+  char kind = 'i';
+  const std::string* name = nullptr;
+  std::int64_t at_us = 0;
+};
+
+struct Oracle {
+  bool ok = true;
+  // Expected first late completion per requirement (index aligned with the
+  // spec); delay 0 means the requirement never violates.
+  std::vector<std::int64_t> first_late_delay_us;
+};
+
+struct RunResult {
+  std::string name;
+  double best_ms = 0.0;
+  double events_per_sec = 0.0;
+  std::size_t events = 0;
+  std::size_t violations = 0;
+};
+
+psv::monitor::MonitorSpec bench_spec() {
+  psv::monitor::MonitorSpec spec;
+  spec.scheme = "bench-stream";
+  spec.requirements.push_back({"R1", "Req", "Ack", 80, 59, true});
+  spec.requirements.push_back({"R2", "Cmd", "Done", 120, 97, true});
+  return spec;
+}
+
+// Build a monotone event stream exercising both requirements plus ignored
+// noise. Obligations never overlap within a requirement: each m is
+// discharged by its c before the next m of the same variable. When
+// `inject_late` is set, a handful of completions are pushed past the bound
+// at fixed stream positions, so the oracle knows the exact first offender.
+std::vector<Event> build_stream(const psv::monitor::MonitorSpec& spec, std::size_t target_events,
+                                bool inject_late, Oracle* oracle) {
+  static const std::string kNoiseIn = "Sensor";
+  static const std::string kNoiseOut = "Led";
+  psv::Rng rng(inject_late ? 20150310 : 20150309);
+  std::vector<Event> stream;
+  stream.reserve(target_events);
+  oracle->ok = !inject_late;
+  oracle->first_late_delay_us.assign(spec.requirements.size(), 0);
+  std::int64_t t = 0;
+  std::size_t pair = 0;
+  while (stream.size() + 4 <= target_events) {
+    const std::size_t r = pair % spec.requirements.size();
+    const psv::monitor::MonitorRequirement& req = spec.requirements[r];
+    const std::int64_t bound_us = req.bound_ms * 1000;
+    t += rng.uniform_int(1, 200);
+    if (rng.chance(0.25)) {
+      stream.push_back({rng.chance(0.5) ? 'i' : 'o',
+                        rng.chance(0.5) ? &kNoiseIn : &kNoiseOut, t});
+      t += rng.uniform_int(1, 50);
+    }
+    stream.push_back({'m', &req.input, t});
+    // In-bound by default; every 5000th pair of each requirement runs late
+    // when injection is on.
+    std::int64_t delay = rng.uniform_int(1, bound_us - 1);
+    if (inject_late && pair % 10000 == r) {
+      delay = bound_us + rng.uniform_int(1, 5000);
+      if (oracle->first_late_delay_us[r] == 0) oracle->first_late_delay_us[r] = delay;
+    }
+    t += delay;
+    stream.push_back({'c', &req.output, t});
+    ++pair;
+  }
+  return stream;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t target_events = 1'000'000;
+  int reps = 3;
+  std::string out_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--events" && i + 1 < argc) {
+      target_events = std::stoul(argv[++i]);
+    } else if (arg == "--reps" && i + 1 < argc) {
+      reps = std::stoi(argv[++i]);
+    } else if (arg == "--out" && i + 1 < argc) {
+      out_path = argv[++i];
+    } else {
+      return usage();
+    }
+  }
+  if (reps < 1 || target_events < 100) return usage();
+
+  const psv::monitor::MonitorSpec spec = bench_spec();
+
+  struct Config {
+    const char* name;
+    bool inject_late;
+  };
+  const Config kConfigs[] = {{"clean", false}, {"violating", true}};
+
+  std::vector<RunResult> results;
+  bool gates_ok = true;
+  for (const Config& config : kConfigs) {
+    Oracle oracle;
+    const std::vector<Event> stream =
+        build_stream(spec, target_events, config.inject_late, &oracle);
+    RunResult r;
+    r.name = config.name;
+    r.events = stream.size();
+    psv::monitor::DelayMonitor mon(spec);
+    for (int rep = 0; rep < reps; ++rep) {
+      mon.reset();
+      const auto start = std::chrono::steady_clock::now();
+      for (const Event& ev : stream) mon.observe(ev.kind, *ev.name, ev.at_us);
+      mon.finish(stream.back().at_us);
+      const auto stop = std::chrono::steady_clock::now();
+      const double ms = std::chrono::duration<double, std::milli>(stop - start).count();
+      if (rep == 0 || ms < r.best_ms) r.best_ms = ms;
+    }
+    r.events_per_sec = r.best_ms > 0.0 ? 1000.0 * static_cast<double>(r.events) / r.best_ms : 0.0;
+    r.violations = mon.violations().size();
+
+    // Gates: the verdict must match the generator's arithmetic, and the
+    // monitor must have seen the whole stream.
+    if (mon.events() != static_cast<std::int64_t>(stream.size())) {
+      std::cerr << "ERROR: monitor consumed " << mon.events() << " of " << stream.size()
+                << " events\n";
+      gates_ok = false;
+    }
+    if (mon.ok() != oracle.ok) {
+      std::cerr << "ERROR: config=" << r.name << " verdict ok=" << mon.ok() << " expected "
+                << oracle.ok << "\n";
+      gates_ok = false;
+    }
+    if (config.inject_late) {
+      const std::vector<psv::monitor::Violation> vs = mon.violations();
+      std::size_t expected = 0;
+      for (const std::int64_t d : oracle.first_late_delay_us)
+        if (d > 0) ++expected;
+      if (vs.size() != expected) {
+        std::cerr << "ERROR: " << vs.size() << " violations, expected " << expected << "\n";
+        gates_ok = false;
+      }
+      for (const psv::monitor::Violation& v : vs) {
+        if (v.kind != psv::monitor::ViolationKind::kLate ||
+            v.delay_us != oracle.first_late_delay_us[v.requirement]) {
+          std::cerr << "ERROR: " << psv::monitor::violation_line(spec, v)
+                    << " disagrees with the injected delay "
+                    << oracle.first_late_delay_us[v.requirement] << "us\n";
+          gates_ok = false;
+        }
+      }
+    }
+    std::cerr << "config=" << r.name << " events=" << r.events << " best=" << r.best_ms
+              << "ms rate=" << r.events_per_sec << " ev/s violations=" << r.violations << "\n";
+    results.push_back(std::move(r));
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"model\": \"monitor-two-requirement-stream\",\n  \"reps\": " << reps
+       << ",\n  \"target_events\": " << target_events << ",\n  \"configs\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const RunResult& r = results[i];
+    json << "    {\"config\": \"" << r.name << "\", \"events\": " << r.events
+         << ", \"best_ms\": " << r.best_ms << ", \"events_per_sec\": " << r.events_per_sec
+         << ", \"violations\": " << r.violations << "}" << (i + 1 < results.size() ? "," : "")
+         << "\n";
+  }
+  json << "  ]\n}\n";
+
+  if (out_path.empty()) {
+    std::cout << json.str();
+  } else {
+    std::ofstream out(out_path);
+    out << json.str();
+    if (!out) {
+      std::cerr << "ERROR: cannot write " << out_path << "\n";
+      return 1;
+    }
+    std::cout << "wrote " << out_path << "\n";
+  }
+  return gates_ok ? 0 : 1;
+}

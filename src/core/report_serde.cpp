@@ -512,7 +512,7 @@ SourceSynthRequest decode_source_synth_request(ByteReader& in) {
   return request;
 }
 
-void encode_synth_report(ByteWriter& out, const SynthReport& report) {
+void encode_synth_report(ByteWriter& out, const SynthReport& report, std::uint16_t version) {
   out.u64(report.requirements.size());
   for (const TimingRequirement& req : report.requirements)
     encode_timing_requirement(out, req);
@@ -528,6 +528,18 @@ void encode_synth_report(ByteWriter& out, const SynthReport& report) {
     out.boolean(f.bounded);
     out.i64(f.tightest_ms);
     out.str(f.witness);
+    // Protocol v4: the witness candidate's ranked critical traces, gated on
+    // the negotiated version so v3 peers parse the prefix they expect.
+    if (version >= 4) {
+      out.u64(f.critical.size());
+      for (const CriticalTrace& ct : f.critical) {
+        out.i64(ct.delay_ms);
+        out.i64(ct.slack_ms);
+        mc::write_trace(out, ct.trace);
+      }
+      out.u64(f.witness_consts.size());
+      for (const std::int32_t c : f.witness_consts) out.i32(c);
+    }
   }
   out.u64(report.stats.candidates_total);
   out.u64(report.stats.pruned_analytic);
@@ -538,7 +550,7 @@ void encode_synth_report(ByteWriter& out, const SynthReport& report) {
   out.u64(report.stats.warm_states_reused);
 }
 
-SynthReport decode_synth_report(ByteReader& in) {
+SynthReport decode_synth_report(ByteReader& in, std::uint16_t version) {
   SynthReport report;
   const std::size_t reqs = in.length(/*min_element_size=*/8 + 8 + 8 + 8);
   check_count(reqs, "requirement");
@@ -572,6 +584,22 @@ SynthReport decode_synth_report(ByteReader& in) {
     f.bounded = in.boolean();
     f.tightest_ms = in.i64();
     f.witness = in.str();
+    if (version >= 4) {
+      const std::size_t traces = in.length(/*min_element_size=*/8 + 8 + 8);
+      PSV_REQUIRE_AS(ErrorCode::kProtocol, traces <= static_cast<std::size_t>(mc::kMaxTopK),
+                     "malformed payload: critical-trace count " + std::to_string(traces));
+      f.critical.reserve(traces);
+      for (std::size_t t = 0; t < traces; ++t) {
+        CriticalTrace ct;
+        ct.delay_ms = in.i64();
+        ct.slack_ms = in.i64();
+        ct.trace = mc::read_trace(in);
+        f.critical.push_back(std::move(ct));
+      }
+      const std::size_t consts = in.length(/*min_element_size=*/4);
+      f.witness_consts.reserve(consts);
+      for (std::size_t c = 0; c < consts; ++c) f.witness_consts.push_back(in.i32());
+    }
     report.feasibility.push_back(std::move(f));
   }
   report.stats.candidates_total = in.u64();

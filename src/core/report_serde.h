@@ -77,7 +77,11 @@ SourceSynthRequest decode_source_synth_request(ByteReader& in);
 
 /// SynthReport travels field-for-field; frontier_text()/summary() of a
 /// decoded report render byte-identical to the server-side report.
-void encode_synth_report(ByteWriter& out, const SynthReport& report);
-SynthReport decode_synth_report(ByteReader& in);
+/// `version` is the NEGOTIATED wire-protocol version: v4+ appends the
+/// feasibility entries' witness critical traces (+ replay constants); on a
+/// v3 connection they are silently dropped, which only affects
+/// feasibility_detail() rendering — frontier lines are identical.
+void encode_synth_report(ByteWriter& out, const SynthReport& report, std::uint16_t version = 4);
+SynthReport decode_synth_report(ByteReader& in, std::uint16_t version = 4);
 
 }  // namespace psv::core

@@ -427,4 +427,43 @@ VerifyReport Verifier::verify(const VerifyRequest& request) {
   return report;
 }
 
+monitor::MonitorSpec Verifier::monitor_spec(const VerifyReport& report,
+                                            std::size_t scheme_index) {
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, scheme_index < report.schemes.size(),
+                 "monitor_spec: no scheme at index " + std::to_string(scheme_index));
+  const SchemeVerification& sv = report.schemes[scheme_index];
+  monitor::MonitorSpec spec;
+  spec.scheme = sv.scheme_name;
+  for (std::size_t r = 0; r < sv.requirements.size(); ++r) {
+    const RequirementResult& rr = sv.requirements[r];
+    const TimingRequirement& req = rr.requirement;
+    // A FAIL cell is not enforceable: the platform provably breaks the
+    // bound, so a monitor built from it would merely re-discover the
+    // witness at runtime. Refuse with the witness delay.
+    if (!rr.passed || !rr.psm_meets_original) {
+      std::ostringstream os;
+      os << "requirement '" << req.name << "' "
+         << (rr.passed ? "only meets the RELAXED bound" : "FAILED") << " on scheme '"
+         << sv.scheme_name << "': witness delay ";
+      if (rr.bounds.verified_mc_bounded) {
+        os << rr.bounds.verified_mc_delay << "ms";
+      } else {
+        os << "unbounded";
+      }
+      os << " exceeds bound " << req.bound_ms << "ms; only cells meeting the original"
+         << " bound are enforceable by a runtime monitor";
+      throw Error(os.str(), ErrorCode::kModel);
+    }
+    monitor::MonitorRequirement mr;
+    mr.name = req.name;
+    mr.input = req.input;
+    mr.output = req.output;
+    mr.bound_ms = req.bound_ms;
+    mr.verified_ms = rr.bounds.verified_mc_delay;
+    mr.verified = true;
+    spec.requirements.push_back(std::move(mr));
+  }
+  return spec;
+}
+
 }  // namespace psv::core

@@ -51,6 +51,7 @@
 #include "core/scheme.h"
 #include "core/transform.h"
 #include "mc/session.h"
+#include "monitor/monitor.h"
 
 namespace psv::core {
 
@@ -171,6 +172,14 @@ class Verifier {
   /// Answer one batch. Thread-safe; throws psv::Error on malformed input
   /// (empty scheme/requirement sets, unknown variables, invalid schemes).
   VerifyReport verify(const VerifyRequest& request);
+
+  /// Compile scheme `scheme_index` of a report into a runtime-monitor spec
+  /// (monitor/monitor.h): every requirement with its bound and the proved
+  /// worst-case delay. Only PASS cells are enforceable — a FAIL cell makes
+  /// the spec unsound (the platform provably breaks the bound), so the call
+  /// refuses with a typed kModel error carrying the witness delay.
+  static monitor::MonitorSpec monitor_spec(const VerifyReport& report,
+                                           std::size_t scheme_index = 0);
 
   /// Sessions currently pooled (diagnostic).
   std::size_t pooled_sessions() const;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstddef>
 #include <exception>
+#include <map>
 #include <mutex>
 #include <sstream>
 #include <thread>
@@ -426,6 +427,7 @@ SynthReport SchemeSynthesizer::run(const SynthRequest& request) {
   // cannot hide the minimum or its lex-smallest witness: every pruned
   // candidate has an explored constraint-respecting dominator with
   // pointwise <= delays and a smaller lattice index.
+  std::vector<std::size_t> witness_index(req_count, n);
   for (std::size_t r = 0; r < req_count; ++r) {
     FeasibilityEntry entry;
     entry.requirement = request.requirements[r].name;
@@ -441,10 +443,58 @@ SynthReport SchemeSynthesizer::run(const SynthRequest& request) {
       }
     }
     if (witness < n) entry.witness = report.candidates[witness].name;
+    witness_index[r] = witness;
     report.feasibility.push_back(std::move(entry));
   }
 
+  // Witness provenance: re-answer each distinct witness candidate through
+  // the same Verifier — its pooled session memoized the whole sweep, so
+  // these are pure cache hits, no exploration — and attach the ranked
+  // critical traces of the tightest requirement's M-C probe.
+  if (request.options.top_k > 0) {
+    std::map<std::size_t, VerifyReport> witness_reports;
+    for (std::size_t r = 0; r < req_count; ++r) {
+      const std::size_t i = witness_index[r];
+      if (i >= n) continue;
+      auto it = witness_reports.find(i);
+      if (it == witness_reports.end()) {
+        VerifyRequest vr;
+        vr.pim = request.pim;
+        vr.info = info;
+        vr.schemes = {request.tmpl.instantiate(report.candidates[i].values)};
+        vr.requirements = request.requirements;
+        vr.options = request.options;
+        it = witness_reports.emplace(i, verifier_.verify(vr)).first;
+      }
+      const SlackReport& slack = it->second.schemes.front().slack;
+      if (r < slack.requirements.size()) {
+        report.feasibility[r].critical = slack.requirements[r].critical;
+        report.feasibility[r].witness_consts = slack.requirements[r].witness_consts;
+      }
+    }
+  }
+
   return report;
+}
+
+std::string SynthReport::feasibility_detail(std::size_t top_k) const {
+  std::ostringstream os;
+  for (const FeasibilityEntry& f : feasibility) {
+    if (f.bounded) {
+      os << "feasibility: " << f.requirement << " tightest=" << f.tightest_ms << "ms via "
+         << f.witness << "\n";
+    } else {
+      os << "feasibility: " << f.requirement << " unbounded\n";
+    }
+    const std::size_t shown = std::min(top_k, f.critical.size());
+    for (std::size_t i = 0; i < shown; ++i) {
+      const CriticalTrace& ct = f.critical[i];
+      os << "  critical[" << i << "]: delay " << ct.delay_ms << "ms, slack " << ct.slack_ms
+         << "ms\n";
+      os << ct.trace.to_string();
+    }
+  }
+  return os.str();
 }
 
 std::string SynthReport::frontier_text() const {

@@ -131,6 +131,14 @@ struct FeasibilityEntry {
   bool bounded = false;
   std::int64_t tightest_ms = 0;  ///< = search limit when no candidate is bounded
   std::string witness;           ///< lex-smallest candidate attaining it; "" if none
+  /// Ranked critical traces of the witness candidate's M-C probe — the
+  /// realizable worst-case behaviours attaining (or approaching) the
+  /// tightest delay, replayable through sim::replay_trace with
+  /// `witness_consts`. Filled when options.top_k > 0 and a witness exists;
+  /// re-answered through the pooled sessions, so retrieval costs no
+  /// exploration.
+  std::vector<CriticalTrace> critical;
+  std::vector<std::int32_t> witness_consts;
 };
 
 /// The synthesis response.
@@ -146,6 +154,12 @@ struct SynthReport {
   ///   frontier: pareto NAME REQ1=42ms REQ2=107ms
   ///   frontier: feasibility REQ1 tightest=42ms via NAME
   std::string frontier_text() const;
+
+  /// The --slack detail of the feasibility frontier: per requirement, up to
+  /// `top_k` ranked critical traces of the witness candidate (most critical
+  /// first) — the concrete behaviours showing WHY the family cannot do
+  /// better than the tightest bound.
+  std::string feasibility_detail(std::size_t top_k) const;
 
   /// Human-readable run summary: axes, work split, frontier lines.
   std::string summary() const;

@@ -1,0 +1,258 @@
+#include "monitor/cmon.h"
+
+#include <cctype>
+#include <sstream>
+#include <vector>
+
+#include "util/error.h"
+
+namespace psv::monitor {
+
+namespace {
+
+/// C identifier for a name (variable names are already identifier-safe in
+/// this framework, but be defensive — same policy as codegen::emit_c).
+std::string ident(const std::string& s) {
+  std::string out;
+  for (char c : s) out += (std::isalnum(static_cast<unsigned char>(c)) != 0 ? c : '_');
+  return out;
+}
+
+std::string upper(const std::string& s) {
+  std::string out;
+  for (char c : s) out += static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace
+
+std::string emit_c_monitor(const MonitorSpec& spec, const CMonOptions& options) {
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, !spec.requirements.empty(),
+                 "monitor spec declares no requirements");
+  const std::string& p = options.prefix;
+  const std::string P = upper(p);
+  const std::size_t n = spec.requirements.size();
+
+  // Enum-coded events: distinct monitored inputs first (in first-appearance
+  // order), then distinct controlled outputs.
+  std::vector<char> ev_kind;
+  std::vector<std::string> ev_name;
+  auto event_code = [&](char kind, const std::string& name) {
+    for (std::size_t e = 0; e < ev_kind.size(); ++e)
+      if (ev_kind[e] == kind && ev_name[e] == name) return static_cast<int>(e);
+    ev_kind.push_back(kind);
+    ev_name.push_back(name);
+    return static_cast<int>(ev_kind.size() - 1);
+  };
+  std::vector<int> m_ev(n), c_ev(n);
+  for (std::size_t r = 0; r < n; ++r) m_ev[r] = event_code('m', spec.requirements[r].input);
+  for (std::size_t r = 0; r < n; ++r) c_ev[r] = event_code('c', spec.requirements[r].output);
+
+  std::ostringstream os;
+  os << "/* Generated runtime delay monitor — do not edit.\n";
+  os << " *\n";
+  os << " * Source artifact: scheme "
+     << (spec.scheme.empty() ? std::string("(unverified)") : spec.scheme) << "\n";
+  for (const MonitorRequirement& req : spec.requirements) {
+    os << " *   " << req.name << ": " << req.input << " -> " << req.output << " within "
+       << req.bound_ms << "ms";
+    if (req.verified) os << " (verified worst case " << req.verified_ms << "ms)";
+    os << "\n";
+  }
+  os << " *\n";
+  os << " * Self-contained C99, no dependencies beyond <stdint.h>. Feed\n";
+  os << " * enum-coded events with monotone microsecond timestamps through\n";
+  os << " * " << p << "_mon_observe; " << p << "_mon_status returns the violation count.\n";
+  os << " * Compile with -DPSV_MON_MAIN for the stdin event-stream driver.\n";
+  os << " */\n";
+  os << "#include <stdint.h>\n\n";
+
+  os << "#define " << P << "_MON_REQS " << n << "\n\n";
+  os << "typedef enum {\n";
+  for (std::size_t e = 0; e < ev_kind.size(); ++e) {
+    os << "  " << P << "_EV_" << static_cast<char>(std::toupper(ev_kind[e])) << "_"
+       << ident(ev_name[e]) << " = " << e << ",\n";
+  }
+  os << "} " << p << "_mon_event;\n\n";
+
+  os << "/* Per-requirement constants (requirement order of the spec). */\n";
+  os << "static const int64_t " << p << "_mon_bound_us[" << P << "_MON_REQS] = {";
+  for (std::size_t r = 0; r < n; ++r)
+    os << (r ? ", " : "") << spec.requirements[r].bound_ms * 1000 << "LL";
+  os << "};\n";
+  os << "static const int " << p << "_mon_m_ev[" << P << "_MON_REQS] = {";
+  for (std::size_t r = 0; r < n; ++r) os << (r ? ", " : "") << m_ev[r];
+  os << "};\n";
+  os << "static const int " << p << "_mon_c_ev[" << P << "_MON_REQS] = {";
+  for (std::size_t r = 0; r < n; ++r) os << (r ? ", " : "") << c_ev[r];
+  os << "};\n\n";
+
+  os << "typedef struct {\n";
+  os << "  /* Sliding obligation window per requirement: O(1) memory. */\n";
+  os << "  uint8_t pending[" << P << "_MON_REQS];\n";
+  os << "  uint8_t overlap[" << P << "_MON_REQS];\n";
+  os << "  int64_t since_us[" << P << "_MON_REQS];\n";
+  os << "  /* First violation per requirement. kind: 0 = late, 1 = missed. */\n";
+  os << "  uint8_t violated[" << P << "_MON_REQS];\n";
+  os << "  uint8_t vkind[" << P << "_MON_REQS];\n";
+  os << "  int64_t vat_us[" << P << "_MON_REQS];\n";
+  os << "  int64_t vdelay_us[" << P << "_MON_REQS];\n";
+  os << "  int64_t vstep[" << P << "_MON_REQS];\n";
+  os << "  int64_t events;\n";
+  os << "} " << p << "_mon_state;\n\n";
+
+  os << "void " << p << "_mon_init(" << p << "_mon_state* s) {\n";
+  os << "  int r;\n";
+  os << "  for (r = 0; r < " << P << "_MON_REQS; ++r) {\n";
+  os << "    s->pending[r] = 0;\n";
+  os << "    s->overlap[r] = 0;\n";
+  os << "    s->since_us[r] = 0;\n";
+  os << "    s->violated[r] = 0;\n";
+  os << "    s->vkind[r] = 0;\n";
+  os << "    s->vat_us[r] = 0;\n";
+  os << "    s->vdelay_us[r] = 0;\n";
+  os << "    s->vstep[r] = 0;\n";
+  os << "  }\n";
+  os << "  s->events = 0;\n";
+  os << "}\n\n";
+
+  os << "/* Deadline sweep of one window: the stream is past since + bound\n";
+  os << " * with the window still armed, so the obligation can no longer be\n";
+  os << " * met (timestamps are monotone). Skipped when the current event\n";
+  os << " * discharges this very window (that path reports `late`). */\n";
+  os << "static void " << p << "_mon_deadline(" << p << "_mon_state* s, int r, int64_t now_us,\n";
+  os << "                                     int discharging) {\n";
+  os << "  int64_t deadline;\n";
+  os << "  if (!s->pending[r] || discharging) return;\n";
+  os << "  deadline = s->since_us[r] + " << p << "_mon_bound_us[r];\n";
+  os << "  if (now_us <= deadline) return;\n";
+  os << "  if (!s->violated[r]) {\n";
+  os << "    s->violated[r] = 1;\n";
+  os << "    s->vkind[r] = 1; /* missed */\n";
+  os << "    s->vat_us[r] = deadline;\n";
+  os << "    s->vdelay_us[r] = 0;\n";
+  os << "    s->vstep[r] = s->events;\n";
+  os << "  }\n";
+  os << "  s->pending[r] = 0;\n";
+  os << "  s->overlap[r] = 0;\n";
+  os << "}\n\n";
+
+  os << "void " << p << "_mon_observe(" << p << "_mon_state* s, int event, int64_t now_us) {\n";
+  os << "  int r;\n";
+  os << "  for (r = 0; r < " << P << "_MON_REQS; ++r) {\n";
+  os << "    const int is_m = event == " << p << "_mon_m_ev[r];\n";
+  os << "    const int is_c = event == " << p << "_mon_c_ev[r];\n";
+  os << "    " << p << "_mon_deadline(s, r, now_us, is_c && s->pending[r]);\n";
+  os << "    if (is_m) {\n";
+  os << "      if (!s->pending[r]) {\n";
+  os << "        s->pending[r] = 1;\n";
+  os << "        s->since_us[r] = now_us;\n";
+  os << "      } else {\n";
+  os << "        /* Keep timing from the FIRST outstanding request. */\n";
+  os << "        s->overlap[r] = 1;\n";
+  os << "      }\n";
+  os << "    } else if (is_c && s->pending[r]) {\n";
+  os << "      const int64_t delay = now_us - s->since_us[r];\n";
+  os << "      if (delay > " << p << "_mon_bound_us[r] && !s->violated[r]) {\n";
+  os << "        s->violated[r] = 1;\n";
+  os << "        s->vkind[r] = 0; /* late */\n";
+  os << "        s->vat_us[r] = now_us;\n";
+  os << "        s->vdelay_us[r] = delay;\n";
+  os << "        s->vstep[r] = s->events;\n";
+  os << "      }\n";
+  os << "      s->pending[r] = 0;\n";
+  os << "      s->overlap[r] = 0;\n";
+  os << "    }\n";
+  os << "  }\n";
+  os << "  s->events += 1;\n";
+  os << "}\n\n";
+
+  os << "void " << p << "_mon_finish(" << p << "_mon_state* s, int64_t end_us) {\n";
+  os << "  int r;\n";
+  os << "  for (r = 0; r < " << P << "_MON_REQS; ++r) " << p
+     << "_mon_deadline(s, r, end_us, 0);\n";
+  os << "}\n\n";
+
+  os << "int " << p << "_mon_status(const " << p << "_mon_state* s) {\n";
+  os << "  int r, count = 0;\n";
+  os << "  for (r = 0; r < " << P << "_MON_REQS; ++r) count += s->violated[r] ? 1 : 0;\n";
+  os << "  return count;\n";
+  os << "}\n\n";
+
+  // Optional differential-testing driver: consumes the TRACE/OBS/END
+  // event-stream format and prints verdict lines byte-identical to
+  // DelayMonitor::verdict_text().
+  os << "#ifdef PSV_MON_MAIN\n";
+  os << "#include <stdio.h>\n";
+  os << "#include <string.h>\n\n";
+  os << "static const char* const " << p << "_mon_req_name[" << P << "_MON_REQS] = {";
+  for (std::size_t r = 0; r < n; ++r) os << (r ? ", " : "") << "\"" << spec.requirements[r].name
+                                         << "\"";
+  os << "};\n";
+  os << "static const char " << p << "_mon_ev_kind[" << ev_kind.size() << "] = {";
+  for (std::size_t e = 0; e < ev_kind.size(); ++e) os << (e ? ", " : "") << "'" << ev_kind[e]
+                                                      << "'";
+  os << "};\n";
+  os << "static const char* const " << p << "_mon_ev_name[" << ev_kind.size() << "] = {";
+  for (std::size_t e = 0; e < ev_kind.size(); ++e) os << (e ? ", " : "") << "\"" << ev_name[e]
+                                                      << "\"";
+  os << "};\n\n";
+  os << "static void " << p << "_mon_print_verdict(const " << p << "_mon_state* s) {\n";
+  os << "  int r;\n";
+  os << "  const int count = " << p << "_mon_status(s);\n";
+  os << "  for (r = 0; r < " << P << "_MON_REQS; ++r) {\n";
+  os << "    if (!s->violated[r]) continue;\n";
+  os << "    if (s->vkind[r] == 0) {\n";
+  os << "      printf(\"monitor: violation %s late step=%lld at=%lldus delay=%lldus "
+        "bound=%lldus\\n\",\n";
+  os << "             " << p << "_mon_req_name[r], (long long)s->vstep[r],\n";
+  os << "             (long long)s->vat_us[r], (long long)s->vdelay_us[r],\n";
+  os << "             (long long)" << p << "_mon_bound_us[r]);\n";
+  os << "    } else {\n";
+  os << "      printf(\"monitor: violation %s missed step=%lld at=%lldus bound=%lldus\\n\",\n";
+  os << "             " << p << "_mon_req_name[r], (long long)s->vstep[r],\n";
+  os << "             (long long)s->vat_us[r], (long long)" << p << "_mon_bound_us[r]);\n";
+  os << "    }\n";
+  os << "  }\n";
+  os << "  if (count == 0) {\n";
+  os << "    printf(\"monitor: verdict OK events=%lld\\n\", (long long)s->events);\n";
+  os << "  } else {\n";
+  os << "    printf(\"monitor: verdict VIOLATION violations=%d events=%lld\\n\", count,\n";
+  os << "           (long long)s->events);\n";
+  os << "  }\n";
+  os << "}\n\n";
+  os << "int main(void) {\n";
+  os << "  " << p << "_mon_state s;\n";
+  os << "  char line[512];\n";
+  os << "  " << p << "_mon_init(&s);\n";
+  os << "  while (fgets(line, sizeof line, stdin) != NULL) {\n";
+  os << "    long long t;\n";
+  os << "    char kind;\n";
+  os << "    char name[256];\n";
+  os << "    char idx[64];\n";
+  os << "    if (sscanf(line, \"TRACE %255s %63s\", name, idx) == 2) {\n";
+  os << "      " << p << "_mon_init(&s);\n";
+  os << "      printf(\"monitor: trace %s %s\\n\", name, idx);\n";
+  os << "    } else if (sscanf(line, \"OBS %lld %c %255s\", &t, &kind, name) == 3) {\n";
+  os << "      int e, code = -1;\n";
+  os << "      for (e = 0; e < " << ev_kind.size() << "; ++e) {\n";
+  os << "        if (" << p << "_mon_ev_kind[e] == kind && strcmp(" << p
+     << "_mon_ev_name[e], name) == 0) {\n";
+  os << "          code = e;\n";
+  os << "          break;\n";
+  os << "        }\n";
+  os << "      }\n";
+  os << "      " << p << "_mon_observe(&s, code, (int64_t)t);\n";
+  os << "    } else if (sscanf(line, \"END %lld\", &t) == 1) {\n";
+  os << "      " << p << "_mon_finish(&s, (int64_t)t);\n";
+  os << "      " << p << "_mon_print_verdict(&s);\n";
+  os << "      " << p << "_mon_init(&s);\n";
+  os << "    }\n";
+  os << "  }\n";
+  os << "  return 0;\n";
+  os << "}\n";
+  os << "#endif /* PSV_MON_MAIN */\n";
+  return os.str();
+}
+
+}  // namespace psv::monitor

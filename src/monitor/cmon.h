@@ -1,0 +1,38 @@
+// C99 monitor emission: compile a MonitorSpec into a self-contained,
+// dependency-free translation unit implementing the same obligation-window
+// semantics as monitor::DelayMonitor.
+//
+// Generated ABI (prefix configurable, default "psv"):
+//
+//   typedef enum { <PREFIX>_EV_M_<INPUT> = 0, ..., <PREFIX>_EV_C_<OUTPUT>, ... };
+//   void <prefix>_mon_init(<prefix>_mon_state* s);
+//   void <prefix>_mon_observe(<prefix>_mon_state* s, int event, int64_t now_us);
+//   void <prefix>_mon_finish(<prefix>_mon_state* s, int64_t end_us);
+//   int  <prefix>_mon_status(const <prefix>_mon_state* s);   /* violation count */
+//
+// Events are enum-coded; feeding a negative code counts the event without
+// driving any window (the stand-in for unmapped boundary events). The TU
+// includes only <stdint.h> and is warning-clean under
+// `-std=c99 -Wall -Werror` (CI-gated).
+//
+// Defining PSV_MON_MAIN additionally compiles a line-oriented driver main
+// that consumes the event-stream text format `psv_verify --monitor-events`
+// writes (TRACE/OBS/END lines) and prints verdict lines byte-identical to
+// DelayMonitor::verdict_text() — the differential-testing hook.
+#pragma once
+
+#include <string>
+
+#include "monitor/monitor.h"
+
+namespace psv::monitor {
+
+struct CMonOptions {
+  /// Identifier prefix of every emitted symbol.
+  std::string prefix = "psv";
+};
+
+/// Render the monitor TU. Throws psv::Error(kModel) on an empty spec.
+std::string emit_c_monitor(const MonitorSpec& spec, const CMonOptions& options = {});
+
+}  // namespace psv::monitor

@@ -1,0 +1,125 @@
+#include "monitor/monitor.h"
+
+#include <sstream>
+#include <unordered_set>
+#include <utility>
+
+#include "util/error.h"
+
+namespace psv::monitor {
+
+const char* to_string(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kLate: return "late";
+    case ViolationKind::kMissed: return "missed";
+  }
+  return "?";
+}
+
+DelayMonitor::DelayMonitor(MonitorSpec spec) : spec_(std::move(spec)) {
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, !spec_.requirements.empty(),
+                 "monitor spec declares no requirements");
+  std::unordered_set<std::string> names;
+  for (const MonitorRequirement& req : spec_.requirements) {
+    PSV_REQUIRE_AS(::psv::ErrorCode::kModel, req.bound_ms > 0,
+                   "monitor requirement '" + req.name + "': non-positive bound");
+    PSV_REQUIRE_AS(::psv::ErrorCode::kModel, names.insert(req.name).second,
+                   "monitor spec repeats requirement '" + req.name + "'");
+  }
+  windows_.resize(spec_.requirements.size());
+}
+
+void DelayMonitor::reset() {
+  windows_.assign(spec_.requirements.size(), Window{});
+  events_ = 0;
+  last_us_ = 0;
+  violation_count_ = 0;
+}
+
+void DelayMonitor::check_deadline(std::size_t r, std::int64_t now_us, bool discharging) {
+  Window& w = windows_[r];
+  if (!w.pending || discharging) return;
+  const std::int64_t deadline = w.since_us + spec_.requirements[r].bound_ms * 1000;
+  if (now_us <= deadline) return;
+  // The stream is past the deadline with the window still armed: the
+  // obligation can no longer be met (timestamps are monotone).
+  if (!w.violated) {
+    w.violated = true;
+    w.violation = {r, ViolationKind::kMissed, deadline, 0, events_};
+    ++violation_count_;
+  }
+  w.pending = false;
+  w.overlap = false;
+}
+
+void DelayMonitor::observe(char kind, const std::string& name, std::int64_t at_us) {
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, at_us >= last_us_,
+                 "monitor events must be time-monotone");
+  last_us_ = at_us;
+  for (std::size_t r = 0; r < spec_.requirements.size(); ++r) {
+    const MonitorRequirement& req = spec_.requirements[r];
+    Window& w = windows_[r];
+    const bool is_m = kind == 'm' && name == req.input;
+    const bool is_c = kind == 'c' && name == req.output;
+    check_deadline(r, at_us, /*discharging=*/is_c && w.pending);
+    if (is_m) {
+      if (!w.pending) {
+        w.pending = true;
+        w.since_us = at_us;
+      } else {
+        // Overlapping request: keep timing from the FIRST outstanding one,
+        // exactly like the probe clock (reset on pending 0 -> 1 only).
+        w.overlap = true;
+      }
+    } else if (is_c && w.pending) {
+      const std::int64_t delay = at_us - w.since_us;
+      if (delay > req.bound_ms * 1000 && !w.violated) {
+        w.violated = true;
+        w.violation = {r, ViolationKind::kLate, at_us, delay, events_};
+        ++violation_count_;
+      }
+      w.pending = false;
+      w.overlap = false;
+    }
+  }
+  ++events_;
+}
+
+void DelayMonitor::finish(std::int64_t end_us) {
+  PSV_REQUIRE_AS(::psv::ErrorCode::kModel, end_us >= last_us_,
+                 "monitor end time precedes the last event");
+  last_us_ = end_us;
+  for (std::size_t r = 0; r < spec_.requirements.size(); ++r)
+    check_deadline(r, end_us, /*discharging=*/false);
+}
+
+std::vector<Violation> DelayMonitor::violations() const {
+  std::vector<Violation> out;
+  for (const Window& w : windows_)
+    if (w.violated) out.push_back(w.violation);
+  return out;
+}
+
+std::string violation_line(const MonitorSpec& spec, const Violation& v) {
+  const MonitorRequirement& req = spec.requirements.at(v.requirement);
+  std::ostringstream os;
+  os << "monitor: violation " << req.name << " " << to_string(v.kind) << " step=" << v.step
+     << " at=" << v.at_us << "us";
+  if (v.kind == ViolationKind::kLate) os << " delay=" << v.delay_us << "us";
+  os << " bound=" << req.bound_ms * 1000 << "us";
+  return os.str();
+}
+
+std::string DelayMonitor::verdict_text() const {
+  std::ostringstream os;
+  for (const Violation& v : violations()) os << violation_line(spec_, v) << "\n";
+  if (violation_count_ == 0) {
+    os << "monitor: verdict OK events=" << events_ << "\n";
+  } else {
+    os << "monitor: verdict VIOLATION violations=" << violation_count_ << " events=" << events_
+       << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace psv::monitor

@@ -1,0 +1,140 @@
+// Verified runtime monitors: on-line delay-bound enforcement.
+//
+// A MonitorSpec carries the enforceable part of a verification artifact —
+// the requirement set of one scheme, each with its declared bound and the
+// maximum delay the sweep engine proved. DelayMonitor executes the spec
+// against a timestamped I/O event stream on the fly: O(1) memory per
+// requirement (one sliding obligation window; no trace storage), in the
+// style of Chupilko & Kamkin's on-the-fly matching of timed traces.
+//
+// Obligation-window semantics mirror the model checker's requirement probe
+// (core::RequirementProbe) exactly:
+//
+//   * an `m` event of the requirement's monitored variable ARMS the window
+//     (records `since`) when none is pending; while one is pending a second
+//     arrival only sets the overlap flag — the window keeps timing from the
+//     FIRST outstanding request, like the probe clock, so the monitor's
+//     delay is the probe's value;
+//   * a `c` event of the controlled variable DISCHARGES the window and
+//     checks delay = t_c - since against the bound: late completions are
+//     violations at the completion timestamp (kind `late`);
+//   * time passing beyond since + bound with the window still armed is a
+//     violation at the deadline itself (kind `missed`) — detected by the
+//     next event to arrive, or by finish() at end of stream. Event
+//     timestamps are monotone, so detection is exact: once the stream is
+//     past the deadline no discharging `c` can precede it.
+//
+// Only the first violation per requirement is recorded (the state stays
+// O(1)); observation continues so later requirements still report theirs.
+//
+// The generated C99 backend (monitor/cmon.h) implements the same semantics
+// with the same verdict-line rendering; the two backends must byte-agree on
+// every verdict and violation timestamp (tests/monitor_test.cpp and the CI
+// fast lane hold them to that).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace psv::monitor {
+
+/// One enforceable requirement: M -> C within bound.
+struct MonitorRequirement {
+  std::string name;
+  std::string input;            ///< monitored variable (arrives as an `m` event)
+  std::string output;           ///< controlled variable (arrives as a `c` event)
+  std::int64_t bound_ms = 0;    ///< enforced delay bound
+  std::int64_t verified_ms = 0; ///< provenance: the proved worst-case delay
+  bool verified = false;        ///< true when derived from a PASS verdict
+};
+
+/// The enforceable artifact of one verified scheme.
+struct MonitorSpec {
+  std::string scheme;  ///< provenance: scheme name ("" when hand-built)
+  std::vector<MonitorRequirement> requirements;
+};
+
+enum class ViolationKind {
+  kLate,    ///< the c event arrived, but after the deadline
+  kMissed,  ///< the stream advanced past the deadline with no c event
+};
+
+const char* to_string(ViolationKind kind);
+
+/// First recorded violation of one requirement.
+struct Violation {
+  std::size_t requirement = 0;  ///< index into MonitorSpec::requirements
+  ViolationKind kind = ViolationKind::kMissed;
+  /// Violation timestamp: the completion time for kLate, the deadline
+  /// (since + bound) for kMissed.
+  std::int64_t at_us = 0;
+  std::int64_t delay_us = 0;  ///< observed delay (kLate only; 0 for kMissed)
+  /// Index of the event whose arrival revealed the violation (0-based
+  /// position in the observed stream); the total event count when finish()
+  /// detected it at end of stream.
+  std::int64_t step = 0;
+};
+
+/// The in-process monitor backend.
+class DelayMonitor {
+ public:
+  /// Throws psv::Error(kModel) on an empty or duplicate-name spec.
+  explicit DelayMonitor(MonitorSpec spec);
+
+  const MonitorSpec& spec() const { return spec_; }
+
+  /// Forget all windows and violations; the spec stays.
+  void reset();
+
+  /// Feed one event. `kind` is the boundary class: 'm' (monitored input)
+  /// and 'c' (controlled output) drive the windows; any other kind ('i',
+  /// 'o') is counted but otherwise ignored. Timestamps must be monotone
+  /// non-decreasing (throws psv::Error(kModel) otherwise).
+  void observe(char kind, const std::string& name, std::int64_t at_us);
+
+  /// End of stream at `end_us`: windows still armed past their deadline
+  /// become `missed` violations. Monotonicity applies to `end_us` too.
+  void finish(std::int64_t end_us);
+
+  /// True while no violation has been recorded.
+  bool ok() const { return violation_count_ == 0; }
+
+  /// Events observed so far (all kinds).
+  std::int64_t events() const { return events_; }
+
+  /// Recorded violations, in requirement order (at most one each).
+  std::vector<Violation> violations() const;
+
+  /// The canonical verdict rendering both backends emit, one line per
+  /// violation (requirement order) plus one final verdict line:
+  ///   monitor: violation NAME late step=N at=Tus delay=Dus bound=Bus
+  ///   monitor: violation NAME missed step=N at=Tus bound=Bus
+  ///   monitor: verdict OK events=N
+  ///   monitor: verdict VIOLATION violations=K events=N
+  std::string verdict_text() const;
+
+ private:
+  /// Sliding obligation window + first violation of one requirement.
+  struct Window {
+    bool pending = false;
+    bool overlap = false;
+    std::int64_t since_us = 0;
+    bool violated = false;
+    Violation violation;
+  };
+
+  void check_deadline(std::size_t r, std::int64_t now_us, bool discharging);
+
+  MonitorSpec spec_;
+  std::vector<Window> windows_;
+  std::int64_t events_ = 0;
+  std::int64_t last_us_ = 0;
+  std::size_t violation_count_ = 0;
+};
+
+/// Render one violation as its canonical line (shared by verdict_text and
+/// the report printers).
+std::string violation_line(const MonitorSpec& spec, const Violation& v);
+
+}  // namespace psv::monitor

@@ -75,7 +75,7 @@ std::optional<Client::Response> Client::read_response(ServerStats* stats) {
         response.ok = true;
         response.is_synth = true;
         ByteReader in(frame->payload);
-        response.synth_report = core::decode_synth_report(in);
+        response.synth_report = core::decode_synth_report(in, version_);
         return response;
       }
       case FrameType::kError: {

@@ -286,7 +286,7 @@ void Server::handle_synth(const std::shared_ptr<Connection>& conn, Frame frame) 
       if (report.stats.warm_states_reused > 0) warm_starts_.fetch_add(1);
       states_reused_total_.fetch_add(report.stats.warm_states_reused);
       ByteWriter out;
-      core::encode_synth_report(out, report);
+      core::encode_synth_report(out, report, conn->version);
       requests_ok_.fetch_add(1);
       {
         std::lock_guard<std::mutex> lock(conn->write_mu);

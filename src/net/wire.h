@@ -64,7 +64,11 @@ namespace psv::net {
 /// synthesis counters in ServerStats — both gated on the NEGOTIATED
 /// connection version, so the floor stays at 2: a v2 peer never sees a v3
 /// payload, and a v2 client sending kSynth gets a typed kProtocol error.
-inline constexpr std::uint16_t kProtocolVersion = 3;
+/// Version 4: kSynthReport feasibility entries carry the witness
+/// candidate's ranked critical traces — appended only on v4+ connections
+/// (encode_synth_report takes the negotiated version), so a v3 peer still
+/// parses the v3 prefix it expects.
+inline constexpr std::uint16_t kProtocolVersion = 4;
 inline constexpr std::uint16_t kMinSupportedVersion = 2;
 
 /// Frame type tags. Part of the wire format: append, never renumber.

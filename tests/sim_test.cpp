@@ -1,10 +1,16 @@
-// Tests for the discrete-event kernel and the simulated platform.
+// Tests for the discrete-event kernel, the simulated platform, and the
+// trace replayer's error paths.
 #include <gtest/gtest.h>
 
+#include "core/transform.h"
 #include "gpca/pump_model.h"
+#include "mc/query.h"
+#include "mc/session.h"
 #include "sim/kernel.h"
 #include "sim/platform.h"
+#include "sim/replay.h"
 #include "sim/runner.h"
+#include "ta/expr.h"
 #include "util/error.h"
 
 namespace psv::sim {
@@ -215,6 +221,55 @@ TEST(Runner, ViolationCounting) {
   s.scenarios = {ok, late, late};
   EXPECT_EQ(s.violations(500.0), 2);
   EXPECT_EQ(s.violations(1000.0), 0);
+}
+
+// --- Replay error paths ---------------------------------------------------
+
+// A tampered trace must be rejected with the EXACT first-mismatch step —
+// replay errors are what the CI differential gates print, so their
+// positions have to be trustworthy.
+TEST(Replay, ReportsExactFirstMismatchStepOnTamperedState) {
+  gpca::PumpModelOptions opt;
+  opt.include_empty_syringe = false;
+  const ta::Network pim = gpca::build_pump_pim(opt);
+  const core::PimInfo info = gpca::pump_pim_info(pim);
+  const core::PsmArtifacts psm = core::transform(pim, info, gpca::board_scheme(opt));
+  const core::InputArtifacts& in = psm.input("BolusReq");
+  mc::VerificationSession session(psm.psm);
+  const mc::MaxClockResult result = session.max_clock_value(
+      {mc::when(ta::var_eq(in.pending, 1)), in.delay_clock, 100'000, 490, /*top_k=*/1});
+  ASSERT_FALSE(result.ranked.empty());
+  const mc::Trace& good = result.ranked.front().trace;
+  ASSERT_GE(good.steps.size(), 3u);
+
+  // Keep the label valid but corrupt the RENDERED SUCCESSOR STATE: the
+  // replayer must reject at exactly that step, having matched everything
+  // before it — both early and at the tail.
+  for (const std::size_t i : {std::size_t{1}, good.steps.size() - 1}) {
+    mc::Trace tampered = good;
+    tampered.steps[i].state += " ghost";
+    const ReplayResult r = replay_trace(psm.psm, tampered, result.witness_consts);
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.steps_matched, i) << "matched prefix must stop at the tampered step";
+    EXPECT_NE(r.error.find("step " + std::to_string(i) + ":"), std::string::npos) << r.error;
+    EXPECT_NE(r.error.find(tampered.steps[i].label), std::string::npos)
+        << "the error must name the label it could not match";
+  }
+
+  // Corrupted initial rendering (step 0 has no label to mismatch on).
+  mc::Trace initial = good;
+  initial.steps[0].state = "bogus";
+  const ReplayResult bad_init = replay_trace(psm.psm, initial, result.witness_consts);
+  EXPECT_FALSE(bad_init.ok);
+  EXPECT_EQ(bad_init.steps_matched, 0u);
+  EXPECT_NE(bad_init.error.find("initial state mismatch"), std::string::npos) << bad_init.error;
+
+  // A label on step 0 is structurally malformed.
+  mc::Trace labeled = good;
+  labeled.steps[0].label = "X.l0->l1[boom!]";
+  const ReplayResult bad_label = replay_trace(psm.psm, labeled, result.witness_consts);
+  EXPECT_FALSE(bad_label.ok);
+  EXPECT_NE(bad_label.error.find("step 0"), std::string::npos) << bad_label.error;
 }
 
 }  // namespace

@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "codegen/cemit.h"
 #include "core/framework.h"
 #include "core/report_serde.h"
 #include "core/service.h"
@@ -41,7 +42,10 @@
 #include "lang/manifest.h"
 #include "lang/model_parser.h"
 #include "lang/scheme_parser.h"
+#include "monitor/cmon.h"
+#include "monitor/monitor.h"
 #include "net/client.h"
+#include "sim/event_tap.h"
 #include "sim/runner.h"
 #include "ta/print.h"
 #include "util/cli.h"
@@ -74,6 +78,10 @@ struct CliOptions {
   std::string cache_dir;
   bool no_cache = false;
   bool goal_pruning = false;
+  std::string emit_code_path;     ///< write generated C for the PIM
+  std::string emit_monitor_path;  ///< write the generated C99 runtime monitor
+  bool monitor_check = false;     ///< replay critical traces through the monitor
+  std::string monitor_events_path;  ///< dump the replayed event streams
 };
 
 /// The flag registry shared semantics with psv_serve live in util/cli; this
@@ -165,6 +173,25 @@ psv::cli::Parser make_parser(CliOptions& cli) {
               "stop bounds-only sweeps early once every pending\n"
               "maximum is saturated (bounds and verdicts are\n"
               "unchanged; statistics and cache keys differ)");
+  parser.flag("--emit-code", &cli.emit_code_path, "FILE",
+              "write the generated C implementation of the PIM\n"
+              "(codegen::emit_c, with a demo main) to FILE\n"
+              "(single-model form only)");
+  parser.flag("--emit-monitor", &cli.emit_monitor_path, "FILE",
+              "write a self-contained C99 runtime monitor enforcing\n"
+              "the verified delay bounds to FILE; refused (typed\n"
+              "model error) when any requirement FAILed — only PASS\n"
+              "cells are enforceable (single-model form only)");
+  parser.flag("--monitor-check", &cli.monitor_check,
+              "replay every retained critical trace through the\n"
+              "in-process runtime monitor: concretize the worst-case\n"
+              "event schedule and print 'monitor:' verdict lines\n"
+              "(PASS traces must be accepted; FAIL traces must be\n"
+              "flagged at the exact violation timestamp)");
+  parser.flag("--monitor-events", &cli.monitor_events_path, "FILE",
+              "with --monitor-check: dump the concretized event\n"
+              "streams (TRACE/OBS/END lines) to FILE — the input\n"
+              "format of the generated monitor's PSV_MON_MAIN driver");
   parser.flag("--stats-json", &cli.stats_json_path, "FILE",
               "write per-stage statistics (wall clock, states\n"
               "stored/explored, explorations, warm-start reuse,\n"
@@ -539,6 +566,79 @@ void run_simulation(const psv::ta::Network& pim, const psv::core::PimInfo& info,
             << (measured.mc.max <= static_cast<double>(lemma2_total) ? "yes" : "NO") << "\n";
 }
 
+/// --monitor-check: replay every retained critical trace through the
+/// in-process runtime monitor. Each trace is concretized into a worst-case
+/// timestamped event schedule (sim::tap_trace) and streamed through a
+/// single-requirement DelayMonitor — the trace maximizes THIS requirement's
+/// probe, so other requirements' obligations are not meaningful on it. The
+/// monitor verdict must agree with the verified delay: traces at or under
+/// the bound are accepted, traces over it are flagged (at the exact
+/// violation timestamp); disagreement is an internal error (exit 2).
+void run_monitor_check(const JobOutcome& outcome, const psv::ta::Network& pim,
+                       const psv::core::PimInfo& info,
+                       const psv::core::ImplementationScheme& scheme,
+                       const std::string& events_path) {
+  const psv::core::VerifyReport& report = outcome.report;
+  // The critical traces were recorded on the probe-instrumented PSM;
+  // rebuild it (the transform is deterministic) to replay them.
+  psv::core::PsmArtifacts psm = psv::core::transform(pim, info, scheme);
+  psv::core::InstrumentedPsmBatch batch =
+      psv::core::instrument_psm_for_requirements(psm, report.requirements);
+  const psv::core::SchemeVerification& sv = report.schemes.front();
+  std::ofstream events_out;
+  if (!events_path.empty()) {
+    events_out.open(events_path);
+    PSV_REQUIRE_AS(psv::ErrorCode::kIo, events_out.good(), "cannot write '" + events_path + "'");
+  }
+  for (std::size_t r = 0; r < sv.slack.requirements.size(); ++r) {
+    const psv::core::RequirementSlack& rs = sv.slack.requirements[r];
+    const psv::core::RequirementResult& rr = sv.requirements[r];
+    psv::monitor::MonitorSpec spec;
+    spec.scheme = sv.scheme_name;
+    spec.requirements.push_back({rr.requirement.name, rr.requirement.input,
+                                 rr.requirement.output, rr.requirement.bound_ms,
+                                 rr.bounds.verified_mc_delay, rr.passed});
+    for (std::size_t k = 0; k < rs.critical.size(); ++k) {
+      const psv::core::CriticalTrace& ct = rs.critical[k];
+      psv::sim::TapResult tap = psv::sim::tap_trace(batch.net, ct.trace, rs.witness_consts,
+                                                    batch.mc_probes[r].clock);
+      PSV_REQUIRE_AS(psv::ErrorCode::kInternal, tap.ok,
+                     "monitor-check: cannot concretize critical trace " + std::to_string(k) +
+                         " of " + rr.requirement.name + ": " + tap.error);
+      // Sweep witnesses sit below the extrapolation constants, so the
+      // concretized schedule must attain the recorded delay exactly.
+      PSV_REQUIRE_AS(psv::ErrorCode::kInternal, tap.max_value_ms == ct.delay_ms,
+                     "monitor-check: concretized delay " + std::to_string(tap.max_value_ms) +
+                         "ms != recorded " + std::to_string(ct.delay_ms) + "ms (" +
+                         rr.requirement.name + ")");
+      psv::monitor::DelayMonitor mon(spec);
+      for (const psv::sim::TappedEvent& ev : tap.events)
+        mon.observe(ev.boundary, ev.name, ev.at_us);
+      mon.finish(tap.end_us);
+      std::cout << "monitor: trace " << rr.requirement.name << " " << k << "\n"
+                << mon.verdict_text();
+      const bool should_hold = ct.delay_ms <= rr.requirement.bound_ms;
+      PSV_REQUIRE_AS(psv::ErrorCode::kInternal, mon.ok() == should_hold,
+                     "monitor-check: monitor verdict disagrees with the verified delay of " +
+                         rr.requirement.name + " trace " + std::to_string(k));
+      if (events_out.is_open()) {
+        events_out << "TRACE " << rr.requirement.name << " " << k << "\n";
+        for (const psv::sim::TappedEvent& ev : tap.events)
+          events_out << "OBS " << ev.at_us << " " << ev.boundary << " " << ev.name << "\n";
+        events_out << "END " << tap.end_us << "\n";
+      }
+    }
+  }
+}
+
+/// Write `text` to `path` (overwriting), failing with a kIo error.
+void write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  PSV_REQUIRE_AS(psv::ErrorCode::kIo, out.good(), "cannot write '" + path + "'");
+  out << text;
+  PSV_REQUIRE_AS(psv::ErrorCode::kIo, out.good(), "cannot write '" + path + "'");
+}
+
 /// Execute every job, in-process or against a daemon. In daemon mode all
 /// jobs are pipelined on one connection first, then collected (responses
 /// may complete out of order server-side); outcomes come back in job order
@@ -641,6 +741,14 @@ int main(int argc, char** argv) {
   if (cli.no_cache) cli.cache_dir.clear();
 
   try {
+    // The emission/monitor features read the parsed single-model inputs.
+    PSV_REQUIRE_AS(psv::ErrorCode::kParse,
+                   (cli.emit_code_path.empty() && cli.emit_monitor_path.empty() &&
+                    !cli.monitor_check) ||
+                       (cli.batch_path.empty() && !cli.synth),
+                   "--emit-code/--emit-monitor/--monitor-check need the single-model form");
+    PSV_REQUIRE_AS(psv::ErrorCode::kParse, cli.monitor_events_path.empty() || cli.monitor_check,
+                   "--monitor-events needs --monitor-check");
     psv::core::VerifyOptions options;
     options.search_limit = cli.limit;
     options.explore.jobs = cli.jobs;
@@ -696,6 +804,12 @@ int main(int argc, char** argv) {
       if (cli.print_psm) {
         psv::core::PsmArtifacts psm = psv::core::transform(*pim, *info, *scheme);
         std::cout << psv::ta::network_text(psm.psm) << "\n";
+      }
+      if (!cli.emit_code_path.empty()) {
+        psv::codegen::CEmitOptions copts;
+        copts.emit_demo_main = true;
+        write_text_file(cli.emit_code_path, psv::codegen::emit_c(*pim, *info, copts));
+        std::cout << "wrote generated C to " << cli.emit_code_path << "\n";
       }
       jobs.push_back(std::move(job));
     } else {
@@ -770,6 +884,26 @@ int main(int argc, char** argv) {
     for (std::size_t i = 0; i < synth_outcomes.size(); ++i) {
       if (!synth_jobs[i].header.empty()) std::cout << synth_jobs[i].header;
       std::cout << synth_outcomes[i].report.summary() << "\n";
+      if (cli.slack_detail) {
+        const std::size_t shown =
+            static_cast<std::size_t>(cli.top_k >= 0 ? cli.top_k : psv::mc::kDefaultTopK);
+        std::cout << "--- feasibility witness traces ---\n"
+                  << synth_outcomes[i].report.feasibility_detail(shown);
+      }
+    }
+
+    if (!outcomes.empty() && cli.batch_path.empty()) {
+      // --emit-monitor refuses FAIL reports (Verifier::monitor_spec throws a
+      // typed model error: only PASS cells are enforceable), so a failing
+      // run exits 2 here with the witness delay in the message.
+      if (!cli.emit_monitor_path.empty()) {
+        const psv::monitor::MonitorSpec spec =
+            psv::core::Verifier::monitor_spec(outcomes.front().report);
+        write_text_file(cli.emit_monitor_path, psv::monitor::emit_c_monitor(spec));
+        std::cout << "wrote runtime monitor to " << cli.emit_monitor_path << "\n";
+      }
+      if (cli.monitor_check)
+        run_monitor_check(outcomes.front(), *pim, *info, *scheme, cli.monitor_events_path);
     }
 
     const double total_wall_ms =
